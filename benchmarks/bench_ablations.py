@@ -1,0 +1,52 @@
+"""Ablation benches over the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.ablations import run_all_ablations
+
+
+def test_ablations_regenerate_expected_shapes(benchmark):
+    """Run the full ablation suite once; assert each axis's expected shape."""
+    results = benchmark.pedantic(
+        lambda: run_all_ablations(case_count=60), rounds=1, iterations=1
+    )
+    write_result("ablations", "\n\n".join(r.format_table() for r in results))
+    by_title = {r.title: r for r in results}
+
+    # Neighbour preference never hurts the heuristic.
+    neighbor = by_title[
+        "Ablation: neighbour preference in the distribution heuristic"
+    ]
+    with_n = neighbor.row("with-neighbors").metrics["avg_ratio"]
+    without_n = neighbor.row("without-neighbors").metrics["avg_ratio"]
+    assert with_n >= without_n - 0.02
+
+    # More random retries monotonically improve feasibility.
+    budget = by_title["Ablation: random baseline retry budget"]
+    feasible = [row.metrics["feasible_frac"] for row in budget.rows]
+    assert feasible == sorted(feasible)
+
+    # The heuristic stays strong under every criticality weighting.
+    weights = by_title["Ablation: resource criticality weights"]
+    for row in weights.rows:
+        assert row.metrics["avg_ratio"] >= 0.7
+
+    # The transcoder correction is load-bearing for the PDA handoff.
+    corrections = by_title["Ablation: OC automatic-correction mechanisms"]
+    assert corrections.row("all-corrections").metrics["success"] == 1.0
+    assert corrections.row("no-transcoder").metrics["success"] == 0.0
+    assert corrections.row("no-adjust").metrics["success"] == 1.0
+    assert corrections.row("no-buffer").metrics["success"] == 1.0
+
+    # Local search monotonically closes the heuristic→optimal gap.
+    local = by_title[
+        "Ablation: local-search refinement of the heuristic (extension)"
+    ]
+    base = local.row("heuristic-only").metrics["avg_ratio"]
+    relocations = local.row("plus-relocations").metrics["avg_ratio"]
+    swaps = local.row("plus-swaps").metrics["avg_ratio"]
+    assert base <= relocations + 1e-9
+    assert relocations <= swaps + 1e-9

@@ -1,0 +1,56 @@
+"""Benchmark + regeneration of Figure 3 (end-to-end QoS per event)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.experiments.figure3 import run_prototype_scenario
+
+
+def test_figure3_regenerates_paper_shape(benchmark):
+    """40 fps audio through every event; 25/6 fps for the conference."""
+    scenario = benchmark.pedantic(run_prototype_scenario, rounds=1, iterations=1)
+    write_result("figure3", scenario.format_report())
+    for label in ("event1", "event2", "event3"):
+        assert scenario.event(label).measured_fps["audio-player"] == pytest.approx(
+            40.0, abs=1.0
+        )
+    conference = scenario.event("event4").measured_fps
+    assert conference["video-player"] == pytest.approx(25.0, abs=1.0)
+    assert conference["audio-player"] == pytest.approx(6.0, abs=0.5)
+    assert any("MPEG2wav" in c for c in scenario.event("event2").components)
+
+
+def test_bench_initial_configuration(benchmark):
+    """Time one full compose+distribute+deploy on the audio testbed."""
+
+    def configure_once():
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        record = session.start()
+        session.stop()
+        return record
+
+    record = benchmark(configure_once)
+    assert record.success
+
+
+def test_bench_device_switch(benchmark):
+    """Time the PC→PDA reconfiguration with state handoff."""
+
+    def switch_once():
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        session.start()
+        record = session.switch_device("jornada", "pda")
+        session.stop()
+        return record
+
+    record = benchmark(switch_once)
+    assert record.success

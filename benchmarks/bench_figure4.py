@@ -1,0 +1,48 @@
+"""Benchmark + regeneration of Figure 4 (configuration overhead breakdown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.figure3 import run_prototype_scenario
+from repro.experiments.figure4 import run_figure4
+
+
+def _row(breakdown, prefix):
+    label = next(l for l in breakdown.labels if l.startswith(prefix))
+    return breakdown.row(label)
+
+
+def test_figure4_regenerates_paper_shape(benchmark):
+    """Downloads dominate event 4; PC→PDA handoff exceeds PDA→PC; audio
+    events download nothing."""
+    breakdown = benchmark.pedantic(
+        lambda: run_figure4(run_prototype_scenario(measure_duration_s=5.0)),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("figure4", breakdown.format_table())
+    assert len(breakdown.rows) == 4
+    for prefix in ("event1", "event2", "event3"):
+        assert _row(breakdown, prefix)["download_ms"] == 0.0
+    event4 = _row(breakdown, "event4")
+    assert event4["download_ms"] >= 0.5 * event4["total_ms"]
+    assert (
+        _row(breakdown, "event2")["init_or_handoff_ms"]
+        > _row(breakdown, "event3")["init_or_handoff_ms"]
+    )
+    # Total overhead stays in the paper's magnitude band (tens of ms to a
+    # couple of seconds), small versus minutes of application runtime.
+    for row in breakdown.rows:
+        assert 10.0 < row["total_ms"] < 5000.0
+
+
+def test_bench_overhead_extraction(benchmark):
+    """Time the full 4-event scenario including overhead accounting."""
+    result = benchmark.pedantic(
+        lambda: run_figure4(run_prototype_scenario(measure_duration_s=2.0)),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.rows) == 4

@@ -1,0 +1,50 @@
+"""Benchmark + regeneration of Figure 5 (success rate over 1000 hours).
+
+The full paper-scale run (5000 requests over 1000 hours, three algorithms)
+executes once; the timed benchmark covers a single algorithm pass over a
+reduced trace so the timing number is stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.figure5 import run_figure5
+from repro.workloads.requests import figure5_trace
+
+
+def test_figure5_regenerates_paper_shape(benchmark):
+    """Heuristic highest, random middle, fixed lowest — at scale."""
+    figure5_result = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    write_result("figure5", figure5_result.format_series())
+    assert figure5_result.request_count == 5000
+    assert figure5_result.horizon_h == 1000.0
+    series = figure5_result.series
+    assert figure5_result.ordering_holds()
+    assert series["heuristic"].overall_rate >= 0.85
+    assert series["heuristic"].overall_rate - series["fixed"].overall_rate >= 0.2
+    assert len(series["heuristic"].sample_times_h) == 20  # every 50 h
+
+    # The heuristic also leads within (almost) every 50-hour window.
+    ahead = sum(
+        1
+        for h, r, f in zip(
+            series["heuristic"].success_rates,
+            series["random"].success_rates,
+            series["fixed"].success_rates,
+        )
+        if h >= r and h >= f
+    )
+    assert ahead >= 16
+
+
+def test_bench_heuristic_admission_throughput(benchmark):
+    """Time a 300-request heuristic-only admission simulation."""
+    trace = figure5_trace(request_count=300, horizon_h=60.0)
+
+    def run_reduced():
+        return run_figure5(trace=trace, window_h=30.0)
+
+    result = benchmark.pedantic(run_reduced, rounds=2, iterations=1)
+    assert result.series["heuristic"].total_attempts == 300

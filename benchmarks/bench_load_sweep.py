@@ -1,0 +1,29 @@
+"""Bench + regeneration of the load-sensitivity sweep (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.load_sweep import run_load_sweep
+
+
+def test_load_sweep_regenerates_expected_shape(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: run_load_sweep(
+            multipliers=(0.5, 1.0, 1.5, 2.0, 3.0),
+            base_requests=600,
+            horizon_h=120.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("load_sweep", sweep.format_table())
+    # Heuristic dominates at every load level and degrades monotonically.
+    for i in range(len(sweep.multipliers)):
+        assert sweep.rates["heuristic"][i] >= sweep.rates["random"][i]
+        assert sweep.rates["heuristic"][i] >= sweep.rates["fixed"][i]
+    assert sweep.monotone_nonincreasing("heuristic")
+    assert sweep.rates["heuristic"][0] >= 0.9
+    # Saturation is real: triple load costs every policy admissions.
+    assert sweep.rates["heuristic"][-1] < sweep.rates["heuristic"][0]

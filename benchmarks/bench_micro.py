@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the core algorithms' scaling behaviour.
+
+Not a paper table — engineering benches backing the complexity claims:
+the OC algorithm is O(V+E) per pass, the heuristic is near-linear in
+components, and the optimal search is exponential (hence only run on
+Table 1-sized graphs).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.composition.corrections import CorrectionPolicy
+from repro.composition.ordered_coordination import ordered_coordination
+from repro.distribution.cost import CostWeights
+from repro.distribution.fit import CandidateDevice, DistributionEnvironment
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.graph.generators import RandomGraphConfig, random_service_graph
+from repro.resources.vectors import ResourceVector
+
+
+def big_graph(node_count: int, seed: int = 7):
+    config = RandomGraphConfig(
+        node_count=(node_count, node_count),
+        out_degree=(3, 6),
+        memory_mb=(0.1, 1.0),
+        cpu_fraction=(0.001, 0.01),
+    )
+    return random_service_graph(random.Random(seed), config)
+
+
+def wide_environment(device_count: int = 8):
+    devices = [
+        CandidateDevice(f"dev{i}", ResourceVector(memory=200.0, cpu=2.0))
+        for i in range(device_count)
+    ]
+    bandwidth = {
+        (f"dev{i}", f"dev{j}"): 100.0
+        for i in range(device_count)
+        for j in range(i + 1, device_count)
+    }
+    return DistributionEnvironment(devices, bandwidth=bandwidth)
+
+
+@pytest.mark.parametrize("node_count", [50, 200])
+def test_bench_ordered_coordination_scaling(benchmark, node_count):
+    graph = big_graph(node_count)
+    policy = CorrectionPolicy()
+
+    def run_oc():
+        report = ordered_coordination(graph.copy(), policy)
+        return report
+
+    report = benchmark(run_oc)
+    assert report.checked_edges >= len(graph.edges())
+
+
+@pytest.mark.parametrize("node_count", [50, 200])
+def test_bench_heuristic_scaling(benchmark, node_count):
+    graph = big_graph(node_count)
+    env = wide_environment()
+    heuristic = HeuristicDistributor()
+    result = benchmark(heuristic.distribute, graph, env, CostWeights())
+    assert result.feasible
+
+
+def test_bench_topological_sort(benchmark):
+    graph = big_graph(500)
+    order = benchmark(graph.topological_order)
+    assert len(order) == 500
+
+
+def test_bench_cost_aggregation(benchmark):
+    from repro.distribution.cost import cost_aggregation
+
+    graph = big_graph(200)
+    env = wide_environment()
+    result = HeuristicDistributor().distribute(graph, env, CostWeights())
+    assert result.feasible
+    cost = benchmark(
+        cost_aggregation, graph, result.assignment, env, CostWeights()
+    )
+    assert cost > 0

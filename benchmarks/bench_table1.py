@@ -1,0 +1,68 @@
+"""Benchmark + regeneration of Table 1.
+
+Regenerates the paper's comparison (random / heuristic / optimal over 150
+random two-way-cut instances) and times one distribution call per
+algorithm on a representative instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.distribution.baselines import RandomDistributor
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.distribution.optimal import OptimalDistributor
+from repro.experiments.table1 import run_table1
+from repro.workloads.generator import Table1Workload
+
+
+@pytest.fixture(scope="module")
+def representative_case():
+    return next(iter(Table1Workload(case_count=1).cases()))
+
+
+def test_table1_regenerates_paper_shape(benchmark):
+    """Paper: Random 25%/0%, Heuristic 91%/60%, Optimal 100%/100%."""
+    result = benchmark.pedantic(
+        lambda: run_table1(Table1Workload(case_count=150)),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table1", result.format_table())
+    rows = result.rows
+    assert rows["optimal"].average_ratio == pytest.approx(1.0)
+    assert rows["heuristic"].average_ratio > 0.8
+    assert rows["heuristic"].optimal_fraction > 0.45
+    assert rows["random"].average_ratio < 0.5
+    assert rows["random"].optimal_fraction < 0.1
+    assert rows["heuristic"].average_ratio > rows["random"].average_ratio
+
+
+def test_bench_heuristic_distribution(benchmark, representative_case):
+    case = representative_case
+    heuristic = HeuristicDistributor()
+    result = benchmark(
+        heuristic.distribute, case.graph, case.environment, case.weights
+    )
+    assert result.assignment is not None
+
+
+def test_bench_optimal_distribution(benchmark, representative_case):
+    case = representative_case
+    optimal = OptimalDistributor()
+    result = benchmark(
+        optimal.distribute, case.graph, case.environment, case.weights
+    )
+    assert result.assignment is not None
+
+
+def test_bench_random_distribution(benchmark, representative_case):
+    case = representative_case
+    strategy = RandomDistributor(rng=random.Random(1), attempts=50)
+    result = benchmark(
+        strategy.distribute, case.graph, case.environment, case.weights
+    )
+    assert result.assignment is not None

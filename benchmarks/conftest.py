@@ -1,0 +1,21 @@
+"""Shared benchmark utilities.
+
+Every experiment benchmark writes its regenerated table/series to
+``results/<name>.txt`` (repo root) in addition to asserting the paper's
+qualitative shape, so a plain ``pytest benchmarks/ --benchmark-only`` run
+leaves the reproduced evaluation artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def write_result(name: str, content: str) -> pathlib.Path:
+    """Persist one regenerated table/figure; returns the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

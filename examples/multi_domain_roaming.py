@@ -1,0 +1,112 @@
+"""Roaming between domains: office → hotel, session and state intact.
+
+The hierarchical smart space groups devices into domains, each with its
+own domain server, discovery registry and network. When the user travels,
+"the previous service components may no longer be available": the session
+must be re-composed against the *new* domain's services and re-distributed
+over its devices, with playback state carried over the WAN.
+
+This example starts mobile audio-on-demand in the lab (the Figure 3
+testbed), plays for four minutes, then roams to a hotel domain that offers
+its own audio server on a proxy host — the music resumes at the
+interruption point on the hotel PC.
+
+Run:  python examples/multi_domain_roaming.py
+"""
+
+from repro.apps.audio_on_demand import (
+    _desktop_player_template,
+    _server_template,
+    audio_request,
+    build_audio_testbed,
+)
+from repro.composition.composer import ServiceComposer
+from repro.composition.corrections import CorrectionPolicy
+from repro.discovery.registry import ServiceDescription
+from repro.distribution.distributor import ServiceDistributor
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.domain.device import Device, DeviceClass
+from repro.domain.space import SmartSpace
+from repro.network.links import LinkClass
+from repro.qos.translation import default_catalog
+from repro.resources.vectors import ResourceVector
+from repro.runtime.configurator import ServiceConfigurator
+from repro.runtime.roaming import SessionRoamer
+
+
+def build_hotel():
+    space = SmartSpace()
+    server = space.create_domain("hotel")
+    installed = ["audio_server", "audio_player", "MPEG2wav"]
+    for device in (
+        Device("hotel-pc", DeviceClass.PC,
+               capacity=ResourceVector(memory=128.0, cpu=2.0),
+               installed_components=installed),
+        Device("hotel-proxy", DeviceClass.SERVER,
+               capacity=ResourceVector(memory=512.0, cpu=4.0),
+               installed_components=installed),
+    ):
+        server.join(device)
+    server.network.connect("hotel-pc", "hotel-proxy", LinkClass.FAST_ETHERNET)
+    server.domain.registry.register(
+        ServiceDescription(
+            service_type="audio_server",
+            provider_id="audio-server@hotel-proxy",
+            component_template=_server_template(),
+            attributes=(("media", "audio"), ("format", "MPEG")),
+            hosted_on="hotel-proxy",
+        )
+    )
+    server.domain.registry.register(
+        ServiceDescription(
+            service_type="audio_player",
+            provider_id="player@hotel",
+            component_template=_desktop_player_template(),
+            attributes=(("media", "audio"),),
+            platforms=frozenset({DeviceClass.PC}),
+        )
+    )
+    composer = ServiceComposer(
+        server.discovery, CorrectionPolicy(catalog=default_catalog())
+    )
+    return ServiceConfigurator(
+        server, composer, ServiceDistributor(HeuristicDistributor())
+    )
+
+
+def main() -> None:
+    print("office: starting mobile audio-on-demand in the lab domain")
+    lab = build_audio_testbed()
+    session = lab.configurator.create_session(
+        audio_request(lab, "desktop2"), user_id="alice"
+    )
+    session.start()
+    placement = session.deployment.assignment
+    for cid in session.graph.topological_order():
+        print(f"  {cid:<20} on {placement[cid]}")
+    session.record_progress(240.0)
+    print(f"  ... playing; position now {session.playback_position():.0f}s")
+    print()
+
+    print("user travels to the hotel; roaming the session")
+    hotel = build_hotel()
+    report = SessionRoamer(wan_bandwidth_mbps=8.0, wan_latency_ms=35.0).roam(
+        session, hotel, "hotel-pc"
+    )
+    print(f"  roam {report.old_domain} -> {report.new_domain}: "
+          f"success={report.success}")
+    print(f"  state transfer over WAN: {report.state_transfer_s * 1000:.1f} ms")
+    print(f"  total handoff: {report.total_handoff_ms:.1f} ms")
+    print()
+
+    new_session = report.new_session
+    print("hotel: new configuration")
+    placement = new_session.deployment.assignment
+    for cid in new_session.graph.topological_order():
+        print(f"  {cid:<20} on {placement[cid]}")
+    print(f"  music resumes at {new_session.playback_position():.0f}s")
+    new_session.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Quickstart: compose and distribute a small multimedia application.
+
+Walks the public API end-to-end in miniature:
+
+1. advertise concrete services in a registry;
+2. describe the application abstractly (a media server feeding a player
+   pinned to the user's device);
+3. let the service composer discover instances, check QoS consistency and
+   auto-correct the MPEG→WAV type mismatch by inserting a transcoder;
+4. let the service distributor find the minimum-cost k-cut over the
+   available devices.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AbstractComponentSpec,
+    AbstractServiceGraph,
+    CandidateDevice,
+    CompositionRequest,
+    CorrectionPolicy,
+    CostWeights,
+    DiscoveryService,
+    DistributionEnvironment,
+    HeuristicDistributor,
+    PinConstraint,
+    QoSVector,
+    ResourceVector,
+    ServiceComponent,
+    ServiceComposer,
+    ServiceDescription,
+    ServiceDistributor,
+    ServiceRegistry,
+)
+from repro.qos.translation import default_catalog
+
+
+def build_registry() -> ServiceRegistry:
+    """Advertise a music server (MPEG) and a handheld player (WAV only)."""
+    registry = ServiceRegistry()
+    registry.register(
+        ServiceDescription(
+            service_type="music_server",
+            provider_id="music-server@den-pc",
+            component_template=ServiceComponent(
+                component_id="tpl/server",
+                service_type="music_server",
+                qos_output=QoSVector(format="MPEG", frame_rate=40),
+                resources=ResourceVector(memory=48, cpu=0.25),
+            ),
+            hosted_on="den-pc",
+        )
+    )
+    registry.register(
+        ServiceDescription(
+            service_type="music_player",
+            provider_id="pocket-player",
+            component_template=ServiceComponent(
+                component_id="tpl/player",
+                service_type="music_player",
+                qos_input=QoSVector(format="WAV", frame_rate=(10.0, 48.0)),
+                qos_output=QoSVector(frame_rate=40),
+                resources=ResourceVector(memory=6, cpu=0.1),
+            ),
+        )
+    )
+    return registry
+
+
+def describe_application() -> AbstractServiceGraph:
+    """The developer's abstract service graph: server -> player."""
+    graph = AbstractServiceGraph(name="music-on-demand")
+    graph.add_spec(AbstractComponentSpec("server", "music_server"))
+    graph.add_spec(
+        AbstractComponentSpec(
+            "player", "music_player", pin=PinConstraint(role="client")
+        )
+    )
+    graph.connect("server", "player", throughput_mbps=1.4)
+    return graph
+
+
+def main() -> None:
+    # Tier 1: service composition.
+    composer = ServiceComposer(
+        DiscoveryService(build_registry()),
+        CorrectionPolicy(catalog=default_catalog()),
+    )
+    request = CompositionRequest(
+        abstract_graph=describe_application(),
+        user_qos=QoSVector(frame_rate=(20.0, 48.0)),
+        client_device_id="handheld",
+        client_device_class="pda",
+    )
+    composition = composer.compose(request)
+    print("composition succeeded:", composition.success)
+    print("service graph:", " -> ".join(composition.graph.topological_order()))
+    for action in composition.oc_report.corrections:
+        print(f"automatic correction: {action.kind} ({action.detail})")
+
+    # Tier 2: service distribution.
+    environment = DistributionEnvironment(
+        [
+            CandidateDevice("den-pc", ResourceVector(memory=256, cpu=3.0)),
+            CandidateDevice("handheld", ResourceVector(memory=32, cpu=0.5)),
+        ],
+        bandwidth={("den-pc", "handheld"): 5.0},
+    )
+    distributor = ServiceDistributor(HeuristicDistributor(), CostWeights())
+    distribution = distributor.distribute(composition.graph, environment)
+    print("distribution feasible:", distribution.feasible)
+    print(f"cost aggregation: {distribution.cost:.4f}")
+    for component_id, device in sorted(distribution.assignment.items()):
+        print(f"  {component_id:<28} -> {device}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Dynamic QoS-aware multimedia service configuration for ubiquitous computing.
+
+A from-scratch reproduction of Gu & Nahrstedt, *Dynamic QoS-Aware
+Multimedia Service Configuration in Ubiquitous Computing Environments*
+(ICDCS 2002), including every substrate the paper's Gaia-based prototype
+relied on.
+
+Public API tour (see README.md for the full quickstart):
+
+- :mod:`repro.qos` — QoS vectors and the "satisfy" relation (Eq. 1);
+- :mod:`repro.resources` — resource vectors and benchmark normalisation;
+- :mod:`repro.graph` — service graphs, abstract graphs, k-cuts;
+- :mod:`repro.composition` — the service composition tier (the Ordered
+  Coordination algorithm with automatic correction);
+- :mod:`repro.distribution` — the service distribution tier (the greedy
+  heuristic, exact optimal, random and fixed baselines);
+- :mod:`repro.discovery`, :mod:`repro.events`, :mod:`repro.domain`,
+  :mod:`repro.network`, :mod:`repro.mobility`, :mod:`repro.profiling`,
+  :mod:`repro.sim` — the smart-space substrates;
+- :mod:`repro.runtime` — the integrated two-tier configurator with
+  sessions, deployment and handoff;
+- :mod:`repro.apps`, :mod:`repro.workloads`, :mod:`repro.experiments` —
+  the prototype applications and the drivers regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+from repro.qos import (
+    QoSVector,
+    RangeValue,
+    SetValue,
+    SingleValue,
+    satisfies,
+)
+from repro.resources import ResourceVector
+from repro.graph import (
+    AbstractComponentSpec,
+    AbstractServiceGraph,
+    Assignment,
+    PinConstraint,
+    ServiceComponent,
+    ServiceEdge,
+    ServiceGraph,
+)
+from repro.composition import (
+    CompositionRequest,
+    CompositionResult,
+    CorrectionPolicy,
+    ServiceComposer,
+    ordered_coordination,
+)
+from repro.distribution import (
+    CandidateDevice,
+    CostWeights,
+    DistributionEnvironment,
+    FixedDistributor,
+    HeuristicDistributor,
+    OptimalDistributor,
+    RandomDistributor,
+    ServiceDistributor,
+    cost_aggregation,
+    fits_into,
+)
+from repro.discovery import DiscoveryService, ServiceDescription, ServiceRegistry
+from repro.domain import Device, Domain, DomainServer, SmartSpace
+from repro.runtime import ApplicationSession, ServiceConfigurator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QoSVector",
+    "RangeValue",
+    "SetValue",
+    "SingleValue",
+    "satisfies",
+    "ResourceVector",
+    "AbstractComponentSpec",
+    "AbstractServiceGraph",
+    "Assignment",
+    "PinConstraint",
+    "ServiceComponent",
+    "ServiceEdge",
+    "ServiceGraph",
+    "CompositionRequest",
+    "CompositionResult",
+    "CorrectionPolicy",
+    "ServiceComposer",
+    "ordered_coordination",
+    "CandidateDevice",
+    "CostWeights",
+    "DistributionEnvironment",
+    "FixedDistributor",
+    "HeuristicDistributor",
+    "OptimalDistributor",
+    "RandomDistributor",
+    "ServiceDistributor",
+    "cost_aggregation",
+    "fits_into",
+    "DiscoveryService",
+    "ServiceDescription",
+    "ServiceRegistry",
+    "Device",
+    "Domain",
+    "DomainServer",
+    "SmartSpace",
+    "ApplicationSession",
+    "ServiceConfigurator",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Prototype applications and workload graphs.
+
+The paper's experiments drive two distributed multimedia applications —
+*mobile audio-on-demand* and *video conferencing* — plus the five
+predefined random graphs of the Figure 5 workload. The media pipeline here
+replaces the lab's real MPEG/WAV streams with a discrete-event synthetic
+stream whose measured QoS (delivered frame rate) plays the role of
+Figure 3's measurements.
+"""
+
+from repro.apps.media import Frame, MediaPipeline, SinkStats
+from repro.apps.audio_on_demand import (
+    audio_abstract_graph,
+    build_audio_testbed,
+)
+from repro.apps.video_conferencing import (
+    build_conferencing_testbed,
+    conferencing_abstract_graph,
+)
+from repro.apps.templates import figure5_graphs
+
+__all__ = [
+    "Frame",
+    "MediaPipeline",
+    "SinkStats",
+    "audio_abstract_graph",
+    "build_audio_testbed",
+    "build_conferencing_testbed",
+    "conferencing_abstract_graph",
+    "figure5_graphs",
+]

@@ -1,0 +1,207 @@
+"""The mobile audio-on-demand application (Figures 3 and 4, events 1–3).
+
+The scenario from Section 4: the user starts "mobile audio-on-demand" on
+desktop1 requesting CD-quality music (event 1), switches to a PDA over a
+wireless link — music continues from the interruption point through a
+dynamically inserted MPEG2wav transcoder (event 2) — and later switches
+back to another desktop (event 3). All components are pre-installed, so no
+dynamic downloading happens.
+
+:func:`build_audio_testbed` assembles the whole environment: devices with
+the paper's (normalised) availability vectors, the wired/wireless
+topology, the service registry with the audio server and the two player
+variants, and the integrated configurator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.composition.composer import CompositionRequest, ServiceComposer
+from repro.composition.corrections import CorrectionPolicy
+from repro.discovery.registry import ServiceDescription
+from repro.distribution.cost import CostWeights
+from repro.distribution.distributor import ServiceDistributor
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.domain.device import Device, DeviceClass
+from repro.domain.domain import DomainServer
+from repro.domain.space import SmartSpace
+from repro.graph.abstract import (
+    AbstractComponentSpec,
+    AbstractServiceGraph,
+    PinConstraint,
+)
+from repro.graph.service_graph import ServiceComponent
+from repro.network.links import LinkClass
+from repro.qos.translation import default_catalog
+from repro.qos.vectors import QoSVector
+from repro.resources.vectors import ResourceVector
+from repro.runtime.configurator import ServiceConfigurator
+
+AUDIO_RATE_FPS = 40.0
+STREAM_MBPS = 1.4
+
+
+@dataclass
+class AudioTestbed:
+    """Everything the audio-on-demand experiments need, wired together."""
+
+    space: SmartSpace
+    server: DomainServer
+    configurator: ServiceConfigurator
+    devices: Dict[str, Device]
+
+
+def audio_abstract_graph() -> AbstractServiceGraph:
+    """The developer's abstract description: server → player (client-pinned)."""
+    graph = AbstractServiceGraph(name="mobile-audio-on-demand")
+    graph.add_spec(
+        AbstractComponentSpec(
+            spec_id="audio-server",
+            service_type="audio_server",
+            attributes=(("media", "audio"),),
+        )
+    )
+    graph.add_spec(
+        AbstractComponentSpec(
+            spec_id="audio-player",
+            service_type="audio_player",
+            attributes=(("media", "audio"),),
+            required_output=QoSVector(frame_rate=(20.0, 48.0)),
+            pin=PinConstraint(role="client"),
+        )
+    )
+    graph.connect("audio-server", "audio-player", STREAM_MBPS)
+    return graph
+
+
+def audio_request(testbed: AudioTestbed, client_device: str) -> CompositionRequest:
+    """A configuration request for the user sitting at ``client_device``."""
+    device = testbed.devices[client_device]
+    return CompositionRequest(
+        abstract_graph=audio_abstract_graph(),
+        user_qos=QoSVector(frame_rate=(20.0, 48.0)),
+        client_device_id=client_device,
+        client_device_class=device.device_class,
+        preferred_devices=tuple(sorted(testbed.devices)),
+    )
+
+
+def _server_template() -> ServiceComponent:
+    return ServiceComponent(
+        component_id="template/audio-server",
+        service_type="audio_server",
+        qos_output=QoSVector(format="MPEG", frame_rate=AUDIO_RATE_FPS),
+        resources=ResourceVector(memory=48.0, cpu=0.25),
+        code_size_kb=900.0,
+        attributes=(("media", "audio"),),
+    )
+
+
+def _desktop_player_template() -> ServiceComponent:
+    """An MPEG-capable player for wired PCs (also accepts WAV)."""
+    return ServiceComponent(
+        component_id="template/player-desktop",
+        service_type="audio_player",
+        qos_input=QoSVector(
+            format={"MPEG", "WAV"}, frame_rate=(10.0, 50.0)
+        ),
+        qos_output=QoSVector(frame_rate=AUDIO_RATE_FPS),
+        resources=ResourceVector(memory=16.0, cpu=0.15),
+        code_size_kb=500.0,
+        state_size_kb=24.0,
+        attributes=(("media", "audio"),),
+    )
+
+
+def _pda_player_template() -> ServiceComponent:
+    """The Jornada's lightweight player: WAV only."""
+    return ServiceComponent(
+        component_id="template/player-pda",
+        service_type="audio_player",
+        qos_input=QoSVector(format="WAV", frame_rate=(10.0, 50.0)),
+        qos_output=QoSVector(frame_rate=AUDIO_RATE_FPS),
+        resources=ResourceVector(memory=6.0, cpu=0.1),
+        code_size_kb=200.0,
+        state_size_kb=24.0,
+        attributes=(("media", "audio"),),
+    )
+
+
+def build_audio_testbed(preinstall: bool = True) -> AudioTestbed:
+    """Assemble the Figure 3/4 audio environment.
+
+    Three desktops on fast ethernet plus a Jornada PDA behind a wireless
+    access point. Availability vectors are the paper's normalised figures
+    (desktop ``[256MB, 300%]``, PDA ``[32MB, 50%]``). With
+    ``preinstall=True`` (the paper's setting for this app) every device
+    already has all component code, so no downloading overhead occurs.
+    """
+    space = SmartSpace()
+    server = space.create_domain("lab")
+    component_types = ["audio_server", "audio_player", "MPEG2wav", "buffer"]
+
+    devices: Dict[str, Device] = {}
+    for name in ("desktop1", "desktop2", "desktop3"):
+        devices[name] = Device(
+            name,
+            DeviceClass.PC,
+            capacity=ResourceVector(memory=256.0, cpu=3.0),
+            installed_components=component_types if preinstall else (),
+        )
+    devices["jornada"] = Device(
+        "jornada",
+        DeviceClass.PDA,
+        capacity=ResourceVector(memory=32.0, cpu=0.5),
+        installed_components=component_types if preinstall else (),
+    )
+    for device in devices.values():
+        server.join(device)
+
+    net = server.network
+    net.add_device("lan-switch")
+    for name in ("desktop1", "desktop2", "desktop3"):
+        net.connect(name, "lan-switch", LinkClass.FAST_ETHERNET)
+    net.add_device("access-point")
+    net.connect("access-point", "lan-switch", LinkClass.FAST_ETHERNET)
+    net.connect("jornada", "access-point", LinkClass.WLAN)
+
+    registry = server.domain.registry
+    registry.register(
+        ServiceDescription(
+            service_type="audio_server",
+            provider_id="audio-server@desktop1",
+            component_template=_server_template(),
+            attributes=(("media", "audio"), ("format", "MPEG")),
+            hosted_on="desktop1",
+        )
+    )
+    registry.register(
+        ServiceDescription(
+            service_type="audio_player",
+            provider_id="player/desktop",
+            component_template=_desktop_player_template(),
+            attributes=(("media", "audio"),),
+            platforms=frozenset({DeviceClass.PC, DeviceClass.WORKSTATION,
+                                 DeviceClass.LAPTOP}),
+        )
+    )
+    registry.register(
+        ServiceDescription(
+            service_type="audio_player",
+            provider_id="player/pda",
+            component_template=_pda_player_template(),
+            attributes=(("media", "audio"),),
+            platforms=frozenset({DeviceClass.PDA}),
+        )
+    )
+
+    composer = ServiceComposer(
+        server.discovery, CorrectionPolicy(catalog=default_catalog())
+    )
+    distributor = ServiceDistributor(HeuristicDistributor(), CostWeights())
+    configurator = ServiceConfigurator(server, composer, distributor)
+    return AudioTestbed(
+        space=space, server=server, configurator=configurator, devices=devices
+    )

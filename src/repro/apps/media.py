@@ -1,0 +1,309 @@
+"""Synthetic media pipeline over the simulation kernel.
+
+Components of a deployed service graph become pipeline *stages*:
+
+- graph sources produce frames at their declared output ``frame_rate``;
+- intermediate stages forward each frame after a processing delay, and
+  throttle to their own output ``frame_rate`` when it is lower than the
+  arrival rate (how an inserted buffer shapes a stream);
+- graph sinks record frame arrivals; :class:`SinkStats` turns the arrival
+  log into the *measured QoS* (delivered frames per second) that Figure 3
+  reports.
+
+Frames crossing a device boundary incur the network path latency plus a
+serialisation delay derived from the edge's declared throughput. Stages
+only accept frames whose media kind matches their ``media`` attribute, so
+a fan-in node (e.g. a lip-sync service) can feed a video player and an
+audio player their respective streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.graph.cuts import Assignment
+from repro.graph.service_graph import ServiceComponent, ServiceGraph
+from repro.network.topology import NetworkTopology
+from repro.qos.parameters import RangeValue, SingleValue
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+RATE_PARAMETER = "frame_rate"
+MEDIA_ATTRIBUTE = "media"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One media frame travelling through the pipeline.
+
+    ``fidelity`` starts at 1.0 and is multiplied down by every lossy stage
+    (e.g. a transcoder advertising ``fidelity=0.95``), so the sink can
+    report delivered quality alongside delivered rate.
+    """
+
+    seq: int
+    media: str
+    created_at: float
+    source: str
+    fidelity: float = 1.0
+
+    def degraded_by(self, factor: float) -> "Frame":
+        """A copy with fidelity multiplied by ``factor``."""
+        return Frame(
+            seq=self.seq,
+            media=self.media,
+            created_at=self.created_at,
+            source=self.source,
+            fidelity=self.fidelity * factor,
+        )
+
+
+@dataclass
+class SinkStats:
+    """Arrival log of one sink component."""
+
+    component_id: str
+    arrivals: Deque[Tuple[float, str]] = field(default_factory=deque)
+    delivered: int = 0
+    first_arrival: Optional[float] = None
+    last_arrival: Optional[float] = None
+    latency_sum: float = 0.0
+    fidelity_sum: float = 0.0
+
+    def record(self, frame: Frame, now: float) -> None:
+        self.arrivals.append((now, frame.media))
+        self.delivered += 1
+        self.latency_sum += now - frame.created_at
+        self.fidelity_sum += frame.fidelity
+        if self.first_arrival is None:
+            self.first_arrival = now
+        self.last_arrival = now
+
+    def delivered_fps(
+        self, now: float, window_s: float = 10.0, media: Optional[str] = None
+    ) -> float:
+        """Frames delivered per second over the trailing window."""
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        cutoff = now - window_s
+        count = sum(
+            1
+            for t, kind in self.arrivals
+            if t > cutoff and (media is None or kind == media)
+        )
+        return count / window_s
+
+    def mean_latency_s(self) -> float:
+        """Mean source→sink frame latency."""
+        if self.delivered == 0:
+            return 0.0
+        return self.latency_sum / self.delivered
+
+    def mean_fidelity(self) -> float:
+        """Mean delivered fidelity (1.0 = lossless path)."""
+        if self.delivered == 0:
+            return 0.0
+        return self.fidelity_sum / self.delivered
+
+
+def _declared_rate(component: ServiceComponent) -> Optional[float]:
+    """The component's output frame rate, when declared."""
+    value = component.qos_output.get(RATE_PARAMETER)
+    if isinstance(value, SingleValue) and isinstance(value.value, (int, float)):
+        return float(value.value)
+    if isinstance(value, RangeValue):
+        return value.high
+    return None
+
+
+class _Stage:
+    """Runtime behaviour of one component."""
+
+    def __init__(
+        self,
+        pipeline: "MediaPipeline",
+        component: ServiceComponent,
+        is_sink: bool,
+    ) -> None:
+        self.pipeline = pipeline
+        self.component = component
+        self.is_sink = is_sink
+        self.out_rate = _declared_rate(component)
+        self.media_filter = component.attribute(MEDIA_ATTRIBUTE)
+        self.next_allowed: Dict[str, float] = {}
+        self.forwarded = 0
+        self.dropped = 0
+        # Lossy stages (transcoders) declare a fidelity attribute that
+        # degrades every frame passing through.
+        raw_fidelity = component.attribute("fidelity")
+        try:
+            self.fidelity = float(raw_fidelity) if raw_fidelity else 1.0
+        except ValueError:
+            self.fidelity = 1.0
+
+    def accepts(self, frame: Frame) -> bool:
+        return self.media_filter is None or self.media_filter == frame.media
+
+    def receive(self, frame: Frame) -> None:
+        sim = self.pipeline.sim
+        if not self.accepts(frame):
+            return
+        if self.is_sink:
+            self.pipeline.stats[self.component.component_id].record(frame, sim.now)
+            return
+        # Throttle to the declared output rate (buffer-style shaping): a
+        # token bucket with one frame of burst credit, so the long-run
+        # output rate equals the declared rate exactly even when the input
+        # rate is not an integer multiple of it.
+        if self.out_rate is not None and self.out_rate > 0:
+            gap = 1.0 / self.out_rate
+            ready_at = sim.now + self.pipeline.processing_delay_s
+            allowed_at = self.next_allowed.get(frame.media, float("-inf"))
+            if ready_at + 1e-12 < allowed_at:
+                self.dropped += 1
+                return
+            self.next_allowed[frame.media] = max(allowed_at, ready_at - gap) + gap
+        self.forwarded += 1
+        if self.fidelity < 1.0:
+            frame = frame.degraded_by(self.fidelity)
+        sim.schedule(
+            self.pipeline.processing_delay_s,
+            lambda f=frame: self.pipeline.dispatch(self.component.component_id, f),
+        )
+
+
+class MediaPipeline:
+    """Executes a deployed service graph as a frame-forwarding pipeline."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        graph: ServiceGraph,
+        assignment: Optional[Assignment] = None,
+        topology: Optional[NetworkTopology] = None,
+        processing_delay_s: float = 0.002,
+        default_frame_size_kb: float = 4.0,
+        model_link_queueing: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.graph = graph
+        self.assignment = assignment
+        self.topology = topology
+        self.processing_delay_s = processing_delay_s
+        self.default_frame_size_kb = default_frame_size_kb
+        # With queueing enabled, each device pair serialises one frame at
+        # a time: a frame departs when the link frees up, so an overloaded
+        # link builds queueing delay instead of teleporting frames.
+        self.model_link_queueing = model_link_queueing
+        self._link_free_at: Dict[Tuple[str, str], float] = {}
+        self.stats: Dict[str, SinkStats] = {}
+        self._stages: Dict[str, _Stage] = {}
+        self._frame_ids = itertools.count(1)
+        self._processes: List[Process] = []
+        sinks = set(graph.sinks())
+        for component in graph:
+            is_sink = component.component_id in sinks
+            self._stages[component.component_id] = _Stage(self, component, is_sink)
+            if is_sink:
+                self.stats[component.component_id] = SinkStats(component.component_id)
+
+    # -- running -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one producer process per graph source."""
+        for source_id in self.graph.sources():
+            component = self.graph.component(source_id)
+            rate = _declared_rate(component)
+            if rate is None or rate <= 0:
+                continue
+            media = component.attribute(MEDIA_ATTRIBUTE, "stream")
+            self._processes.append(
+                Process(
+                    self.sim,
+                    self._producer(source_id, media, rate),
+                    name=f"source:{source_id}",
+                )
+            )
+
+    def stop(self) -> None:
+        """Stop all producers."""
+        for process in self._processes:
+            process.stop()
+        self._processes.clear()
+
+    def run_for(self, duration_s: float) -> None:
+        """Convenience: start (if needed) and advance the clock."""
+        if not self._processes:
+            self.start()
+        self.sim.run_until(self.sim.now + duration_s)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _producer(self, source_id: str, media: str, rate: float) -> Iterator[float]:
+        period = 1.0 / rate
+        while True:
+            frame = Frame(
+                seq=next(self._frame_ids),
+                media=media,
+                created_at=self.sim.now,
+                source=source_id,
+            )
+            self.dispatch(source_id, frame)
+            yield period
+
+    def dispatch(self, from_component: str, frame: Frame) -> None:
+        """Send a frame to every accepting successor, with network delay."""
+        for successor in self.graph.successors(from_component):
+            stage = self._stages[successor]
+            if not stage.accepts(frame):
+                continue
+            delay = self._transit_delay_s(from_component, successor)
+            if delay <= 0:
+                stage.receive(frame)
+            else:
+                self.sim.schedule(delay, lambda s=stage, f=frame: s.receive(f))
+
+    def _transit_delay_s(self, source: str, target: str) -> float:
+        if self.assignment is None or self.topology is None:
+            return 0.0
+        src_dev = self.assignment.get(source)
+        dst_dev = self.assignment.get(target)
+        if src_dev is None or dst_dev is None or src_dev == dst_dev:
+            return 0.0
+        latency_s = self.topology.path_latency_ms(src_dev, dst_dev) / 1000.0
+        bandwidth = self.topology.pair_capacity(src_dev, dst_dev)
+        if bandwidth <= 0:
+            return latency_s
+        serialization_s = (self.default_frame_size_kb * 8.0 / 1000.0) / bandwidth
+        if not self.model_link_queueing:
+            return latency_s + serialization_s
+        pair = (src_dev, dst_dev) if src_dev <= dst_dev else (dst_dev, src_dev)
+        now = self.sim.now
+        start = max(now, self._link_free_at.get(pair, now))
+        departure = start + serialization_s
+        self._link_free_at[pair] = departure
+        return (departure - now) + latency_s
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def sink_stats(self, component_id: str) -> SinkStats:
+        """Stats of one sink (KeyError when the component is not a sink)."""
+        return self.stats[component_id]
+
+    def measured_qos(self, window_s: float = 10.0) -> Dict[str, float]:
+        """Delivered fps per sink over the trailing window — Figure 3's metric."""
+        return {
+            cid: stats.delivered_fps(self.sim.now, window_s)
+            for cid, stats in self.stats.items()
+        }
+
+    def drop_counts(self) -> Dict[str, int]:
+        """Frames dropped by throttling stages."""
+        return {
+            cid: stage.dropped
+            for cid, stage in self._stages.items()
+            if stage.dropped
+        }

@@ -1,0 +1,37 @@
+"""The five predefined service graphs of the Figure 5 workload.
+
+"Each request randomly selects a service graph from 5 predefined ones.
+Each graph has 50 to 100 nodes with on average 5 to 10 outbound edges."
+The graphs are generated once from fixed seeds, so every run of the
+experiment sees the same five applications.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.graph.generators import (
+    RandomGraphConfig,
+    figure5_config,
+    random_service_graph,
+)
+from repro.graph.service_graph import ServiceGraph
+
+FIGURE5_SEEDS = (101, 102, 103, 104, 105)
+
+
+def figure5_graphs(
+    config: Optional[RandomGraphConfig] = None,
+    seeds: tuple = FIGURE5_SEEDS,
+) -> List[ServiceGraph]:
+    """Build the five predefined application graphs."""
+    config = config or figure5_config()
+    graphs: List[ServiceGraph] = []
+    for index, seed in enumerate(seeds):
+        graphs.append(
+            random_service_graph(
+                random.Random(seed), config, name=f"fig5-app{index}"
+            )
+        )
+    return graphs

@@ -1,0 +1,141 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro table1   [--cases N]
+    python -m repro figure3
+    python -m repro figure4
+    python -m repro figure5  [--requests N] [--horizon H]
+    python -m repro ablations [--cases N]
+    python -m repro all
+
+Each subcommand prints the regenerated table/series (the same rows the
+paper reports) to stdout; ``figure4``/``figure5`` additionally render an
+ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.ablations import run_all_ablations
+from repro.experiments.figure3 import run_prototype_scenario
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.load_sweep import run_load_sweep
+from repro.experiments.table1 import run_table1
+from repro.reporting import render_overhead_bars, render_success_series
+from repro.workloads.generator import Table1Workload
+from repro.workloads.requests import figure5_trace
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    result = run_table1(Table1Workload(case_count=args.cases))
+    print(result.format_table())
+
+
+def _cmd_figure3(args: argparse.Namespace) -> None:
+    print(run_prototype_scenario().format_report())
+
+
+def _cmd_figure4(args: argparse.Namespace) -> None:
+    breakdown = run_figure4(run_prototype_scenario(measure_duration_s=5.0))
+    print(breakdown.format_table())
+    print()
+    print(render_overhead_bars(breakdown.rows, breakdown.labels))
+
+
+def _cmd_figure5(args: argparse.Namespace) -> None:
+    trace = figure5_trace(request_count=args.requests, horizon_h=args.horizon)
+    window = args.horizon / 20.0
+    result = run_figure5(trace=trace, window_h=window)
+    print(result.format_series())
+    print()
+    print(
+        render_success_series(
+            result.series["heuristic"].sample_times_h,
+            {
+                name: series.success_rates
+                for name, series in result.series.items()
+            },
+        )
+    )
+
+
+def _cmd_ablations(args: argparse.Namespace) -> None:
+    for result in run_all_ablations(case_count=args.cases):
+        print(result.format_table())
+        print()
+
+
+def _cmd_load_sweep(args: argparse.Namespace) -> None:
+    result = run_load_sweep(
+        base_requests=args.requests, horizon_h=args.horizon
+    )
+    print(result.format_table())
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    _cmd_table1(args)
+    print()
+    _cmd_figure3(args)
+    print()
+    _cmd_figure4(args)
+    print()
+    _cmd_figure5(args)
+    print()
+    _cmd_ablations(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of Gu & Nahrstedt, ICDCS 2002.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="distribution algorithm comparison")
+    table1.add_argument("--cases", type=int, default=150)
+    table1.set_defaults(handler=_cmd_table1)
+
+    figure3 = subparsers.add_parser("figure3", help="end-to-end QoS per event")
+    figure3.set_defaults(handler=_cmd_figure3)
+
+    figure4 = subparsers.add_parser("figure4", help="configuration overhead")
+    figure4.set_defaults(handler=_cmd_figure4)
+
+    figure5 = subparsers.add_parser("figure5", help="success-rate simulation")
+    figure5.add_argument("--requests", type=int, default=5000)
+    figure5.add_argument("--horizon", type=float, default=1000.0)
+    figure5.set_defaults(handler=_cmd_figure5)
+
+    ablations = subparsers.add_parser("ablations", help="design-choice ablations")
+    ablations.add_argument("--cases", type=int, default=60)
+    ablations.set_defaults(handler=_cmd_ablations)
+
+    load_sweep = subparsers.add_parser(
+        "load-sweep", help="success rate vs offered load (extension)"
+    )
+    load_sweep.add_argument("--requests", type=int, default=600)
+    load_sweep.add_argument("--horizon", type=float, default=120.0)
+    load_sweep.set_defaults(handler=_cmd_load_sweep)
+
+    everything = subparsers.add_parser("all", help="run every experiment")
+    everything.add_argument("--cases", type=int, default=150)
+    everything.add_argument("--requests", type=int, default=5000)
+    everything.add_argument("--horizon", type=float, default=1000.0)
+    everything.set_defaults(handler=_cmd_all)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Service composition tier (Section 3.2).
+
+The service composer turns an abstract service graph into a QoS-consistent
+concrete service graph in four steps: acquire the abstract graph, discover
+service instances, check QoS consistencies and coordinate interactions via
+the Ordered Coordination (OC) algorithm, and hand the consistent graph to
+the distribution tier.
+"""
+
+from repro.composition.ordered_coordination import (
+    ConsistencyIssue,
+    CorrectionAction,
+    OCReport,
+    ordered_coordination,
+)
+from repro.composition.corrections import CorrectionPolicy
+from repro.composition.recursion import DecompositionRegistry
+from repro.composition.composer import (
+    CompositionRequest,
+    CompositionResult,
+    ServiceComposer,
+)
+
+__all__ = [
+    "ConsistencyIssue",
+    "CorrectionAction",
+    "OCReport",
+    "ordered_coordination",
+    "CorrectionPolicy",
+    "DecompositionRegistry",
+    "CompositionRequest",
+    "CompositionResult",
+    "ServiceComposer",
+]

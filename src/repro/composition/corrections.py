@@ -1,0 +1,301 @@
+"""Automatic correction of QoS inconsistencies (Section 3.2, Figure 1d).
+
+Three correction mechanisms, tried in order for each violated dimension:
+
+1. **Adjust the predecessor's output.** "If components' output QoS
+   parameters can be dynamically configured, we can adjust the output QoS
+   of the current node's predecessor to make it satisfy the input QoS
+   requirements of the current node. Then the input QoS requirements of
+   the predecessor need to be adjusted accordingly and so on." A parameter
+   is adjustable when the component declares it so and its capability
+   envelope overlaps the requirement; the chosen value is the best point
+   of the overlap, and pass-through parameters propagate the new value to
+   the component's own input requirement (the upstream ripple is completed
+   by the OC walk, which visits predecessors later).
+
+2. **Insert a transcoder** for type (format) mismatches, looked up in the
+   transcoder catalog — possibly a chain (e.g. MPEG→WAV via an
+   intermediate format).
+
+3. **Insert a buffer** to alleviate performance (rate) mismatches: a
+   buffer can smooth and down-throttle a too-fast stream, but cannot
+   conjure a faster one, so only over-delivery is correctable.
+
+Anything else is reported unresolved — "in the general case, developers
+should decide how to correct QoS inconsistencies."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.composition.ordered_coordination import ConsistencyIssue, CorrectionAction
+from repro.graph.service_graph import ServiceComponent, ServiceGraph
+from repro.qos.parameters import (
+    Preference,
+    QoSValue,
+    RangeValue,
+    SetValue,
+    SingleValue,
+    intersection,
+    pick_best,
+)
+from repro.qos.translation import Transcoding, TranscoderCatalog
+from repro.qos.vectors import QoSVector
+from repro.resources.vectors import ResourceVector
+
+
+class CorrectionPolicy:
+    """Decides and applies automatic corrections on a service graph.
+
+    - ``catalog`` — the transcoder knowledge base (defaults to an empty
+      catalog, disabling transcoder insertion);
+    - ``preferences`` — per-parameter quality direction for choosing the
+      best feasible value (default: higher is better);
+    - ``format_parameters`` — parameter names treated as media types,
+      eligible for transcoder insertion;
+    - ``rate_parameters`` — numeric stream-rate names eligible for buffer
+      insertion;
+    - ``allow_*`` switches — for the ablation study of correction
+      mechanisms.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[TranscoderCatalog] = None,
+        preferences: Optional[Mapping[str, Preference]] = None,
+        format_parameters: Sequence[str] = ("format",),
+        rate_parameters: Sequence[str] = ("frame_rate", "sample_rate", "bit_rate"),
+        allow_adjust: bool = True,
+        allow_transcoder: bool = True,
+        allow_buffer: bool = True,
+        buffer_resources: Optional[ResourceVector] = None,
+    ) -> None:
+        self.catalog = catalog or TranscoderCatalog()
+        self.preferences = dict(preferences or {})
+        self.format_parameters = tuple(format_parameters)
+        self.rate_parameters = tuple(rate_parameters)
+        self.allow_adjust = allow_adjust
+        self.allow_transcoder = allow_transcoder
+        self.allow_buffer = allow_buffer
+        self.buffer_resources = buffer_resources or ResourceVector(memory=4.0, cpu=0.02)
+        self._insert_ids = itertools.count(1)
+
+    # -- entry point -----------------------------------------------------------
+
+    def correct(
+        self,
+        graph: ServiceGraph,
+        predecessor: str,
+        node: str,
+        issues: List[ConsistencyIssue],
+    ) -> Tuple[List[CorrectionAction], List[ConsistencyIssue]]:
+        """Try to fix each issue on one edge; mutate the graph accordingly.
+
+        Returns (applied actions, still-unresolved issues). Structural
+        insertions redirect the edge, so at most one insertion happens per
+        call; remaining issues are retried on the next OC pass against the
+        new topology.
+        """
+        actions: List[CorrectionAction] = []
+        unresolved: List[ConsistencyIssue] = []
+        for issue in issues:
+            if not graph.has_edge(predecessor, node):
+                # An earlier insertion in this call rewired the edge; let
+                # the next OC pass re-examine what remains.
+                continue
+            action = self._correct_one(graph, issue)
+            if action is None:
+                unresolved.append(issue)
+            else:
+                actions.append(action)
+        return actions, unresolved
+
+    # -- mechanisms --------------------------------------------------------------
+
+    def _correct_one(
+        self, graph: ServiceGraph, issue: ConsistencyIssue
+    ) -> Optional[CorrectionAction]:
+        if self.allow_adjust:
+            action = self._try_adjust_output(graph, issue)
+            if action is not None:
+                return action
+        if self.allow_transcoder and issue.parameter in self.format_parameters:
+            action = self._try_insert_transcoder(graph, issue)
+            if action is not None:
+                return action
+        if self.allow_buffer and issue.parameter in self.rate_parameters:
+            action = self._try_insert_buffer(graph, issue)
+            if action is not None:
+                return action
+        return None
+
+    def _preference(self, parameter: str) -> Preference:
+        return self.preferences.get(parameter, Preference.HIGHER)
+
+    def _try_adjust_output(
+        self, graph: ServiceGraph, issue: ConsistencyIssue
+    ) -> Optional[CorrectionAction]:
+        component = graph.component(issue.predecessor)
+        if issue.parameter not in component.adjustable_outputs:
+            return None
+        envelope = component.output_capabilities.get(issue.parameter)
+        if envelope is None:
+            return None
+        # The output feeds *every* successor: adjust only within the joint
+        # feasibility of all their requirements for this parameter, or the
+        # fix for one edge would break another (and oscillate forever).
+        feasible = intersection(envelope, issue.required)
+        if feasible is None:
+            return None
+        for successor in graph.successors(issue.predecessor):
+            if successor == issue.node:
+                continue
+            sibling_requirement = graph.component(successor).qos_input.get(
+                issue.parameter
+            )
+            if sibling_requirement is None:
+                continue
+            feasible = intersection(feasible, sibling_requirement)
+            if feasible is None:
+                return None
+        chosen = pick_best(feasible, self._preference(issue.parameter))
+        new_output = component.qos_output.replace(**{issue.parameter: chosen})
+        new_input = component.qos_input
+        if issue.parameter in component.passthrough:
+            new_input = new_input.replace(**{issue.parameter: chosen})
+        graph.update_component(
+            component.with_qos(qos_input=new_input, qos_output=new_output)
+        )
+        return CorrectionAction(
+            kind="adjust_output",
+            predecessor=issue.predecessor,
+            node=issue.node,
+            parameter=issue.parameter,
+            detail=f"set to {chosen.value!r}",
+        )
+
+    def _try_insert_transcoder(
+        self, graph: ServiceGraph, issue: ConsistencyIssue
+    ) -> Optional[CorrectionAction]:
+        offered = issue.offered
+        if not isinstance(offered, SingleValue) or not isinstance(offered.value, str):
+            return None
+        source_format = offered.value
+        chain: Optional[List[Transcoding]] = None
+        target_format: Optional[str] = None
+        for candidate in self._required_formats(issue.required):
+            candidate_chain = self.catalog.find_chain(source_format, candidate)
+            if candidate_chain is not None and (
+                chain is None or len(candidate_chain) < len(chain)
+            ):
+                chain = candidate_chain
+                target_format = candidate
+        if chain is None or target_format is None or not chain:
+            return None
+        inserted_names: List[str] = []
+        upstream = issue.predecessor
+        upstream_out = graph.component(issue.predecessor).qos_output
+        for hop in chain:
+            transcoder = self._build_transcoder(hop, upstream_out)
+            graph.insert_between(upstream, issue.node, transcoder)
+            inserted_names.append(transcoder.component_id)
+            upstream = transcoder.component_id
+            upstream_out = transcoder.qos_output
+        return CorrectionAction(
+            kind="insert_transcoder",
+            predecessor=issue.predecessor,
+            node=issue.node,
+            parameter=issue.parameter,
+            detail=f"{source_format} -> {target_format} via {len(chain)} hop(s)",
+            inserted_component=inserted_names[-1],
+        )
+
+    @staticmethod
+    def _required_formats(required: QoSValue) -> List[str]:
+        """Concrete format names admitted by the requirement, sorted."""
+        if isinstance(required, SingleValue) and isinstance(required.value, str):
+            return [required.value]
+        if isinstance(required, SetValue):
+            return sorted(v for v in required.options if isinstance(v, str))
+        return []
+
+    def _build_transcoder(
+        self, transcoding: Transcoding, upstream_output
+    ) -> ServiceComponent:
+        """A transcoder accepts the upstream's stream and re-types it.
+
+        All non-format output parameters pass through from the upstream
+        component, so rate/resolution consistency downstream is preserved
+        (modulo the transcoding's fidelity, which the media pipeline
+        accounts for separately).
+        """
+        component_id = f"transcoder/{transcoding.display_name}#{next(self._insert_ids)}"
+        return ServiceComponent(
+            component_id=component_id,
+            service_type=transcoding.display_name,
+            qos_input=QoSVector(format=SingleValue(transcoding.source_format)),
+            qos_output=upstream_output.replace(
+                format=SingleValue(transcoding.target_format)
+            ),
+            resources=ResourceVector(dict(transcoding.resource_cost)),
+            attributes=(("fidelity", str(transcoding.fidelity)),),
+        )
+
+    def _try_insert_buffer(
+        self, graph: ServiceGraph, issue: ConsistencyIssue
+    ) -> Optional[CorrectionAction]:
+        offered = issue.offered
+        required = issue.required
+        offered_rate = self._numeric_upper(offered)
+        if offered_rate is None:
+            return None
+        target = self._admitted_rate(required, offered_rate)
+        if target is None:
+            return None
+        component_id = f"buffer/{issue.parameter}#{next(self._insert_ids)}"
+        upstream_out = graph.component(issue.predecessor).qos_output
+        qos_input = QoSVector() if offered is None else QoSVector({issue.parameter: offered})
+        buffer_component = ServiceComponent(
+            component_id=component_id,
+            service_type="buffer",
+            qos_input=qos_input,
+            qos_output=upstream_out.replace(**{issue.parameter: SingleValue(target)}),
+            resources=self.buffer_resources,
+        )
+        graph.insert_between(issue.predecessor, issue.node, buffer_component)
+        return CorrectionAction(
+            kind="insert_buffer",
+            predecessor=issue.predecessor,
+            node=issue.node,
+            parameter=issue.parameter,
+            detail=f"throttle {offered_rate:g} -> {target:g}",
+            inserted_component=component_id,
+        )
+
+    @staticmethod
+    def _numeric_upper(value: Optional[QoSValue]) -> Optional[float]:
+        if isinstance(value, SingleValue) and isinstance(value.value, (int, float)):
+            return float(value.value)
+        if isinstance(value, RangeValue):
+            return value.high
+        return None
+
+    @staticmethod
+    def _admitted_rate(required: QoSValue, offered_rate: float) -> Optional[float]:
+        """The rate a buffer should shape to, or None when buffering can't help.
+
+        A buffer only slows streams down: correction is possible when the
+        offered rate is at or above the requirement's admissible region, in
+        which case the stream is throttled to the region's top.
+        """
+        if isinstance(required, RangeValue):
+            if offered_rate >= required.low:
+                return min(offered_rate, required.high)
+            return None
+        if isinstance(required, SingleValue) and isinstance(
+            required.value, (int, float)
+        ):
+            return float(required.value) if offered_rate >= required.value else None
+        return None

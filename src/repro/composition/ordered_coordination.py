@@ -1,0 +1,180 @@
+"""The Ordered Coordination (OC) algorithm (Section 3.2, Figure 1).
+
+The algorithm performs the QoS consistency check and automatic correction
+on an instantiated service graph:
+
+1. topologically sort the graph;
+2. walk the nodes in *reverse* topological order — the first examined nodes
+   are the last in topological order, i.e. the client-side services whose
+   output corresponds to the user's QoS requirements, which is why those
+   are preserved — and check, for each node, the "satisfy" relation between
+   each predecessor's output QoS and the node's input QoS;
+3. on an inconsistency, apply automatic corrections: adjust an adjustable
+   predecessor output (propagating the adjustment to the predecessor's
+   input requirements and so on upstream), insert a transcoder for type
+   mismatches, or insert a buffer for performance mismatches.
+
+The paper's complexity claim O(V+E) holds per pass. Corrections that
+*insert* components (transcoders, buffers) change the topology mid-walk, so
+this implementation iterates passes to a fixpoint — inserted adapters are
+consistent by construction, so in practice the second pass only verifies
+and the loop terminates after at most a handful of passes (bounded by
+``max_passes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.graph.service_graph import ServiceGraph
+from repro.qos.parameters import QoSValue
+from repro.qos.vectors import consistency_gaps
+
+
+@dataclass(frozen=True)
+class ConsistencyIssue:
+    """One violated QoS dimension on one edge.
+
+    ``offered`` is ``None`` when the predecessor's output lacks the
+    parameter entirely.
+    """
+
+    predecessor: str
+    node: str
+    parameter: str
+    offered: Optional[QoSValue]
+    required: QoSValue
+
+    def describe(self) -> str:
+        return (
+            f"{self.predecessor} -> {self.node}: {self.parameter} "
+            f"offers {self.offered!r}, requires {self.required!r}"
+        )
+
+
+@dataclass(frozen=True)
+class CorrectionAction:
+    """One automatic correction applied by the OC algorithm.
+
+    ``kind`` is one of ``"adjust_output"``, ``"insert_transcoder"``,
+    ``"insert_buffer"``; ``inserted_component`` names the spliced-in adapter
+    for the insertion kinds.
+    """
+
+    kind: str
+    predecessor: str
+    node: str
+    parameter: str
+    detail: str = ""
+    inserted_component: Optional[str] = None
+
+
+@dataclass
+class OCReport:
+    """Outcome of one ordered-coordination run.
+
+    ``consistent`` is True when the final graph passes every edge check.
+    ``issues`` are all inconsistencies observed (including ones later
+    corrected); ``unresolved`` are the ones no correction could fix;
+    ``corrections`` the applied fixes; ``checked_edges`` counts satisfy-
+    relation evaluations (the O(V+E) work measure); ``passes`` the number
+    of reverse-topological sweeps until fixpoint.
+    """
+
+    consistent: bool = True
+    checked_edges: int = 0
+    passes: int = 0
+    issues: List[ConsistencyIssue] = field(default_factory=list)
+    unresolved: List[ConsistencyIssue] = field(default_factory=list)
+    corrections: List[CorrectionAction] = field(default_factory=list)
+
+    def merged(self, other: "OCReport") -> "OCReport":
+        """Fold another report into this one (used across passes)."""
+        return OCReport(
+            consistent=other.consistent,
+            checked_edges=self.checked_edges + other.checked_edges,
+            passes=self.passes + other.passes,
+            issues=self.issues + other.issues,
+            unresolved=other.unresolved,
+            corrections=self.corrections + other.corrections,
+        )
+
+
+def check_edge(graph: ServiceGraph, predecessor: str, node: str) -> List[ConsistencyIssue]:
+    """Evaluate the satisfy relation on one edge; list violated dimensions."""
+    pred_out = graph.component(predecessor).qos_output
+    node_in = graph.component(node).qos_input
+    return [
+        ConsistencyIssue(predecessor, node, name, offered, required)
+        for name, offered, required in consistency_gaps(pred_out, node_in)
+    ]
+
+
+def consistency_sweep(graph: ServiceGraph) -> Tuple[List[ConsistencyIssue], int]:
+    """One reverse-topological check of every edge; no corrections.
+
+    Returns the issues found and the number of edge checks performed.
+    """
+    issues: List[ConsistencyIssue] = []
+    checked = 0
+    for node in reversed(graph.topological_order()):
+        for predecessor in graph.predecessors(node):
+            checked += 1
+            issues.extend(check_edge(graph, predecessor, node))
+    return issues, checked
+
+
+def ordered_coordination(
+    graph: ServiceGraph,
+    policy: Optional["CorrectionPolicy"] = None,
+    max_passes: int = 8,
+) -> OCReport:
+    """Run the OC algorithm, mutating ``graph`` in place.
+
+    With ``policy=None`` no corrections are attempted and the report is a
+    pure consistency check. Otherwise the policy is asked to fix each
+    inconsistency the moment it is observed; structural insertions trigger
+    another pass until a pass applies no correction (fixpoint).
+    """
+    if max_passes < 1:
+        raise ValueError("max_passes must be at least 1")
+    report = OCReport(consistent=True)
+    converged = False
+    for _pass in range(max_passes):
+        pass_report = _single_pass(graph, policy)
+        report = report.merged(pass_report)
+        if not pass_report.corrections:
+            converged = True
+            break
+    if not converged:
+        # The pass budget ran out while corrections were still being
+        # applied (e.g. two successors pulling an adjustable output in
+        # opposite directions). The last pass's view of the graph is
+        # stale, so verify the final state with a pure sweep.
+        issues, checked = consistency_sweep(graph)
+        report.checked_edges += checked
+        report.unresolved = issues
+        report.consistent = not issues
+    return report
+
+
+def _single_pass(graph: ServiceGraph, policy: Optional["CorrectionPolicy"]) -> OCReport:
+    report = OCReport(passes=1)
+    for node in reversed(graph.topological_order()):
+        if node not in graph:
+            continue  # defensive: policy removed it
+        for predecessor in graph.predecessors(node):
+            report.checked_edges += 1
+            issues = check_edge(graph, predecessor, node)
+            if not issues:
+                continue
+            report.issues.extend(issues)
+            if policy is None:
+                report.unresolved.extend(issues)
+                continue
+            actions, remaining = policy.correct(graph, predecessor, node, issues)
+            report.corrections.extend(actions)
+            report.unresolved.extend(remaining)
+    report.consistent = not report.unresolved
+    return report

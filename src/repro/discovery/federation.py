@@ -1,0 +1,77 @@
+"""Hierarchical (federated) service discovery.
+
+The smart space is structured hierarchically; a domain that cannot satisfy
+a lookup locally should consult its parent domain (an office defers to the
+building, the building to the campus). The
+:class:`FederatedDiscoveryService` implements that chain-of-responsibility
+over ordinary :class:`~repro.discovery.service.DiscoveryService` instances:
+local results win outright, remoter tiers are only consulted on a local
+miss.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.discovery.matching import DiscoveryContext
+from repro.discovery.registry import ServiceDescription
+from repro.discovery.service import DiscoveryResult, DiscoveryService
+from repro.graph.abstract import AbstractComponentSpec
+
+
+class FederatedDiscoveryService:
+    """Chains discovery services from most-local to most-global.
+
+    Exposes the same interface the composer consumes (``discover``,
+    ``discover_all``, ``query_count``), so it can be dropped into a
+    :class:`~repro.composition.composer.ServiceComposer` unchanged.
+    """
+
+    def __init__(self, tiers: Sequence[DiscoveryService]) -> None:
+        if not tiers:
+            raise ValueError("federation needs at least one discovery tier")
+        self.tiers: List[DiscoveryService] = list(tiers)
+        self._escalations = 0
+
+    @property
+    def local(self) -> DiscoveryService:
+        """The most-local tier."""
+        return self.tiers[0]
+
+    @property
+    def query_count(self) -> int:
+        """Total lookups across all tiers (the composer's overhead metric)."""
+        return sum(tier.query_count for tier in self.tiers)
+
+    @property
+    def escalations(self) -> int:
+        """How many lookups had to leave the local tier."""
+        return self._escalations
+
+    def discover(
+        self,
+        spec: AbstractComponentSpec,
+        context: Optional[DiscoveryContext] = None,
+    ) -> Optional[ServiceDescription]:
+        """First tier with any admissible candidate wins."""
+        for index, tier in enumerate(self.tiers):
+            found = tier.discover(spec, context)
+            if found is not None:
+                if index > 0:
+                    self._escalations += 1
+                return found
+        return None
+
+    def discover_all(
+        self,
+        spec: AbstractComponentSpec,
+        context: Optional[DiscoveryContext] = None,
+    ) -> List[DiscoveryResult]:
+        """All candidates from the first tier that has any."""
+        for index, tier in enumerate(self.tiers):
+            results = tier.discover_all(spec, context)
+            if results:
+                if index > 0:
+                    self._escalations += 1
+                return results
+        return []

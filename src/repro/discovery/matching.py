@@ -1,0 +1,165 @@
+"""Closest-match scoring of service descriptions against abstract specs.
+
+The discovery service returns "the one closest to the service's abstract
+descriptions", also taking into account "the user's QoS requirements and
+properties of the client device (e.g., screen size, computing capability)"
+(Section 3.2). Matching therefore has a hard part (service type and
+platform compatibility) and a soft part (a weighted score over attribute
+agreement, QoS capability, and locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.discovery.registry import ServiceDescription
+from repro.graph.abstract import AbstractComponentSpec
+from repro.qos.vectors import QoSVector, unsatisfied_parameters
+
+
+@dataclass(frozen=True)
+class DiscoveryContext:
+    """Runtime context the matcher folds into its score.
+
+    - ``client_device_id`` / ``client_device_class`` — the portal device;
+      descriptions pinned by the spec to the client must be able to run on
+      this device class;
+    - ``user_qos`` — the user's end-to-end QoS request, scored against the
+      description's output capability;
+    - ``preferred_devices`` — devices whose hosted services get the
+      locality bonus (typically the devices currently in the user's domain).
+    """
+
+    client_device_id: Optional[str] = None
+    client_device_class: Optional[str] = None
+    user_qos: QoSVector = QoSVector()
+    preferred_devices: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MatchWeights:
+    """Relative weights of the soft scoring terms; must sum to 1."""
+
+    attributes: float = 0.4
+    qos: float = 0.4
+    locality: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = self.attributes + self.qos + self.locality
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"match weights must sum to 1, got {total}")
+        if min(self.attributes, self.qos, self.locality) < 0:
+            raise ValueError("match weights must be non-negative")
+
+
+class MatchScorer:
+    """Scores one (description, spec) pair in [0, 1]; None on a hard mismatch.
+
+    Hard constraints:
+
+    - the service types must be equal;
+    - when the spec pins the component to the client role, the description
+      must support the client's device class (and, if hosted, be hosted on
+      the client device itself).
+
+    Soft score = weighted sum of
+
+    - *attribute agreement*: fraction of the spec's desired attributes the
+      description advertises with an equal value;
+    - *QoS capability*: fraction of the spec's required output parameters
+      (merged with the user's request for the pinned client service) that
+      the template's output QoS or capability envelope can satisfy;
+    - *locality*: 1.0 for services hosted on a preferred device, 0.5 for
+      repository services (downloadable anywhere), 0.0 otherwise.
+    """
+
+    def __init__(self, weights: Optional[MatchWeights] = None) -> None:
+        self.weights = weights or MatchWeights()
+
+    def score(
+        self,
+        description: ServiceDescription,
+        spec: AbstractComponentSpec,
+        context: Optional[DiscoveryContext] = None,
+    ) -> Optional[float]:
+        """Return the match score, or None when hard constraints fail."""
+        context = context or DiscoveryContext()
+        if description.service_type != spec.service_type:
+            return None
+        pinned_to_client = spec.pin is not None and spec.pin.role == "client"
+        if pinned_to_client:
+            if (
+                context.client_device_class is not None
+                and not description.supports_platform(context.client_device_class)
+            ):
+                return None
+            if (
+                description.hosted_on is not None
+                and context.client_device_id is not None
+                and description.hosted_on != context.client_device_id
+            ):
+                return None
+        attr_score = self._attribute_score(description, spec)
+        qos_score = self._qos_score(description, spec, context, pinned_to_client)
+        locality_score = self._locality_score(description, context)
+        return (
+            self.weights.attributes * attr_score
+            + self.weights.qos * qos_score
+            + self.weights.locality * locality_score
+        )
+
+    def _attribute_score(
+        self, description: ServiceDescription, spec: AbstractComponentSpec
+    ) -> float:
+        if not spec.attributes:
+            return 1.0
+        matched = sum(
+            1
+            for name, wanted in spec.attributes
+            if description.attribute(name) == wanted
+        )
+        return matched / len(spec.attributes)
+
+    def _qos_score(
+        self,
+        description: ServiceDescription,
+        spec: AbstractComponentSpec,
+        context: DiscoveryContext,
+        pinned_to_client: bool,
+    ) -> float:
+        requirement = spec.required_output
+        if pinned_to_client and len(context.user_qos):
+            requirement = requirement.merge(context.user_qos)
+        if not len(requirement):
+            return 1.0
+        template = description.component_template
+        # A parameter is satisfiable when the declared output meets it, or
+        # when it is adjustable and the capability envelope admits a value
+        # inside the requirement.
+        offered = template.qos_output.merge(template.output_capabilities)
+        violated = unsatisfied_parameters(offered, requirement)
+        satisfiable = len(requirement) - len(violated)
+        # Capability envelopes wider than the requirement count as
+        # satisfiable too (the composer will tune them): re-check violations
+        # allowing overlap instead of containment.
+        from repro.qos.parameters import intersection
+
+        for name in violated:
+            capability = template.output_capabilities.get(name)
+            if capability is not None and intersection(
+                capability, requirement[name]
+            ) is not None:
+                satisfiable += 1
+        return satisfiable / len(requirement)
+
+    def _locality_score(
+        self, description: ServiceDescription, context: DiscoveryContext
+    ) -> float:
+        if description.hosted_on is None:
+            return 0.5
+        if description.hosted_on in context.preferred_devices:
+            return 1.0
+        if description.hosted_on == context.client_device_id:
+            return 1.0
+        return 0.0

@@ -1,0 +1,202 @@
+"""Registry of concrete service descriptions.
+
+Every service instance available in the current environment is advertised
+as a :class:`ServiceDescription`: its type, free-form attributes, the
+component template it instantiates to, and where it is hosted. Descriptions
+are "more detailed and specific . . . than their abstract descriptions"
+(Section 3.2) — notably resource and platform requirements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.events.bus import EventBus
+from repro.events.types import Topics
+from repro.graph.service_graph import ServiceComponent
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """An advertised, discoverable service instance.
+
+    - ``service_type`` — the category matched against abstract specs;
+    - ``provider_id`` — unique advertisement id within a registry;
+    - ``attributes`` — concrete attribute values (format, codec, vendor, ...)
+      scored against the abstract spec's desired attributes;
+    - ``component_template`` — the prototype :class:`ServiceComponent`
+      cloned (with a fresh id) when the composer instantiates this service;
+    - ``hosted_on`` — the device currently able to run the instance, or
+      ``None`` when the component lives in the repository and can be
+      downloaded anywhere;
+    - ``platforms`` — device classes able to run the component (empty set =
+      any platform).
+    """
+
+    service_type: str
+    provider_id: str
+    component_template: ServiceComponent
+    attributes: Tuple[Tuple[str, str], ...] = ()
+    hosted_on: Optional[str] = None
+    platforms: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.service_type:
+            raise ValueError("service_type must be non-empty")
+        if not self.provider_id:
+            raise ValueError("provider_id must be non-empty")
+
+    def attribute(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Look up an advertised attribute by name."""
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+    def supports_platform(self, device_class: str) -> bool:
+        """True when the component can run on the given device class."""
+        return not self.platforms or device_class in self.platforms
+
+    def instantiate(self, component_id: str) -> ServiceComponent:
+        """Clone the template into a concrete component for a service graph."""
+        return self.component_template.renamed(component_id)
+
+
+class ServiceRegistry:
+    """In-memory directory of service descriptions, indexed by type.
+
+    Optionally wired to an :class:`~repro.events.EventBus` so registrations
+    show up on the ``service.*`` topics — the trigger for opportunistic
+    re-composition when better services appear.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self._by_provider: Dict[str, ServiceDescription] = {}
+        self._by_type: Dict[str, List[str]] = {}
+        self._leases: Dict[str, float] = {}
+        self._bus = bus
+        self._auto_ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._by_provider)
+
+    def __iter__(self) -> Iterator[ServiceDescription]:
+        return iter(list(self._by_provider.values()))
+
+    def __contains__(self, provider_id: str) -> bool:
+        return provider_id in self._by_provider
+
+    def register(
+        self,
+        description: ServiceDescription,
+        timestamp: float = 0.0,
+        lease_s: Optional[float] = None,
+    ) -> None:
+        """Advertise a service; raises on duplicate provider ids.
+
+        With ``lease_s`` given, the advertisement expires ``lease_s``
+        seconds after ``timestamp`` unless renewed — the soft-state
+        announcement style of ubiquitous discovery services, which lets
+        the directory self-clean when devices vanish without a goodbye.
+        """
+        if description.provider_id in self._by_provider:
+            raise ValueError(f"duplicate provider id {description.provider_id!r}")
+        self._by_provider[description.provider_id] = description
+        self._by_type.setdefault(description.service_type, []).append(
+            description.provider_id
+        )
+        if lease_s is not None:
+            if lease_s <= 0:
+                raise ValueError("lease must be positive")
+            self._leases[description.provider_id] = timestamp + lease_s
+        if self._bus is not None:
+            self._bus.emit(
+                Topics.SERVICE_REGISTERED,
+                timestamp=timestamp,
+                source="registry",
+                provider_id=description.provider_id,
+                service_type=description.service_type,
+            )
+
+    def unregister(self, provider_id: str, timestamp: float = 0.0) -> None:
+        """Withdraw an advertisement (KeyError when unknown)."""
+        description = self._by_provider.pop(provider_id)
+        self._by_type[description.service_type].remove(provider_id)
+        if not self._by_type[description.service_type]:
+            del self._by_type[description.service_type]
+        self._leases.pop(provider_id, None)
+        if self._bus is not None:
+            self._bus.emit(
+                Topics.SERVICE_UNREGISTERED,
+                timestamp=timestamp,
+                source="registry",
+                provider_id=provider_id,
+                service_type=description.service_type,
+            )
+
+    def unregister_device(self, device_id: str, timestamp: float = 0.0) -> List[str]:
+        """Withdraw every advertisement hosted on a departed device.
+
+        Returns the withdrawn provider ids. Repository-hosted services
+        (``hosted_on is None``) are unaffected.
+        """
+        withdrawn = [
+            pid
+            for pid, desc in self._by_provider.items()
+            if desc.hosted_on == device_id
+        ]
+        for pid in withdrawn:
+            self.unregister(pid, timestamp=timestamp)
+        return withdrawn
+
+    def lookup(self, service_type: str) -> List[ServiceDescription]:
+        """Return all advertisements of a service type, in registration order."""
+        return [
+            self._by_provider[pid] for pid in self._by_type.get(service_type, [])
+        ]
+
+    def get(self, provider_id: str) -> Optional[ServiceDescription]:
+        """Return one advertisement by provider id, or None."""
+        return self._by_provider.get(provider_id)
+
+    def service_types(self) -> List[str]:
+        """Return the advertised service types, sorted."""
+        return sorted(self._by_type)
+
+    def next_provider_id(self, service_type: str) -> str:
+        """Generate a fresh provider id for convenience registrations."""
+        return f"{service_type}#{next(self._auto_ids)}"
+
+    # -- leases -----------------------------------------------------------------
+
+    def renew_lease(
+        self, provider_id: str, timestamp: float, lease_s: float
+    ) -> None:
+        """Extend a leased advertisement (KeyError when unknown)."""
+        if provider_id not in self._by_provider:
+            raise KeyError(provider_id)
+        if lease_s <= 0:
+            raise ValueError("lease must be positive")
+        self._leases[provider_id] = timestamp + lease_s
+
+    def lease_expiry(self, provider_id: str) -> Optional[float]:
+        """When a leased ad expires (None for permanent registrations)."""
+        return self._leases.get(provider_id)
+
+    def expire_leases(self, now: float) -> List[str]:
+        """Withdraw every advertisement whose lease has lapsed.
+
+        Returns the withdrawn provider ids; typically driven periodically,
+        e.g. by a :class:`~repro.profiling.daemon.MonitorDaemon`-style
+        process on the simulation clock.
+        """
+        lapsed = [
+            provider_id
+            for provider_id, expiry in self._leases.items()
+            if expiry <= now
+        ]
+        for provider_id in lapsed:
+            self.unregister(provider_id, timestamp=now)
+        return lapsed

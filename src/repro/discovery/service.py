@@ -1,0 +1,78 @@
+"""The discovery service facade used by the service composer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.discovery.matching import DiscoveryContext, MatchScorer
+from repro.discovery.registry import ServiceDescription, ServiceRegistry
+from repro.graph.abstract import AbstractComponentSpec
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """One scored candidate returned by the discovery service."""
+
+    description: ServiceDescription
+    score: float
+
+
+class DiscoveryService:
+    """Finds the service instances closest to abstract descriptions.
+
+    Wraps a :class:`ServiceRegistry` with a :class:`MatchScorer`.
+    ``discover`` returns the single best candidate (or ``None`` — "it is
+    possible that no discovered component is returned for a particular
+    service"); ``discover_all`` returns every admissible candidate ranked
+    best-first, which the composer's recursive fallback and the examples
+    use.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        scorer: Optional[MatchScorer] = None,
+        minimum_score: float = 0.0,
+    ) -> None:
+        if not 0.0 <= minimum_score <= 1.0:
+            raise ValueError("minimum_score must lie in [0, 1]")
+        self.registry = registry
+        self.scorer = scorer or MatchScorer()
+        self.minimum_score = minimum_score
+        self._query_count = 0
+
+    @property
+    def query_count(self) -> int:
+        """Number of discover/discover_all calls served (for overhead stats)."""
+        return self._query_count
+
+    def discover(
+        self,
+        spec: AbstractComponentSpec,
+        context: Optional[DiscoveryContext] = None,
+    ) -> Optional[ServiceDescription]:
+        """Return the closest matching description, or None when none match."""
+        ranked = self.discover_all(spec, context)
+        if not ranked:
+            return None
+        return ranked[0].description
+
+    def discover_all(
+        self,
+        spec: AbstractComponentSpec,
+        context: Optional[DiscoveryContext] = None,
+    ) -> List[DiscoveryResult]:
+        """Return all admissible candidates, best score first.
+
+        Ties are broken by provider id so rankings are deterministic.
+        """
+        self._query_count += 1
+        results: List[DiscoveryResult] = []
+        for description in self.registry.lookup(spec.service_type):
+            score = self.scorer.score(description, spec, context)
+            if score is None or score < self.minimum_score:
+                continue
+            results.append(DiscoveryResult(description, score))
+        results.sort(key=lambda r: (-r.score, r.description.provider_id))
+        return results

@@ -1,0 +1,156 @@
+"""Distribution strategy interface and the service distributor facade."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.distribution.cost import CostWeights, cost_aggregation
+from repro.distribution.fit import (
+    CandidateDevice,
+    DistributionEnvironment,
+    FitViolation,
+    fit_violations,
+)
+from repro.graph.cuts import Assignment
+from repro.graph.service_graph import ServiceGraph
+
+
+@dataclass(frozen=True)
+class DistributionResult:
+    """Outcome of one distribution attempt.
+
+    ``feasible`` means the assignment satisfies Definition 3.4; an
+    infeasible result still carries the best assignment the strategy could
+    produce (useful for diagnostics) together with its violations.
+    ``evaluations`` counts candidate (partial) assignments examined, the
+    search-effort metric reported by the benchmark harness.
+    """
+
+    strategy: str
+    assignment: Optional[Assignment]
+    feasible: bool
+    cost: float
+    evaluations: int = 0
+    violations: Tuple[FitViolation, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.feasible and self.assignment is None:
+            raise ValueError("a feasible result must carry an assignment")
+
+
+class DistributionStrategy(ABC):
+    """Interface of the k-cut search algorithms.
+
+    Strategies read placement pins from the graph's components
+    (``ServiceComponent.pinned_to``) and must honour them.
+    """
+
+    name: str = "strategy"
+
+    @abstractmethod
+    def distribute(
+        self,
+        graph: ServiceGraph,
+        environment: DistributionEnvironment,
+        weights: Optional[CostWeights] = None,
+    ) -> DistributionResult:
+        """Search for a k-cut of ``graph`` over the environment's devices."""
+
+    def _finalize(
+        self,
+        graph: ServiceGraph,
+        placements: Optional[Dict[str, str]],
+        environment: DistributionEnvironment,
+        weights: CostWeights,
+        evaluations: int,
+    ) -> DistributionResult:
+        """Package a placement dict into a checked result."""
+        if placements is None or len(placements) != len(graph):
+            return DistributionResult(
+                strategy=self.name,
+                assignment=Assignment(placements or {}),
+                feasible=False,
+                cost=float("inf"),
+                evaluations=evaluations,
+                violations=(FitViolation("placement", "*", "incomplete"),),
+            )
+        assignment = Assignment(placements)
+        violations = tuple(fit_violations(graph, assignment, environment))
+        cost = cost_aggregation(graph, assignment, environment, weights)
+        return DistributionResult(
+            strategy=self.name,
+            assignment=assignment,
+            feasible=not violations,
+            cost=cost,
+            evaluations=evaluations,
+            violations=violations,
+        )
+
+
+def validate_pins(graph: ServiceGraph, environment: DistributionEnvironment) -> None:
+    """Raise ValueError when a pin references a device not in the environment."""
+    known = set(environment.device_ids())
+    for component in graph:
+        if component.pinned_to is not None and component.pinned_to not in known:
+            raise ValueError(
+                f"component {component.component_id!r} pinned to unknown device "
+                f"{component.pinned_to!r}"
+            )
+
+
+class ServiceDistributor:
+    """Facade of the distribution tier.
+
+    Binds a strategy and a weight vector, and accepts device snapshots in
+    the forms the substrates produce (Device objects, candidate devices, or
+    a prepared environment). "The service distributor is invoked whenever
+    some significant resource fluctuations or device changes happen during
+    runtime" — callers simply re-invoke :meth:`distribute` with a fresh
+    snapshot.
+    """
+
+    def __init__(
+        self,
+        strategy: DistributionStrategy,
+        weights: Optional[CostWeights] = None,
+    ) -> None:
+        self.strategy = strategy
+        self.weights = weights or CostWeights()
+
+    def distribute(
+        self,
+        graph: ServiceGraph,
+        environment: DistributionEnvironment,
+    ) -> DistributionResult:
+        """Run the bound strategy on a prepared environment."""
+        graph.validate()
+        validate_pins(graph, environment)
+        return self.strategy.distribute(graph, environment, self.weights)
+
+    def distribute_on_devices(
+        self,
+        graph: ServiceGraph,
+        devices: Iterable,
+        topology=None,
+    ) -> DistributionResult:
+        """Run against live Device objects (and optionally a topology).
+
+        ``devices`` may be :class:`repro.domain.Device` instances or
+        :class:`CandidateDevice` snapshots; Devices are snapshotted at their
+        current availability.
+        """
+        candidates: List[CandidateDevice] = []
+        for device in devices:
+            if isinstance(device, CandidateDevice):
+                candidates.append(device)
+            else:
+                candidates.append(
+                    CandidateDevice(device.device_id, device.available())
+                )
+        if topology is not None:
+            environment = DistributionEnvironment.from_topology(candidates, topology)
+        else:
+            environment = DistributionEnvironment(candidates)
+        return self.distribute(graph, environment)

@@ -1,0 +1,209 @@
+"""Local-search refinement of a k-cut (an extension beyond the paper).
+
+The paper's greedy heuristic reaches ~90% of optimal cost on Table 1
+instances. A natural question the ablation benches quantify: how much of
+the remaining gap does cheap local search close? This strategy runs a base
+strategy (the paper's heuristic by default) and then hill-climbs with two
+move types until a local optimum:
+
+- *relocate*: move one component to a different device;
+- *swap*: exchange the devices of two components.
+
+Every move is validated against the full Definition 3.4 feasibility test
+and accepted only when it strictly lowers the cost aggregation, so the
+refinement preserves feasibility and never degrades the solution. Pinned
+components are never moved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.distribution.cost import CostWeights, cost_aggregation
+from repro.distribution.distributor import DistributionResult, DistributionStrategy
+from repro.distribution.fit import DistributionEnvironment, fit_violations
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.graph.cuts import Assignment
+from repro.graph.service_graph import ServiceGraph
+
+
+class LocalSearchDistributor(DistributionStrategy):
+    """Hill-climbing refinement over a base strategy's assignment.
+
+    ``max_rounds`` bounds full improvement sweeps; each sweep is
+    O(V·k + V²) move evaluations, so the strategy stays polynomial.
+    ``use_swaps`` enables the quadratic swap neighbourhood (relocations
+    alone already close most of the gap; the ablation bench compares).
+    """
+
+    name = "local-search"
+
+    def __init__(
+        self,
+        base: Optional[DistributionStrategy] = None,
+        max_rounds: int = 10,
+        use_swaps: bool = True,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        self.base = base or HeuristicDistributor()
+        self.max_rounds = max_rounds
+        self.use_swaps = use_swaps
+
+    def distribute(
+        self,
+        graph: ServiceGraph,
+        environment: DistributionEnvironment,
+        weights: Optional[CostWeights] = None,
+    ) -> DistributionResult:
+        weights = weights or CostWeights()
+        seed = self.base.distribute(graph, environment, weights)
+        if not seed.feasible or seed.assignment is None:
+            return DistributionResult(
+                strategy=self.name,
+                assignment=seed.assignment,
+                feasible=seed.feasible,
+                cost=seed.cost,
+                evaluations=seed.evaluations,
+                violations=seed.violations,
+            )
+        placements = dict(seed.assignment)
+        cost = seed.cost
+        evaluations = seed.evaluations
+        devices = environment.device_ids()
+        movable = [
+            c.component_id for c in graph if c.pinned_to is None
+        ]
+
+        for _round in range(self.max_rounds):
+            improved = False
+            for component_id in movable:
+                best_move, best_cost, tried = self._best_relocation(
+                    graph, environment, weights, placements, component_id,
+                    devices, cost,
+                )
+                evaluations += tried
+                if best_move is not None:
+                    placements[component_id] = best_move
+                    cost = best_cost
+                    improved = True
+            if self.use_swaps:
+                swap, swap_cost, tried = self._best_swap(
+                    graph, environment, weights, placements, movable, cost
+                )
+                evaluations += tried
+                if swap is not None:
+                    first, second = swap
+                    placements[first], placements[second] = (
+                        placements[second],
+                        placements[first],
+                    )
+                    cost = swap_cost
+                    improved = True
+            if not improved:
+                break
+
+        return self._finalize(graph, placements, environment, weights, evaluations)
+
+    def _evaluate(
+        self,
+        graph: ServiceGraph,
+        environment: DistributionEnvironment,
+        weights: CostWeights,
+        placements: Dict[str, str],
+    ) -> Optional[float]:
+        assignment = Assignment(placements)
+        if fit_violations(graph, assignment, environment):
+            return None
+        return cost_aggregation(graph, assignment, environment, weights)
+
+    def _best_relocation(
+        self,
+        graph: ServiceGraph,
+        environment: DistributionEnvironment,
+        weights: CostWeights,
+        placements: Dict[str, str],
+        component_id: str,
+        devices: List[str],
+        current_cost: float,
+    ) -> Tuple[Optional[str], float, int]:
+        original = placements[component_id]
+        best_device: Optional[str] = None
+        best_cost = current_cost
+        tried = 0
+        for device_id in devices:
+            if device_id == original:
+                continue
+            tried += 1
+            placements[component_id] = device_id
+            candidate = self._evaluate(graph, environment, weights, placements)
+            if candidate is not None and candidate < best_cost - 1e-12:
+                best_cost = candidate
+                best_device = device_id
+        placements[component_id] = original
+        return best_device, best_cost, tried
+
+    def _best_swap(
+        self,
+        graph: ServiceGraph,
+        environment: DistributionEnvironment,
+        weights: CostWeights,
+        placements: Dict[str, str],
+        movable: List[str],
+        current_cost: float,
+    ) -> Tuple[Optional[Tuple[str, str]], float, int]:
+        best_pair: Optional[Tuple[str, str]] = None
+        best_cost = current_cost
+        tried = 0
+        for i, first in enumerate(movable):
+            for second in movable[i + 1 :]:
+                if placements[first] == placements[second]:
+                    continue
+                tried += 1
+                placements[first], placements[second] = (
+                    placements[second],
+                    placements[first],
+                )
+                candidate = self._evaluate(graph, environment, weights, placements)
+                placements[first], placements[second] = (
+                    placements[second],
+                    placements[first],
+                )
+                if candidate is not None and candidate < best_cost - 1e-12:
+                    best_cost = candidate
+                    best_pair = (first, second)
+        return best_pair, best_cost, tried
+
+
+class FallbackDistributor(DistributionStrategy):
+    """Try strategies in order; return the first feasible result.
+
+    The practical deployment pattern: run the cheap heuristic first and
+    fall back to a costlier search (local search, or exact optimal on
+    small graphs) only when the heuristic fails to find a feasible cut.
+    When nothing succeeds, the *first* strategy's (infeasible) result is
+    returned for diagnostics.
+    """
+
+    name = "fallback"
+
+    def __init__(self, strategies: List[DistributionStrategy]) -> None:
+        if not strategies:
+            raise ValueError("need at least one strategy")
+        self.strategies = list(strategies)
+
+    def distribute(
+        self,
+        graph: ServiceGraph,
+        environment: DistributionEnvironment,
+        weights: Optional[CostWeights] = None,
+    ) -> DistributionResult:
+        first_result: Optional[DistributionResult] = None
+        for strategy in self.strategies:
+            result = strategy.distribute(graph, environment, weights)
+            if first_result is None:
+                first_result = result
+            if result.feasible:
+                return result
+        assert first_result is not None
+        return first_result

@@ -1,0 +1,23 @@
+"""Smart-space domain substrate.
+
+The prototype "structure[s] the smart spaces hierarchically by grouping
+devices into different domains. Each domain contains one domain server,
+which provides the key infrastructure services for the entire domain space"
+(Section 1). This subpackage models devices with resource accounting,
+domains with their domain server, and the hierarchical smart space with
+user/portal tracking.
+"""
+
+from repro.domain.device import Device, DeviceClass, ResourceAllocation
+from repro.domain.domain import Domain, DomainServer
+from repro.domain.space import SmartSpace, User
+
+__all__ = [
+    "Device",
+    "DeviceClass",
+    "ResourceAllocation",
+    "Domain",
+    "DomainServer",
+    "SmartSpace",
+    "User",
+]

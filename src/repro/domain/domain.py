@@ -1,0 +1,164 @@
+"""Domains and the domain server.
+
+A domain groups the devices of one physical space (office, conference room,
+hotel lobby). Its :class:`DomainServer` "provides the key infrastructure
+services for the entire domain space, in the same way as today's operating
+systems do for a single desktop": the device directory, the network
+topology, the event service, and the service registry the discovery service
+searches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.discovery.registry import ServiceRegistry
+from repro.discovery.service import DiscoveryService
+from repro.domain.device import Device
+from repro.events.bus import EventBus
+from repro.events.types import Topics
+from repro.network.topology import NetworkTopology
+from repro.resources.vectors import ResourceVector
+
+
+class Domain:
+    """A named group of devices with shared infrastructure state."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("domain name must be non-empty")
+        self.name = name
+        self.bus = EventBus()
+        self.network = NetworkTopology()
+        self.registry = ServiceRegistry(bus=self.bus)
+        self._devices: Dict[str, Device] = {}
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self._devices
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def device(self, device_id: str) -> Device:
+        """Return a device by id (KeyError when absent)."""
+        return self._devices[device_id]
+
+    def devices(self, online_only: bool = True) -> List[Device]:
+        """Return the domain's devices, optionally filtering offline ones."""
+        devices = list(self._devices.values())
+        if online_only:
+            devices = [d for d in devices if d.online]
+        return devices
+
+    def _attach(self, device: Device) -> None:
+        self._devices[device.device_id] = device
+        self.network.add_device(device.device_id)
+
+    def _detach(self, device_id: str) -> Device:
+        device = self._devices.pop(device_id)
+        if self.network.has_device(device_id):
+            self.network.remove_device(device_id)
+        return device
+
+
+class DomainServer:
+    """The per-domain infrastructure service facade.
+
+    Owns device membership (publishing ``device.*`` events), exposes the
+    discovery service, and provides the resource snapshots the service
+    distributor consumes. A clock callable injects simulation time into
+    published events.
+    """
+
+    def __init__(
+        self,
+        domain: Domain,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.domain = domain
+        self._clock = clock or (lambda: 0.0)
+        self.discovery = DiscoveryService(domain.registry)
+
+    @property
+    def bus(self) -> EventBus:
+        return self.domain.bus
+
+    @property
+    def network(self) -> NetworkTopology:
+        return self.domain.network
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # -- device membership -------------------------------------------------------
+
+    def join(self, device: Device) -> None:
+        """Attach a device to the domain and announce it."""
+        if device.device_id in self.domain:
+            raise ValueError(f"device {device.device_id!r} already in domain")
+        self.domain._attach(device)
+        self.bus.emit(
+            Topics.DEVICE_JOINED,
+            timestamp=self.now,
+            source=self.domain.name,
+            device_id=device.device_id,
+            device_class=device.device_class,
+        )
+
+    def leave(self, device_id: str) -> Device:
+        """Detach a device gracefully, withdrawing its service ads."""
+        device = self.domain._detach(device_id)
+        device.go_offline()
+        self.domain.registry.unregister_device(device_id, timestamp=self.now)
+        self.bus.emit(
+            Topics.DEVICE_LEFT,
+            timestamp=self.now,
+            source=self.domain.name,
+            device_id=device_id,
+        )
+        return device
+
+    def crash(self, device_id: str) -> Device:
+        """Mark a device as crashed; sessions react via the event bus.
+
+        Unlike :meth:`leave`, the device object stays in the directory
+        (offline) so post-mortem state is inspectable.
+        """
+        device = self.domain.device(device_id)
+        device.go_offline()
+        self.domain.registry.unregister_device(device_id, timestamp=self.now)
+        self.bus.emit(
+            Topics.DEVICE_CRASHED,
+            timestamp=self.now,
+            source=self.domain.name,
+            device_id=device_id,
+        )
+        return device
+
+    # -- snapshots for the configuration tiers --------------------------------------
+
+    def available_devices(self) -> List[Device]:
+        """Online devices, the candidate set for service distribution."""
+        return self.domain.devices(online_only=True)
+
+    def availability_snapshot(self) -> Dict[str, ResourceVector]:
+        """Current per-device availability vectors (normalised units)."""
+        return {d.device_id: d.available() for d in self.available_devices()}
+
+    def notify_resources_changed(self, device_id: str) -> None:
+        """Publish a resource-fluctuation event for one device.
+
+        Called by the monitoring substrate when measured availability moves
+        significantly; sessions subscribed to the topic re-run the service
+        distributor ("the service distributor is invoked whenever some
+        significant resource fluctuations or device changes happen").
+        """
+        device = self.domain.device(device_id)
+        self.bus.emit(
+            Topics.DEVICE_RESOURCES_CHANGED,
+            timestamp=self.now,
+            source=self.domain.name,
+            device_id=device_id,
+            available=dict(device.available()),
+        )

@@ -1,0 +1,156 @@
+"""The hierarchical smart space and user/portal tracking.
+
+"Due to the scalability requirement, we structure the smart spaces
+hierarchically by grouping devices into different domains." Users carry a
+current domain and a current portal device; moving between domains or
+switching portals publishes the events that trigger dynamic
+reconfiguration (Section 3.2: "when the user moves to a new location, the
+previous service components may no longer be available. Or when the user
+switches to a different device (e.g., from PC to PDA), the previous service
+graph can no longer be supported").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.domain.device import Device
+from repro.domain.domain import Domain, DomainServer
+from repro.events.types import Topics
+
+
+@dataclass
+class User:
+    """A user with a current domain and portal device."""
+
+    user_id: str
+    current_domain: Optional[str] = None
+    current_device: Optional[str] = None
+
+
+class SmartSpace:
+    """A collection of domains plus the users roaming across them."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._domains: Dict[str, Domain] = {}
+        self._servers: Dict[str, DomainServer] = {}
+        self._users: Dict[str, User] = {}
+
+    # -- domains --------------------------------------------------------------
+
+    def create_domain(self, name: str) -> DomainServer:
+        """Create a domain with its domain server."""
+        if name in self._domains:
+            raise ValueError(f"domain {name!r} already exists")
+        domain = Domain(name)
+        server = DomainServer(domain, clock=self._clock)
+        self._domains[name] = domain
+        self._servers[name] = server
+        return server
+
+    def domain(self, name: str) -> Domain:
+        """Return a domain by name (KeyError when absent)."""
+        return self._domains[name]
+
+    def server(self, name: str) -> DomainServer:
+        """Return the domain server of a domain (KeyError when absent)."""
+        return self._servers[name]
+
+    def domains(self) -> List[str]:
+        """Return all domain names, sorted."""
+        return sorted(self._domains)
+
+    def find_device(self, device_id: str) -> Optional[Device]:
+        """Locate a device anywhere in the space."""
+        for domain in self._domains.values():
+            if device_id in domain:
+                return domain.device(device_id)
+        return None
+
+    def domain_of_device(self, device_id: str) -> Optional[str]:
+        """Return the name of the domain hosting a device, if any."""
+        for name, domain in self._domains.items():
+            if device_id in domain:
+                return name
+        return None
+
+    # -- users --------------------------------------------------------------------
+
+    def register_user(self, user_id: str, domain: str, device: str) -> User:
+        """Add a user, placing them in a domain at a portal device."""
+        if user_id in self._users:
+            raise ValueError(f"user {user_id!r} already registered")
+        if domain not in self._domains:
+            raise KeyError(f"unknown domain {domain!r}")
+        if device not in self._domains[domain]:
+            raise KeyError(f"device {device!r} not in domain {domain!r}")
+        user = User(user_id, current_domain=domain, current_device=device)
+        self._users[user_id] = user
+        return user
+
+    def user(self, user_id: str) -> User:
+        """Return a user by id (KeyError when absent)."""
+        return self._users[user_id]
+
+    def move_user(self, user_id: str, new_domain: str, new_device: str) -> User:
+        """Move a user to a different domain (location change).
+
+        Publishes ``user.moved`` on both the old and new domains' buses so
+        sessions anchored in either domain can react.
+        """
+        user = self._users[user_id]
+        if new_domain not in self._domains:
+            raise KeyError(f"unknown domain {new_domain!r}")
+        if new_device not in self._domains[new_domain]:
+            raise KeyError(f"device {new_device!r} not in domain {new_domain!r}")
+        old_domain = user.current_domain
+        old_device = user.current_device
+        user.current_domain = new_domain
+        user.current_device = new_device
+        payload = {
+            "user_id": user_id,
+            "old_domain": old_domain,
+            "new_domain": new_domain,
+            "old_device": old_device,
+            "new_device": new_device,
+        }
+        buses = []
+        if old_domain is not None and old_domain != new_domain:
+            buses.append(self._domains[old_domain].bus)
+        buses.append(self._domains[new_domain].bus)
+        for bus in buses:
+            bus.emit(
+                Topics.USER_MOVED,
+                timestamp=self._clock(),
+                source="smart-space",
+                **payload,
+            )
+        return user
+
+    def switch_device(self, user_id: str, new_device: str) -> User:
+        """Switch a user's portal device within their current domain.
+
+        Publishes ``user.device_switched`` — the trigger for the PC→PDA
+        handoff experiment.
+        """
+        user = self._users[user_id]
+        if user.current_domain is None:
+            raise RuntimeError(f"user {user_id!r} is not in any domain")
+        domain = self._domains[user.current_domain]
+        if new_device not in domain:
+            raise KeyError(
+                f"device {new_device!r} not in domain {user.current_domain!r}"
+            )
+        old_device = user.current_device
+        user.current_device = new_device
+        domain.bus.emit(
+            Topics.USER_DEVICE_SWITCHED,
+            timestamp=self._clock(),
+            source="smart-space",
+            user_id=user_id,
+            old_device=old_device,
+            new_device=new_device,
+        )
+        return user

@@ -1,0 +1,14 @@
+"""Event service substrate.
+
+The Gaia-style domain server "cooperates with other domain services, such as
+the event service, to dynamically configure distributed applications": the
+service configuration model is re-activated "whenever some significant
+changes are detected during runtime" (user mobility, device switches,
+resource fluctuations, device crashes). This subpackage provides the
+publish/subscribe bus those triggers travel on.
+"""
+
+from repro.events.types import Event, Topics
+from repro.events.bus import EventBus, Subscription
+
+__all__ = ["Event", "Topics", "EventBus", "Subscription"]

@@ -1,0 +1,92 @@
+"""A synchronous publish/subscribe event bus.
+
+Dispatch is synchronous and in subscription order, which keeps simulation
+runs deterministic. A bounded history ring lets tests and experiment
+harnesses assert on the event stream after the fact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.events.types import Event
+
+Handler = Callable[[Event], None]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A handle identifying one subscription, used to unsubscribe."""
+
+    subscription_id: int
+    pattern: str
+
+
+class EventBus:
+    """Synchronous topic-based pub/sub with pattern subscriptions.
+
+    Handlers subscribed with a pattern (see :meth:`Event.matches`) are
+    invoked inline by :meth:`publish`, in the order they subscribed. A
+    handler raising propagates to the publisher — substrate bugs should
+    fail loudly in a reproduction, not be swallowed.
+    """
+
+    def __init__(self, history_limit: int = 1024) -> None:
+        if history_limit < 0:
+            raise ValueError("history limit cannot be negative")
+        self._subscriptions: Dict[int, tuple] = {}
+        self._ids = itertools.count(1)
+        self._history: Deque[Event] = deque(maxlen=history_limit or None)
+        self._published_count = 0
+
+    def subscribe(self, pattern: str, handler: Handler) -> Subscription:
+        """Register a handler for all events matching ``pattern``."""
+        if not pattern:
+            raise ValueError("subscription pattern must be non-empty")
+        subscription = Subscription(next(self._ids), pattern)
+        self._subscriptions[subscription.subscription_id] = (pattern, handler)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a subscription (idempotent)."""
+        self._subscriptions.pop(subscription.subscription_id, None)
+
+    def publish(self, event: Event) -> int:
+        """Deliver the event to matching handlers; returns delivery count."""
+        self._history.append(event)
+        self._published_count += 1
+        delivered = 0
+        # Snapshot so handlers may (un)subscribe during dispatch.
+        for pattern, handler in list(self._subscriptions.values()):
+            if event.matches(pattern):
+                handler(event)
+                delivered += 1
+        return delivered
+
+    def emit(
+        self,
+        topic: str,
+        timestamp: float = 0.0,
+        source: str = "",
+        **payload: object,
+    ) -> int:
+        """Build and publish an :class:`Event` in one call."""
+        return self.publish(Event(topic, timestamp, source, payload))
+
+    @property
+    def published_count(self) -> int:
+        """Total number of events ever published on this bus."""
+        return self._published_count
+
+    def history(self, pattern: Optional[str] = None) -> List[Event]:
+        """Return retained events, optionally filtered by a topic pattern."""
+        if pattern is None:
+            return list(self._history)
+        return [e for e in self._history if e.matches(pattern)]
+
+    def subscriber_count(self) -> int:
+        """Number of live subscriptions."""
+        return len(self._subscriptions)

@@ -1,0 +1,60 @@
+"""Event types and well-known topics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class Topics:
+    """Well-known topic names published by the substrates.
+
+    Topics form a dot-separated hierarchy so subscribers can use prefix
+    patterns (``"device.*"`` matches every device lifecycle event).
+    """
+
+    DEVICE_JOINED = "device.joined"
+    DEVICE_LEFT = "device.left"
+    DEVICE_CRASHED = "device.crashed"
+    DEVICE_RESOURCES_CHANGED = "device.resources_changed"
+    USER_MOVED = "user.moved"
+    USER_DEVICE_SWITCHED = "user.device_switched"
+    APPLICATION_STARTED = "application.started"
+    APPLICATION_STOPPED = "application.stopped"
+    SESSION_CONFIGURED = "session.configured"
+    SESSION_RECONFIGURED = "session.reconfigured"
+    SESSION_FAILED = "session.failed"
+    SERVICE_REGISTERED = "service.registered"
+    SERVICE_UNREGISTERED = "service.unregistered"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published event.
+
+    ``timestamp`` is in simulation seconds (or wall-clock seconds when used
+    outside the simulator); ``source`` identifies the publishing subsystem
+    or device; ``payload`` carries topic-specific data.
+    """
+
+    topic: str
+    timestamp: float = 0.0
+    source: str = ""
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.topic:
+            raise ValueError("event topic must be non-empty")
+
+    def matches(self, pattern: str) -> bool:
+        """Topic matching: exact, or prefix pattern ending in ``.*``.
+
+        ``"device.*"`` matches ``"device.joined"`` and any deeper topic under
+        ``device.``; the bare pattern ``"*"`` matches everything.
+        """
+        if pattern == "*":
+            return True
+        if pattern.endswith(".*"):
+            prefix = pattern[:-2]
+            return self.topic == prefix or self.topic.startswith(prefix + ".")
+        return self.topic == pattern

@@ -1,0 +1,242 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+Four ablations, each isolating one mechanism:
+
+- **neighbour preference** (distribution): the heuristic's
+  neighbour-merging rule versus plain largest-first packing;
+- **random retry budget** (distribution): how many feasibility retries the
+  random baseline needs to stay viable;
+- **weight settings** (distribution): heuristic solution quality under
+  memory-heavy, CPU-heavy and network-heavy criticality weights;
+- **correction mechanisms** (composition): which of the OC algorithm's
+  three automatic corrections are needed for the prototype scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.apps.audio_on_demand import audio_abstract_graph, build_audio_testbed
+from repro.composition.composer import CompositionRequest, ServiceComposer
+from repro.composition.corrections import CorrectionPolicy
+from repro.distribution.baselines import RandomDistributor
+from repro.distribution.cost import CostWeights
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.distribution.optimal import OptimalDistributor
+from repro.experiments.table1 import run_table1
+from repro.qos.translation import default_catalog
+from repro.qos.vectors import QoSVector
+from repro.resources.vectors import CPU, MEMORY
+from repro.workloads.generator import Table1Workload
+
+
+@dataclass
+class AblationRow:
+    """One configuration's headline metrics."""
+
+    name: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class AblationResult:
+    """A set of rows for one ablation axis."""
+
+    title: str
+    rows: List[AblationRow] = field(default_factory=list)
+
+    def row(self, name: str) -> AblationRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def format_table(self) -> str:
+        if not self.rows:
+            return self.title
+        metric_names = sorted(
+            {name for row in self.rows for name in row.metrics}
+        )
+        header = f"{'variant':<28}" + "".join(f"{m:>18}" for m in metric_names)
+        lines = [self.title, "", header]
+        for row in self.rows:
+            line = f"{row.name:<28}"
+            for metric in metric_names:
+                value = row.metrics.get(metric)
+                line += f"{value:>18.3f}" if value is not None else f"{'-':>18}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def ablate_neighbor_preference(case_count: int = 60) -> AblationResult:
+    """Neighbour-merging on versus off (largest-first packing)."""
+    result = AblationResult(
+        "Ablation: neighbour preference in the distribution heuristic"
+    )
+    workload = Table1Workload(case_count=case_count)
+    for name, prefer in (("with-neighbors", True), ("without-neighbors", False)):
+        table = run_table1(
+            workload, strategies=[HeuristicDistributor(prefer_neighbors=prefer)]
+        )
+        row = table.rows["heuristic"]
+        result.rows.append(
+            AblationRow(
+                name,
+                {
+                    "avg_ratio": row.average_ratio,
+                    "optimal_frac": row.optimal_fraction,
+                },
+            )
+        )
+    return result
+
+
+def ablate_local_search(case_count: int = 60) -> AblationResult:
+    """How much of the heuristic→optimal gap does local search close?
+
+    Compares the paper's heuristic, relocation-only hill climbing, and the
+    full relocate+swap neighbourhood against exhaustive optimal on Table 1
+    instances.
+    """
+    from repro.distribution.local_search import LocalSearchDistributor
+
+    result = AblationResult(
+        "Ablation: local-search refinement of the heuristic (extension)"
+    )
+    workload = Table1Workload(case_count=case_count)
+    variants = {
+        "heuristic-only": HeuristicDistributor(),
+        "plus-relocations": LocalSearchDistributor(use_swaps=False),
+        "plus-swaps": LocalSearchDistributor(use_swaps=True),
+    }
+    for name, strategy in variants.items():
+        table = run_table1(workload, strategies=[strategy])
+        row = table.rows[strategy.name]
+        result.rows.append(
+            AblationRow(
+                name,
+                {
+                    "avg_ratio": row.average_ratio,
+                    "optimal_frac": row.optimal_fraction,
+                },
+            )
+        )
+    return result
+
+
+def ablate_random_attempts(
+    case_count: int = 60, budgets: Tuple[int, ...] = (1, 5, 20, 50)
+) -> AblationResult:
+    """The random baseline's feasibility retry budget."""
+    result = AblationResult("Ablation: random baseline retry budget")
+    workload = Table1Workload(case_count=case_count)
+    for budget in budgets:
+        table = run_table1(
+            workload,
+            strategies=[RandomDistributor(rng=random.Random(3), attempts=budget)],
+        )
+        row = table.rows["random"]
+        result.rows.append(
+            AblationRow(
+                f"attempts={budget}",
+                {
+                    "avg_ratio": row.average_ratio,
+                    "feasible_frac": (
+                        row.feasible_count / len(row.ratios) if row.ratios else 0.0
+                    ),
+                },
+            )
+        )
+    return result
+
+
+def ablate_weights(case_count: int = 40) -> AblationResult:
+    """Criticality-weight settings versus heuristic solution quality."""
+    result = AblationResult("Ablation: resource criticality weights")
+    settings = {
+        "memory-heavy": CostWeights({MEMORY: 0.7, CPU: 0.15}, 0.15),
+        "cpu-heavy": CostWeights({MEMORY: 0.15, CPU: 0.7}, 0.15),
+        "network-heavy": CostWeights({MEMORY: 0.15, CPU: 0.15}, 0.7),
+        "balanced": CostWeights({MEMORY: 1 / 3, CPU: 1 / 3}, 1 / 3),
+    }
+    workload = Table1Workload(case_count=case_count)
+    heuristic = HeuristicDistributor()
+    optimal = OptimalDistributor()
+    for name, weights in settings.items():
+        ratios: List[float] = []
+        for case in workload.cases():
+            best = optimal.distribute(case.graph, case.environment, weights)
+            if not best.feasible:
+                continue
+            found = heuristic.distribute(case.graph, case.environment, weights)
+            ratios.append(
+                min(1.0, best.cost / found.cost)
+                if found.feasible and found.cost > 0
+                else 0.0
+            )
+        result.rows.append(
+            AblationRow(
+                name,
+                {
+                    "avg_ratio": sum(ratios) / len(ratios) if ratios else 0.0,
+                    "cases": float(len(ratios)),
+                },
+            )
+        )
+    return result
+
+
+def ablate_corrections() -> AblationResult:
+    """Which OC corrections the PDA handoff composition needs.
+
+    The PDA scenario (WAV-only player fed by an MPEG server) requires the
+    transcoder mechanism: with it disabled the composition must fail;
+    adjustment/buffering are not exercised by this mismatch.
+    """
+    result = AblationResult("Ablation: OC automatic-correction mechanisms")
+    variants = {
+        "all-corrections": {},
+        "no-transcoder": {"allow_transcoder": False},
+        "no-adjust": {"allow_adjust": False},
+        "no-buffer": {"allow_buffer": False},
+        "no-corrections": {
+            "allow_transcoder": False,
+            "allow_adjust": False,
+            "allow_buffer": False,
+        },
+    }
+    for name, switches in variants.items():
+        testbed = build_audio_testbed()
+        policy = CorrectionPolicy(catalog=default_catalog(), **switches)
+        composer = ServiceComposer(testbed.server.discovery, policy)
+        request = CompositionRequest(
+            abstract_graph=audio_abstract_graph(),
+            user_qos=QoSVector(frame_rate=(20.0, 48.0)),
+            client_device_id="jornada",
+            client_device_class="pda",
+        )
+        composition = composer.compose(request)
+        result.rows.append(
+            AblationRow(
+                name,
+                {
+                    "success": 1.0 if composition.success else 0.0,
+                    "corrections": float(len(composition.oc_report.corrections)),
+                    "unresolved": float(len(composition.oc_report.unresolved)),
+                },
+            )
+        )
+    return result
+
+
+def run_all_ablations(case_count: int = 40) -> List[AblationResult]:
+    """Run every ablation with a shared (reduced) case budget."""
+    return [
+        ablate_neighbor_preference(case_count),
+        ablate_random_attempts(case_count),
+        ablate_weights(max(20, case_count // 2)),
+        ablate_corrections(),
+        ablate_local_search(case_count),
+    ]

@@ -1,0 +1,75 @@
+"""Figure 4: the dynamic service configuration overhead breakdown.
+
+The same four events as Figure 3, reporting per event the stacked overhead
+components: *service composition*, *service distribution*, *dynamic
+downloading*, and *initialization or state handoff* (milliseconds).
+
+Expected shape (not absolute values):
+
+- events 1–3 involve no downloading (components pre-installed);
+- event 4's overhead is dominated by dynamic downloading;
+- the state handoff of event 2 (PC→PDA, onto the wireless link) exceeds
+  that of event 3 (PDA→PC, back onto ethernet);
+- "the overhead of the dynamic service configuration is relatively small
+  compared to the entire execution time of the application."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.figure3 import (
+    PrototypeScenarioResult,
+    run_prototype_scenario,
+)
+
+
+@dataclass
+class OverheadBreakdown:
+    """The four stacked-bar rows of Figure 4."""
+
+    rows: List[Dict[str, float]]
+    labels: List[str]
+
+    def row(self, label: str) -> Dict[str, float]:
+        return self.rows[self.labels.index(label)]
+
+    def format_table(self) -> str:
+        header = (
+            f"{'event':<10}{'composition':>13}{'distribution':>14}"
+            f"{'download':>11}{'init/handoff':>14}{'total':>10}"
+        )
+        lines = [
+            "Figure 4. Overhead of each dynamic service configuration action (ms)",
+            "",
+            header,
+        ]
+        for label, row in zip(self.labels, self.rows):
+            lines.append(
+                f"{label:<10}"
+                f"{row['composition_ms']:>13.1f}"
+                f"{row['distribution_ms']:>14.1f}"
+                f"{row['download_ms']:>11.1f}"
+                f"{row['init_or_handoff_ms']:>14.1f}"
+                f"{row['total_ms']:>10.1f}"
+            )
+        return "\n".join(lines)
+
+
+def run_figure4(
+    scenario: Optional[PrototypeScenarioResult] = None,
+) -> OverheadBreakdown:
+    """Extract the overhead breakdown from the prototype scenario.
+
+    Accepts a pre-run scenario so Figures 3 and 4 can share one execution.
+    """
+    scenario = scenario or run_prototype_scenario()
+    labels: List[str] = []
+    rows: List[Dict[str, float]] = []
+    for event in scenario.events:
+        if event.record is None:
+            continue
+        labels.append(event.label)
+        rows.append(event.record.timing.as_dict())
+    return OverheadBreakdown(rows=rows, labels=labels)

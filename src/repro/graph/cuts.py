@@ -1,0 +1,139 @@
+"""k-cuts of a service graph (Definition 3.3) as device assignments.
+
+The distribution tier's output is an :class:`Assignment`: a mapping from
+component id to device id. The induced k-cut is the partition of components
+by device; an edge *belongs to the cut* when its endpoints are assigned to
+different devices, in which case its throughput consumes end-to-end network
+bandwidth between the two devices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from repro.graph.service_graph import ServiceEdge, ServiceGraph
+from repro.resources.vectors import ResourceVector
+
+
+class Assignment(Mapping[str, str]):
+    """An immutable mapping component id → device id.
+
+    Provides the cut-derived quantities the distribution tier needs:
+    per-device resource loads, cut edges, and the pairwise inter-device
+    throughput matrix ``T(i, j)`` from Definition 3.5.
+    """
+
+    __slots__ = ("_placements",)
+
+    def __init__(self, placements: Mapping[str, str]) -> None:
+        self._placements: Dict[str, str] = dict(placements)
+
+    def __getitem__(self, component_id: str) -> str:
+        return self._placements[component_id]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._placements)
+
+    def __len__(self) -> int:
+        return len(self._placements)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self._placements == other._placements
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._placements.items()))
+
+    def __repr__(self) -> str:
+        return f"Assignment({self._placements!r})"
+
+    def device_of(self, component_id: str) -> str:
+        """Return the device a component is placed on."""
+        return self._placements[component_id]
+
+    def devices_used(self) -> List[str]:
+        """Return the distinct devices receiving at least one component."""
+        return sorted(set(self._placements.values()))
+
+    def partition(self) -> Dict[str, List[str]]:
+        """The k-cut's subsets ``V_1, ..., V_k``: device id → component ids."""
+        subsets: Dict[str, List[str]] = {}
+        for component_id, device_id in self._placements.items():
+            subsets.setdefault(device_id, []).append(component_id)
+        for members in subsets.values():
+            members.sort()
+        return subsets
+
+    def components_on(self, device_id: str) -> List[str]:
+        """Return the (sorted) component ids placed on one device."""
+        return sorted(
+            cid for cid, did in self._placements.items() if did == device_id
+        )
+
+    def with_placement(self, component_id: str, device_id: str) -> "Assignment":
+        """Return a copy with one placement added or changed."""
+        merged = dict(self._placements)
+        merged[component_id] = device_id
+        return Assignment(merged)
+
+    def covers(self, graph: ServiceGraph) -> bool:
+        """True when every component of the graph is placed."""
+        return all(cid in self._placements for cid in graph.component_ids())
+
+    # -- cut-derived quantities --------------------------------------------
+
+    def cut_edges(self, graph: ServiceGraph) -> List[ServiceEdge]:
+        """Edges whose endpoints lie on different devices (Definition 3.3)."""
+        return [
+            edge
+            for edge in graph.edges()
+            if self._placements.get(edge.source) != self._placements.get(edge.target)
+        ]
+
+    def device_load(self, graph: ServiceGraph, device_id: str) -> ResourceVector:
+        """Sum of requirement vectors of the components on one device."""
+        return ResourceVector.sum(
+            graph.component(cid).resources for cid in self.components_on(device_id)
+        )
+
+    def device_loads(self, graph: ServiceGraph) -> Dict[str, ResourceVector]:
+        """Per-device summed requirement vectors for all used devices."""
+        loads: Dict[str, ResourceVector] = {}
+        for component in graph:
+            device_id = self._placements.get(component.component_id)
+            if device_id is None:
+                continue
+            current = loads.get(device_id, ResourceVector())
+            loads[device_id] = current + component.resources
+        return loads
+
+    def pairwise_throughput(self, graph: ServiceGraph) -> Dict[Tuple[str, str], float]:
+        """Definition 3.5's ``T(i, j)``: summed cut throughput per device pair.
+
+        Keys are ordered pairs ``(device_of(u), device_of(v))`` following
+        edge direction; only pairs with non-zero traffic appear.
+        """
+        traffic: Dict[Tuple[str, str], float] = {}
+        for edge in graph.edges():
+            source_dev = self._placements.get(edge.source)
+            target_dev = self._placements.get(edge.target)
+            if source_dev is None or target_dev is None or source_dev == target_dev:
+                continue
+            key = (source_dev, target_dev)
+            traffic[key] = traffic.get(key, 0.0) + edge.throughput_mbps
+        return traffic
+
+    def respects_pins(self, graph: ServiceGraph) -> bool:
+        """True when every pinned component sits on its pinned device."""
+        for component in graph:
+            if component.pinned_to is not None:
+                placed = self._placements.get(component.component_id)
+                if placed != component.pinned_to:
+                    return False
+        return True
+
+
+def colocated(assignment: Assignment, first: str, second: str) -> bool:
+    """True when two components are placed on the same device."""
+    return assignment.device_of(first) == assignment.device_of(second)

@@ -1,0 +1,208 @@
+"""QoSL: an XML dialect for abstract service graphs.
+
+Section 3.1 assumes developers specify applications "at a high level of
+abstraction" using specification languages (the authors cite their
+XML-based QoS-enabling language). This module provides that authoring
+substrate: a small, documented XML dialect that parses to
+:class:`~repro.graph.abstract.AbstractServiceGraph` and serialises back.
+
+Example document::
+
+    <application name="music-on-demand">
+      <service id="server" type="audio_server">
+        <attribute name="media" value="audio"/>
+      </service>
+      <service id="equalizer" type="equalizer" optional="true"/>
+      <service id="player" type="audio_player" pin="client">
+        <output param="format" value="WAV"/>
+        <output param="frame_rate" range="20 48"/>
+        <output param="codec" set="mp3 aac"/>
+      </service>
+      <connection from="server" to="equalizer" throughput="1.4"/>
+      <connection from="equalizer" to="player" throughput="1.4"/>
+    </application>
+
+``pin`` is either ``client`` (the symbolic client role), ``role:<name>``
+for other roles, or ``device:<id>`` for a hard pin. ``<output>`` elements
+carry the desired output QoS: exactly one of ``value`` (single),
+``range`` ("low high"), or ``set`` (space-separated options); numeric
+strings are coerced to numbers.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.graph.abstract import (
+    AbstractComponentSpec,
+    AbstractServiceGraph,
+    PinConstraint,
+)
+from repro.graph.service_graph import ServiceEdge
+from repro.qos.parameters import QoSValue, RangeValue, SetValue, SingleValue
+from repro.qos.vectors import QoSVector
+
+
+class QoSLError(ValueError):
+    """Raised for malformed QoSL documents."""
+
+
+def _coerce_scalar(text: str) -> Union[int, float, str]:
+    """Numbers become numbers; everything else stays a string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_pin(raw: Optional[str]) -> Optional[PinConstraint]:
+    if raw is None or raw == "":
+        return None
+    if raw == "client":
+        return PinConstraint(role="client")
+    if raw.startswith("role:"):
+        return PinConstraint(role=raw[len("role:"):])
+    if raw.startswith("device:"):
+        return PinConstraint(device_id=raw[len("device:"):])
+    raise QoSLError(
+        f"bad pin {raw!r}: expected 'client', 'role:<name>' or 'device:<id>'"
+    )
+
+
+def _parse_output(element: ET.Element) -> Tuple[str, QoSValue]:
+    param = element.get("param")
+    if not param:
+        raise QoSLError("<output> needs a param attribute")
+    given = [key for key in ("value", "range", "set") if element.get(key) is not None]
+    if len(given) != 1:
+        raise QoSLError(
+            f"<output param={param!r}> needs exactly one of value/range/set"
+        )
+    kind = given[0]
+    raw = element.get(kind, "")
+    if kind == "value":
+        return param, SingleValue(_coerce_scalar(raw))
+    if kind == "range":
+        parts = raw.split()
+        if len(parts) != 2:
+            raise QoSLError(f"range must be 'low high', got {raw!r}")
+        low, high = (float(parts[0]), float(parts[1]))
+        return param, RangeValue(low, high)
+    options = [_coerce_scalar(token) for token in raw.split()]
+    if not options:
+        raise QoSLError(f"<output param={param!r}> set must be non-empty")
+    return param, SetValue(options)
+
+
+def parse(text: str) -> AbstractServiceGraph:
+    """Parse a QoSL document into an abstract service graph."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise QoSLError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "application":
+        raise QoSLError(f"root element must be <application>, got <{root.tag}>")
+    graph = AbstractServiceGraph(name=root.get("name", "application"))
+    for element in root:
+        if element.tag == "service":
+            graph.add_spec(_parse_service(element))
+        elif element.tag == "connection":
+            graph.add_edge(_parse_connection(element))
+        else:
+            raise QoSLError(f"unexpected element <{element.tag}>")
+    graph.validate()
+    return graph
+
+
+def _parse_service(element: ET.Element) -> AbstractComponentSpec:
+    spec_id = element.get("id")
+    service_type = element.get("type")
+    if not spec_id or not service_type:
+        raise QoSLError("<service> needs id and type attributes")
+    attributes: List[Tuple[str, str]] = []
+    outputs: Dict[str, QoSValue] = {}
+    for child in element:
+        if child.tag == "attribute":
+            name = child.get("name")
+            value = child.get("value")
+            if name is None or value is None:
+                raise QoSLError("<attribute> needs name and value")
+            attributes.append((name, value))
+        elif child.tag == "output":
+            param, qos_value = _parse_output(child)
+            outputs[param] = qos_value
+        else:
+            raise QoSLError(f"unexpected element <{child.tag}> in <service>")
+    optional_raw = element.get("optional", "false").lower()
+    if optional_raw not in ("true", "false"):
+        raise QoSLError(f"optional must be true/false, got {optional_raw!r}")
+    return AbstractComponentSpec(
+        spec_id=spec_id,
+        service_type=service_type,
+        attributes=tuple(attributes),
+        required_output=QoSVector(outputs),
+        optional=optional_raw == "true",
+        pin=_parse_pin(element.get("pin")),
+    )
+
+
+def _parse_connection(element: ET.Element) -> ServiceEdge:
+    source = element.get("from")
+    target = element.get("to")
+    if not source or not target:
+        raise QoSLError("<connection> needs from and to attributes")
+    throughput = float(element.get("throughput", "0"))
+    return ServiceEdge(source, target, throughput)
+
+
+def serialize(graph: AbstractServiceGraph) -> str:
+    """Serialise an abstract service graph back to a QoSL document."""
+    root = ET.Element("application", {"name": graph.name})
+    for spec in graph.specs():
+        attributes: Dict[str, str] = {"id": spec.spec_id, "type": spec.service_type}
+        if spec.optional:
+            attributes["optional"] = "true"
+        if spec.pin is not None:
+            if spec.pin.role == "client":
+                attributes["pin"] = "client"
+            elif spec.pin.role is not None:
+                attributes["pin"] = f"role:{spec.pin.role}"
+            else:
+                attributes["pin"] = f"device:{spec.pin.device_id}"
+        service = ET.SubElement(root, "service", attributes)
+        for name, value in spec.attributes:
+            ET.SubElement(service, "attribute", {"name": name, "value": value})
+        for param in sorted(spec.required_output.names()):
+            qos_value = spec.required_output[param]
+            service.append(_serialize_output(param, qos_value))
+    for edge in graph.edges():
+        ET.SubElement(
+            root,
+            "connection",
+            {
+                "from": edge.source,
+                "to": edge.target,
+                "throughput": f"{edge.throughput_mbps:g}",
+            },
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _serialize_output(param: str, value: QoSValue) -> ET.Element:
+    if isinstance(value, SingleValue):
+        return ET.Element("output", {"param": param, "value": str(value.value)})
+    if isinstance(value, RangeValue):
+        return ET.Element(
+            "output", {"param": param, "range": f"{value.low:g} {value.high:g}"}
+        )
+    if isinstance(value, SetValue):
+        options = " ".join(str(v) for v in sorted(value.options, key=repr))
+        return ET.Element("output", {"param": param, "set": options})
+    raise QoSLError(f"cannot serialise QoS value {value!r}")

@@ -1,0 +1,166 @@
+"""JSON (de)serialisation of service graphs and assignments.
+
+Lets tooling persist composed graphs and distribution decisions — e.g. the
+domain server checkpointing a session's configuration, or the benchmark
+harness archiving the exact instance behind a result. The format is plain
+JSON-compatible dicts; ``dumps``/``loads`` wrap them as strings.
+
+Round-trip guarantee: ``graph_from_dict(graph_to_dict(g))`` reconstructs an
+equal graph (same components, QoS, resources, pins and edges).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from repro.graph.cuts import Assignment
+from repro.graph.service_graph import ServiceComponent, ServiceEdge, ServiceGraph
+from repro.qos.parameters import QoSValue, RangeValue, SetValue, SingleValue
+from repro.qos.vectors import QoSVector
+from repro.resources.vectors import ResourceVector
+
+FORMAT_VERSION = 1
+
+
+def qos_value_to_dict(value: QoSValue) -> Dict[str, Any]:
+    """Encode one QoS value with an explicit kind tag."""
+    if isinstance(value, SingleValue):
+        raw = value.value
+        if isinstance(raw, tuple):
+            return {"kind": "single", "value": list(raw), "tuple": True}
+        return {"kind": "single", "value": raw}
+    if isinstance(value, RangeValue):
+        return {"kind": "range", "low": value.low, "high": value.high}
+    if isinstance(value, SetValue):
+        return {"kind": "set", "options": sorted(value.options, key=repr)}
+    raise TypeError(f"unsupported QoS value type: {type(value)!r}")
+
+
+def qos_value_from_dict(data: Mapping[str, Any]) -> QoSValue:
+    """Decode one QoS value."""
+    kind = data.get("kind")
+    if kind == "single":
+        raw = data["value"]
+        if data.get("tuple"):
+            raw = tuple(raw)
+        return SingleValue(raw)
+    if kind == "range":
+        return RangeValue(data["low"], data["high"])
+    if kind == "set":
+        return SetValue(data["options"])
+    raise ValueError(f"unknown QoS value kind: {kind!r}")
+
+
+def qos_vector_to_dict(vector: QoSVector) -> Dict[str, Any]:
+    """Encode a QoS vector parameter-by-parameter."""
+    return {name: qos_value_to_dict(value) for name, value in vector.items()}
+
+
+def qos_vector_from_dict(data: Mapping[str, Any]) -> QoSVector:
+    """Decode a QoS vector."""
+    return QoSVector({name: qos_value_from_dict(value) for name, value in data.items()})
+
+
+def component_to_dict(component: ServiceComponent) -> Dict[str, Any]:
+    """Encode one service component."""
+    return {
+        "component_id": component.component_id,
+        "service_type": component.service_type,
+        "qos_input": qos_vector_to_dict(component.qos_input),
+        "qos_output": qos_vector_to_dict(component.qos_output),
+        "resources": dict(component.resources),
+        "adjustable_outputs": sorted(component.adjustable_outputs),
+        "output_capabilities": qos_vector_to_dict(component.output_capabilities),
+        "passthrough": sorted(component.passthrough),
+        "pinned_to": component.pinned_to,
+        "optional": component.optional,
+        "code_size_kb": component.code_size_kb,
+        "state_size_kb": component.state_size_kb,
+        "attributes": [list(pair) for pair in component.attributes],
+    }
+
+
+def component_from_dict(data: Mapping[str, Any]) -> ServiceComponent:
+    """Decode one service component."""
+    return ServiceComponent(
+        component_id=data["component_id"],
+        service_type=data["service_type"],
+        qos_input=qos_vector_from_dict(data.get("qos_input", {})),
+        qos_output=qos_vector_from_dict(data.get("qos_output", {})),
+        resources=ResourceVector(data.get("resources", {})),
+        adjustable_outputs=frozenset(data.get("adjustable_outputs", ())),
+        output_capabilities=qos_vector_from_dict(
+            data.get("output_capabilities", {})
+        ),
+        passthrough=frozenset(data.get("passthrough", ())),
+        pinned_to=data.get("pinned_to"),
+        optional=data.get("optional", False),
+        code_size_kb=data.get("code_size_kb", 0.0),
+        state_size_kb=data.get("state_size_kb", 0.0),
+        attributes=tuple(tuple(pair) for pair in data.get("attributes", ())),
+    )
+
+
+def graph_to_dict(graph: ServiceGraph) -> Dict[str, Any]:
+    """Encode a whole service graph."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "components": [component_to_dict(c) for c in graph],
+        "edges": [
+            {
+                "source": e.source,
+                "target": e.target,
+                "throughput_mbps": e.throughput_mbps,
+            }
+            for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: Mapping[str, Any]) -> ServiceGraph:
+    """Decode a whole service graph."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version}")
+    graph = ServiceGraph(name=data.get("name", "service-graph"))
+    for component_data in data.get("components", ()):
+        graph.add_component(component_from_dict(component_data))
+    for edge_data in data.get("edges", ()):
+        graph.add_edge(
+            ServiceEdge(
+                edge_data["source"],
+                edge_data["target"],
+                edge_data.get("throughput_mbps", 0.0),
+            )
+        )
+    return graph
+
+
+def assignment_to_dict(assignment: Assignment) -> Dict[str, str]:
+    """Encode an assignment (already a plain mapping)."""
+    return dict(assignment)
+
+
+def assignment_from_dict(data: Mapping[str, str]) -> Assignment:
+    """Decode an assignment."""
+    return Assignment(dict(data))
+
+
+def dumps(graph: ServiceGraph, assignment: Assignment = None, indent: int = 2) -> str:
+    """Serialise a graph (optionally with its assignment) to a JSON string."""
+    payload: Dict[str, Any] = {"graph": graph_to_dict(graph)}
+    if assignment is not None:
+        payload["assignment"] = assignment_to_dict(assignment)
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def loads(text: str):
+    """Inverse of :func:`dumps`; returns ``(graph, assignment_or_None)``."""
+    payload = json.loads(text)
+    graph = graph_from_dict(payload["graph"])
+    assignment = None
+    if "assignment" in payload:
+        assignment = assignment_from_dict(payload["assignment"])
+    return graph, assignment

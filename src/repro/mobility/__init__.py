@@ -1,0 +1,27 @@
+"""Mobility substrate: checkpointing, migration and state handoff.
+
+Section 3.1 assumes "system services are available for saving and restoring
+application checkpoints and for migrating components with their data
+between nodes". This subpackage provides those services plus the state
+handoff protocol used when the user switches devices: "the user can
+continue to perform tasks, after the state handoff from the old service
+graph to the new one."
+"""
+
+from repro.mobility.checkpoint import Checkpoint, CheckpointStore, ComponentState
+from repro.mobility.migration import (
+    HandoffReport,
+    MigrationReport,
+    MigrationService,
+    StateHandoffProtocol,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "ComponentState",
+    "HandoffReport",
+    "MigrationReport",
+    "MigrationService",
+    "StateHandoffProtocol",
+]

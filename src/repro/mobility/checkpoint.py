@@ -1,0 +1,98 @@
+"""Application checkpoints.
+
+A running component's migratable state is modelled as a
+:class:`ComponentState`: an opaque payload dict (e.g. the playback position
+of the audio player at the interruption point) plus its serialised size,
+which drives the transfer-time part of the handoff cost model.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ComponentState:
+    """The migratable runtime state of one component instance."""
+
+    component_id: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size_kb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size_kb < 0:
+            raise ValueError("state size cannot be negative")
+
+    def snapshot(self) -> "ComponentState":
+        """A deep, independent copy — what a serialiser would capture."""
+        return ComponentState(
+            component_id=self.component_id,
+            payload=copy.deepcopy(self.payload),
+            size_kb=self.size_kb,
+        )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One saved snapshot of a component's state."""
+
+    checkpoint_id: int
+    component_id: str
+    taken_at: float
+    state: ComponentState
+
+
+class CheckpointStore:
+    """Saves and restores component checkpoints.
+
+    Keeps the latest ``retain`` checkpoints per component; ``restore``
+    yields an independent copy, so a restored session cannot alias the
+    stored snapshot.
+    """
+
+    def __init__(self, retain: int = 4) -> None:
+        if retain < 1:
+            raise ValueError("must retain at least one checkpoint")
+        self.retain = retain
+        self._by_component: Dict[str, List[Checkpoint]] = {}
+        self._ids = itertools.count(1)
+
+    def save(self, state: ComponentState, timestamp: float = 0.0) -> Checkpoint:
+        """Snapshot and store a component's state."""
+        checkpoint = Checkpoint(
+            checkpoint_id=next(self._ids),
+            component_id=state.component_id,
+            taken_at=timestamp,
+            state=state.snapshot(),
+        )
+        history = self._by_component.setdefault(state.component_id, [])
+        history.append(checkpoint)
+        if len(history) > self.retain:
+            del history[0 : len(history) - self.retain]
+        return checkpoint
+
+    def latest(self, component_id: str) -> Optional[Checkpoint]:
+        """The most recent checkpoint of a component, if any."""
+        history = self._by_component.get(component_id)
+        return history[-1] if history else None
+
+    def restore(self, component_id: str) -> Optional[ComponentState]:
+        """An independent copy of the latest checkpointed state."""
+        checkpoint = self.latest(component_id)
+        if checkpoint is None:
+            return None
+        return checkpoint.state.snapshot()
+
+    def history(self, component_id: str) -> List[Checkpoint]:
+        """All retained checkpoints of a component, oldest first."""
+        return list(self._by_component.get(component_id, []))
+
+    def drop(self, component_id: str) -> None:
+        """Forget all checkpoints of a component (idempotent)."""
+        self._by_component.pop(component_id, None)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_component.values())

@@ -1,0 +1,19 @@
+"""Network substrate.
+
+Models the heterogeneous interconnect of the smart space: typed links
+(ethernet, wireless LAN, ...), end-to-end available bandwidth ``b(i, j)``
+between device pairs (consumed by cut edges in the distribution tier), and
+transfer/latency primitives used by the dynamic-downloading and
+state-handoff cost models.
+"""
+
+from repro.network.links import Link, LinkClass, transfer_time_s
+from repro.network.topology import BandwidthReservation, NetworkTopology
+
+__all__ = [
+    "Link",
+    "LinkClass",
+    "transfer_time_s",
+    "BandwidthReservation",
+    "NetworkTopology",
+]

@@ -1,0 +1,89 @@
+"""Typed network links.
+
+The prototype testbed mixes wired ethernet (desktops, workstations) with a
+wireless link (the PDA): "Since the PDA is connected with the wireless
+network while the PC is connected with the ethernet, the state handoff time
+from PC to PDA is longer than that from PDA to PC." Link classes carry the
+default bandwidth/latency figures reproducing that asymmetry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class LinkClass(enum.Enum):
+    """Technology class of a link, with (bandwidth Mbps, latency ms) defaults."""
+
+    LOOPBACK = ("loopback", 10_000.0, 0.01)
+    GIGABIT_ETHERNET = ("gigabit-ethernet", 1_000.0, 0.2)
+    FAST_ETHERNET = ("fast-ethernet", 100.0, 0.5)
+    ETHERNET = ("ethernet", 10.0, 1.0)
+    WLAN = ("wlan", 5.0, 5.0)
+    BLUETOOTH = ("bluetooth", 0.7, 20.0)
+
+    def __init__(self, label: str, bandwidth_mbps: float, latency_ms: float) -> None:
+        self.label = label
+        self.default_bandwidth_mbps = bandwidth_mbps
+        self.default_latency_ms = latency_ms
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bidirectional link between two attachment points.
+
+    ``endpoints`` is stored as a sorted pair so ``Link("a", "b")`` and
+    ``Link("b", "a")`` are the same link. Bandwidth and latency default to
+    the link class's figures.
+    """
+
+    first: str
+    second: str
+    link_class: LinkClass = LinkClass.FAST_ETHERNET
+    bandwidth_mbps: float = -1.0
+    latency_ms: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.first == self.second:
+            raise ValueError("a link needs two distinct endpoints")
+        if self.bandwidth_mbps < 0:
+            object.__setattr__(
+                self, "bandwidth_mbps", self.link_class.default_bandwidth_mbps
+            )
+        if self.latency_ms < 0:
+            object.__setattr__(
+                self, "latency_ms", self.link_class.default_latency_ms
+            )
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.latency_ms < 0:
+            raise ValueError("link latency cannot be negative")
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return tuple(sorted((self.first, self.second)))  # type: ignore[return-value]
+
+    def other_end(self, endpoint: str) -> str:
+        """Return the opposite endpoint of the link."""
+        if endpoint == self.first:
+            return self.second
+        if endpoint == self.second:
+            return self.first
+        raise KeyError(f"{endpoint!r} is not an endpoint of {self!r}")
+
+
+def transfer_time_s(size_kb: float, bandwidth_mbps: float, latency_ms: float = 0.0) -> float:
+    """Time to push ``size_kb`` kilobytes over a path.
+
+    Used by the dynamic-downloading and state-handoff cost models:
+    serialisation time (8 bits/byte over the path bandwidth) plus one
+    propagation latency.
+    """
+    if size_kb < 0:
+        raise ValueError("size cannot be negative")
+    if bandwidth_mbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    serialization_s = (size_kb * 8.0 / 1000.0) / bandwidth_mbps
+    return serialization_s + latency_ms / 1000.0

@@ -1,0 +1,282 @@
+"""Network topology with end-to-end bandwidth and reservations.
+
+The distribution tier consumes ``b(i, j)``, the *end-to-end available
+bandwidth* between devices i and j (Definition 3.4). The topology computes
+the end-to-end capacity of a device pair as the widest path (maximum
+bottleneck bandwidth) over the link graph, and tracks reservations made for
+admitted applications so that availability reflects currently running
+streams.
+
+Simplification versus a full per-link broker: reservations are accounted
+against the end-to-end pair capacity rather than against each individual
+link on the routed path. For the star/short-path topologies of the paper's
+experiments (direct pairwise figures: b12=50, b13=5, b23=5 Mbps) the two
+accountings coincide.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.links import Link, LinkClass
+
+
+def _pair(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class BandwidthReservation:
+    """A granted share of end-to-end bandwidth between two devices."""
+
+    reservation_id: int
+    first: str
+    second: str
+    bandwidth_mbps: float
+
+
+class NetworkTopology:
+    """Devices connected by typed links, with pairwise bandwidth accounting.
+
+    Construction::
+
+        net = NetworkTopology()
+        net.add_device("desktop1")
+        net.add_device("pda")
+        net.add_link(Link("desktop1", "pda", LinkClass.WLAN))
+
+    End-to-end figures can also be pinned directly with
+    :meth:`set_pair_capacity`, which is how the simulation experiments feed
+    the paper's b(i, j) matrix.
+    """
+
+    def __init__(self) -> None:
+        self._devices: Set[str] = set()
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, Set[str]] = {}
+        self._pair_capacity_override: Dict[Tuple[str, str], float] = {}
+        self._reserved: Dict[Tuple[str, str], float] = {}
+        self._reservations: Dict[int, BandwidthReservation] = {}
+        self._reservation_ids = itertools.count(1)
+        self._path_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_device(self, device_id: str) -> None:
+        """Attach a device to the topology (idempotent)."""
+        self._devices.add(device_id)
+        self._adjacency.setdefault(device_id, set())
+
+    def remove_device(self, device_id: str) -> None:
+        """Detach a device, all its links, and any state keyed on it.
+
+        Pinned pair capacities and reservations touching the device are
+        dropped too, so a later re-attach starts clean.
+        """
+        if device_id not in self._devices:
+            raise KeyError(device_id)
+        for neighbor in list(self._adjacency[device_id]):
+            del self._links[_pair(device_id, neighbor)]
+            self._adjacency[neighbor].discard(device_id)
+        del self._adjacency[device_id]
+        self._devices.discard(device_id)
+        self._pair_capacity_override = {
+            pair: capacity
+            for pair, capacity in self._pair_capacity_override.items()
+            if device_id not in pair
+        }
+        self._reserved = {
+            pair: used
+            for pair, used in self._reserved.items()
+            if device_id not in pair
+        }
+        self._reservations = {
+            rid: reservation
+            for rid, reservation in self._reservations.items()
+            if device_id not in (reservation.first, reservation.second)
+        }
+        self._path_cache.clear()
+
+    def add_link(self, link: Link) -> None:
+        """Add (or replace) a link; endpoints are attached implicitly."""
+        self.add_device(link.first)
+        self.add_device(link.second)
+        self._links[link.endpoints] = link
+        self._adjacency[link.first].add(link.second)
+        self._adjacency[link.second].add(link.first)
+        self._path_cache.clear()
+
+    def connect(
+        self,
+        first: str,
+        second: str,
+        link_class: LinkClass = LinkClass.FAST_ETHERNET,
+        bandwidth_mbps: float = -1.0,
+        latency_ms: float = -1.0,
+    ) -> None:
+        """Convenience wrapper around :meth:`add_link`."""
+        self.add_link(Link(first, second, link_class, bandwidth_mbps, latency_ms))
+
+    def set_pair_capacity(self, first: str, second: str, bandwidth_mbps: float) -> None:
+        """Pin the end-to-end capacity of a pair, bypassing path computation.
+
+        The simulation experiments use this to install the paper's direct
+        b(i, j) figures.
+        """
+        if bandwidth_mbps < 0:
+            raise ValueError("capacity cannot be negative")
+        self.add_device(first)
+        self.add_device(second)
+        self._pair_capacity_override[_pair(first, second)] = bandwidth_mbps
+
+    # -- queries -----------------------------------------------------------------
+
+    def devices(self) -> List[str]:
+        """Return all attached device ids, sorted."""
+        return sorted(self._devices)
+
+    def has_device(self, device_id: str) -> bool:
+        return device_id in self._devices
+
+    def links(self) -> List[Link]:
+        """Return all links."""
+        return list(self._links.values())
+
+    def link_between(self, first: str, second: str) -> Optional[Link]:
+        """Return the direct link between two devices, if any."""
+        return self._links.get(_pair(first, second))
+
+    def pair_capacity(self, first: str, second: str) -> float:
+        """End-to-end bandwidth capacity between two devices, in Mbps.
+
+        Same-device pairs have effectively infinite capacity (loopback).
+        Returns 0.0 for disconnected pairs. Uses the pinned override when
+        present, otherwise the widest path over the link graph.
+        """
+        if first == second:
+            return LinkClass.LOOPBACK.default_bandwidth_mbps
+        override = self._pair_capacity_override.get(_pair(first, second))
+        if override is not None:
+            return override
+        bandwidth, _latency = self._widest_path(first, second)
+        return bandwidth
+
+    def path_latency_ms(self, first: str, second: str) -> float:
+        """Summed latency along the widest path, in milliseconds.
+
+        Pairs with a pinned capacity override but no physical path fall
+        back to the direct-link latency when a link exists, else a nominal
+        one-hop fast-ethernet latency.
+        """
+        if first == second:
+            return LinkClass.LOOPBACK.default_latency_ms
+        bandwidth, latency = self._widest_path(first, second)
+        if bandwidth > 0.0:
+            return latency
+        direct = self.link_between(first, second)
+        if direct is not None:
+            return direct.latency_ms
+        return LinkClass.FAST_ETHERNET.default_latency_ms
+
+    def reserved_bandwidth(self, first: str, second: str) -> float:
+        """Currently reserved bandwidth between a pair, in Mbps."""
+        return self._reserved.get(_pair(first, second), 0.0)
+
+    def available_bandwidth(self, first: str, second: str) -> float:
+        """The paper's ``b(i, j)``: capacity minus current reservations."""
+        capacity = self.pair_capacity(first, second)
+        return max(0.0, capacity - self.reserved_bandwidth(first, second))
+
+    # -- reservations ----------------------------------------------------------
+
+    def reserve(self, first: str, second: str, bandwidth_mbps: float) -> BandwidthReservation:
+        """Reserve bandwidth between a pair; raises when it does not fit."""
+        if bandwidth_mbps < 0:
+            raise ValueError("cannot reserve negative bandwidth")
+        if first == second:
+            # Loopback traffic never contends; grant a token reservation.
+            reservation = BandwidthReservation(
+                next(self._reservation_ids), first, second, bandwidth_mbps
+            )
+            self._reservations[reservation.reservation_id] = reservation
+            return reservation
+        if bandwidth_mbps > self.available_bandwidth(first, second) + 1e-9:
+            raise ValueError(
+                f"insufficient bandwidth between {first!r} and {second!r}: "
+                f"requested {bandwidth_mbps:g} Mbps, "
+                f"available {self.available_bandwidth(first, second):g} Mbps"
+            )
+        key = _pair(first, second)
+        self._reserved[key] = self._reserved.get(key, 0.0) + bandwidth_mbps
+        reservation = BandwidthReservation(
+            next(self._reservation_ids), first, second, bandwidth_mbps
+        )
+        self._reservations[reservation.reservation_id] = reservation
+        return reservation
+
+    def release(self, reservation: BandwidthReservation) -> None:
+        """Release a previously granted reservation (idempotent per token)."""
+        stored = self._reservations.pop(reservation.reservation_id, None)
+        if stored is None:
+            return
+        if stored.first != stored.second:
+            key = _pair(stored.first, stored.second)
+            remaining = self._reserved.get(key, 0.0) - stored.bandwidth_mbps
+            if remaining <= 1e-12:
+                self._reserved.pop(key, None)
+            else:
+                self._reserved[key] = remaining
+
+    def active_reservations(self) -> List[BandwidthReservation]:
+        """Return all live reservations."""
+        return list(self._reservations.values())
+
+    # -- internals ----------------------------------------------------------------
+
+    def _widest_path(self, source: str, target: str) -> Tuple[float, float]:
+        """Maximum-bottleneck path: (bottleneck Mbps, summed latency ms).
+
+        A Dijkstra variant maximising the minimum link bandwidth along the
+        path; among equal-bottleneck paths, the lower-latency one wins.
+        Returns (0.0, inf) when no path exists. Results are cached until
+        the topology changes.
+        """
+        if source not in self._devices or target not in self._devices:
+            return (0.0, float("inf"))
+        cached = self._path_cache.get((source, target))
+        if cached is not None:
+            return cached
+        best_bandwidth: Dict[str, float] = {source: float("inf")}
+        best_latency: Dict[str, float] = {source: 0.0}
+        # Max-heap on bandwidth (negated), min on latency as tie-break.
+        frontier: List[Tuple[float, float, str]] = [(-float("inf"), 0.0, source)]
+        settled: Set[str] = set()
+        while frontier:
+            neg_bw, latency, node = heapq.heappop(frontier)
+            if node in settled:
+                continue
+            settled.add(node)
+            if node == target:
+                break
+            for neighbor in self._adjacency.get(node, ()):
+                link = self._links[_pair(node, neighbor)]
+                bottleneck = min(-neg_bw, link.bandwidth_mbps)
+                total_latency = latency + link.latency_ms
+                known = best_bandwidth.get(neighbor, 0.0)
+                if bottleneck > known or (
+                    bottleneck == known
+                    and total_latency < best_latency.get(neighbor, float("inf"))
+                ):
+                    best_bandwidth[neighbor] = bottleneck
+                    best_latency[neighbor] = total_latency
+                    heapq.heappush(frontier, (-bottleneck, total_latency, neighbor))
+        if target not in best_bandwidth:
+            result = (0.0, float("inf"))
+        else:
+            result = (best_bandwidth[target], best_latency[target])
+        self._path_cache[(source, target)] = result
+        self._path_cache[(target, source)] = result
+        return result

@@ -1,0 +1,15 @@
+"""Profiling and monitoring substrate.
+
+Section 3.1 assumes "profiling or monitoring services are available to
+automatically measure the resource requirements for all application
+services" (in the style of QualProbes / Abdelzaher's automated profiling).
+This subpackage provides an EWMA-based online profiler for component
+resource requirements and a device resource monitor with significant-change
+detection and fluctuation injection for the simulation experiments.
+"""
+
+from repro.profiling.profiler import OnlineProfiler, ProfileEstimate
+from repro.profiling.monitor import ResourceMonitor
+from repro.profiling.daemon import MonitorDaemon
+
+__all__ = ["OnlineProfiler", "ProfileEstimate", "ResourceMonitor", "MonitorDaemon"]

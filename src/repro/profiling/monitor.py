@@ -1,0 +1,86 @@
+"""Device resource monitoring with significant-change detection.
+
+"The service distributor is invoked whenever some significant resource
+fluctuations or device changes happen during runtime." The monitor watches
+a device's availability, publishes a ``device.resources_changed`` event
+when any resource moves by more than a relative threshold since the last
+report, and supports fluctuation injection (background load) for the
+simulation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.domain.device import Device, ResourceAllocation
+from repro.domain.domain import DomainServer
+from repro.resources.vectors import ResourceVector
+
+
+class ResourceMonitor:
+    """Watches one device's availability for significant fluctuations.
+
+    ``threshold`` is relative to the device's capacity: a change of more
+    than ``threshold * capacity[r]`` in any resource ``r`` since the last
+    published snapshot triggers a notification through the domain server.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        server: Optional[DomainServer] = None,
+        threshold: float = 0.1,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.device = device
+        self.server = server
+        self.threshold = threshold
+        self._last_reported = device.available()
+        self._background: List[ResourceAllocation] = []
+        self.notifications = 0
+
+    # -- fluctuation injection ---------------------------------------------------
+
+    def inject_background_load(self, load: ResourceVector) -> ResourceAllocation:
+        """Consume resources as non-application (background) load."""
+        allocation = self.device.allocate(load, owner="background")
+        self._background.append(allocation)
+        return allocation
+
+    def clear_background_load(self) -> None:
+        """Release all injected background load."""
+        for allocation in self._background:
+            self.device.release(allocation)
+        self._background.clear()
+
+    # -- change detection -----------------------------------------------------------
+
+    def poll(self) -> bool:
+        """Compare availability to the last report; notify when significant.
+
+        Returns True when a notification was published (or would have been,
+        if no domain server is attached).
+        """
+        current = self.device.available()
+        if not self._significant(current):
+            return False
+        self._last_reported = current
+        self.notifications += 1
+        if self.server is not None:
+            self.server.notify_resources_changed(self.device.device_id)
+        return True
+
+    def _significant(self, current: ResourceVector) -> bool:
+        for name in self.device.capacity.names():
+            capacity = self.device.capacity[name]
+            if capacity <= 0:
+                continue
+            delta = abs(current.get(name, 0.0) - self._last_reported.get(name, 0.0))
+            if delta > self.threshold * capacity:
+                return True
+        return False
+
+    def utilization_report(self) -> Dict[str, float]:
+        """Convenience passthrough of the device's per-resource utilisation."""
+        return self.device.utilization()

@@ -1,0 +1,97 @@
+"""Online profiling of component resource requirements.
+
+Observed usage samples (per service type and resource) feed an
+exponentially weighted moving average; the profiler's estimates supply the
+``R`` vectors the distribution tier plans with, normalised to the benchmark
+machine via the device-class normaliser when samples come from
+heterogeneous devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.resources.normalization import BenchmarkNormalizer
+from repro.resources.vectors import ResourceVector
+
+
+@dataclass(frozen=True)
+class ProfileEstimate:
+    """The profiler's current belief for one service type."""
+
+    service_type: str
+    requirements: ResourceVector
+    sample_count: int
+
+    @property
+    def confident(self) -> bool:
+        """Heuristic confidence: at least three samples folded in."""
+        return self.sample_count >= 3
+
+
+class OnlineProfiler:
+    """EWMA estimator of per-service-type resource requirements.
+
+    ``alpha`` is the usual smoothing factor: estimates react to workload
+    drift while damping measurement noise. ``observe`` takes raw samples in
+    the measuring device's units and normalises them through the device
+    class; ``prime`` seeds an estimate from a static specification (e.g. a
+    component template's declared R vector).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.25,
+        normalizer: Optional[BenchmarkNormalizer] = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.normalizer = normalizer or BenchmarkNormalizer()
+        self._estimates: Dict[str, ResourceVector] = {}
+        self._samples: Dict[str, int] = {}
+
+    def prime(self, service_type: str, requirements: ResourceVector) -> None:
+        """Seed the estimate from a declared specification (counts as one sample)."""
+        self._estimates[service_type] = requirements
+        self._samples[service_type] = max(1, self._samples.get(service_type, 0))
+
+    def observe(
+        self,
+        service_type: str,
+        measured: ResourceVector,
+        device_class: str = "benchmark",
+    ) -> ProfileEstimate:
+        """Fold one usage sample into the estimate; returns the new belief."""
+        sample = self.normalizer.normalize_requirement(measured, device_class)
+        previous = self._estimates.get(service_type)
+        if previous is None:
+            updated = sample
+        else:
+            names = set(previous.names()) | set(sample.names())
+            updated = ResourceVector(
+                {
+                    name: (1.0 - self.alpha) * previous.get(name, 0.0)
+                    + self.alpha * sample.get(name, 0.0)
+                    for name in names
+                }
+            )
+        self._estimates[service_type] = updated
+        self._samples[service_type] = self._samples.get(service_type, 0) + 1
+        return self.estimate(service_type)  # type: ignore[return-value]
+
+    def estimate(self, service_type: str) -> Optional[ProfileEstimate]:
+        """Current belief for a service type, or None when never seen."""
+        requirements = self._estimates.get(service_type)
+        if requirements is None:
+            return None
+        return ProfileEstimate(
+            service_type=service_type,
+            requirements=requirements,
+            sample_count=self._samples.get(service_type, 0),
+        )
+
+    def known_types(self) -> Tuple[str, ...]:
+        """Service types with at least one estimate, sorted."""
+        return tuple(sorted(self._estimates))

@@ -1,0 +1,37 @@
+"""QoS parameter model.
+
+This subpackage implements the application-level Quality-of-Service model
+from Section 2 of the paper: QoS parameter values (single values and range
+values), input/output QoS vectors ``Qin``/``Qout``, and the inter-component
+"satisfy" relation (Equation 1) used by the composition tier's consistency
+check.
+"""
+
+from repro.qos.parameters import (
+    Preference,
+    QoSValue,
+    RangeValue,
+    SetValue,
+    SingleValue,
+    as_qos_value,
+    intersection,
+    pick_best,
+)
+from repro.qos.vectors import QoSVector, satisfies, unsatisfied_parameters
+from repro.qos.translation import Transcoding, TranscoderCatalog
+
+__all__ = [
+    "Preference",
+    "QoSValue",
+    "RangeValue",
+    "SetValue",
+    "SingleValue",
+    "as_qos_value",
+    "intersection",
+    "pick_best",
+    "QoSVector",
+    "satisfies",
+    "unsatisfied_parameters",
+    "Transcoding",
+    "TranscoderCatalog",
+]

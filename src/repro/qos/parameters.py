@@ -1,0 +1,222 @@
+"""QoS parameter values.
+
+The paper distinguishes *single value* QoS parameters (media format,
+resolution, ...) from *range value* parameters (frame rate ``[10fps, 30fps]``).
+We additionally support *set values* (a discrete choice set, e.g. the formats
+a player accepts), which the satisfy relation treats like ranges: an offered
+value satisfies a set requirement when it is contained in the set.
+
+The central operation is containment, used by :func:`repro.qos.satisfies`:
+``requirement.contains(offer)`` answers "does this offered output QoS value
+meet this input QoS requirement?".
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple, Union
+
+Scalar = Union[int, float, str, Tuple[int, ...]]
+
+
+class Preference(enum.Enum):
+    """Direction of quality for a numeric QoS parameter.
+
+    ``HIGHER`` means larger values are better (frame rate, resolution);
+    ``LOWER`` means smaller values are better (latency, jitter). Used when
+    an adjustable output is tuned to the *best* value inside the feasible
+    region during automatic correction.
+    """
+
+    HIGHER = "higher"
+    LOWER = "lower"
+
+
+class QoSValue(ABC):
+    """A value of one application-level QoS parameter."""
+
+    @abstractmethod
+    def contains(self, offer: "QoSValue") -> bool:
+        """Return True when ``offer`` satisfies this value as a requirement.
+
+        Implements the per-dimension clauses of Equation 1: equality for
+        single-value requirements and containment for range (and set)
+        requirements.
+        """
+
+    @abstractmethod
+    def is_concrete(self) -> bool:
+        """Return True when the value denotes exactly one operating value."""
+
+
+@dataclass(frozen=True)
+class SingleValue(QoSValue):
+    """A single-value QoS parameter value, e.g. format ``"MPEG"``.
+
+    ``value`` may be a string (format names), a number (a fixed rate) or a
+    tuple of ints (a resolution such as ``(1600, 1200)``).
+    """
+
+    value: Scalar
+
+    def contains(self, offer: QoSValue) -> bool:
+        return isinstance(offer, SingleValue) and offer.value == self.value
+
+    def is_concrete(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"SingleValue({self.value!r})"
+
+
+@dataclass(frozen=True)
+class RangeValue(QoSValue):
+    """A closed numeric interval ``[low, high]``, e.g. frame rate [10, 30]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(
+                f"RangeValue requires low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def contains(self, offer: QoSValue) -> bool:
+        if isinstance(offer, SingleValue):
+            return (
+                isinstance(offer.value, (int, float))
+                and self.low <= offer.value <= self.high
+            )
+        if isinstance(offer, RangeValue):
+            return self.low <= offer.low and offer.high <= self.high
+        return False
+
+    def is_concrete(self) -> bool:
+        return self.low == self.high
+
+    def width(self) -> float:
+        """Return the length of the interval."""
+        return self.high - self.low
+
+    def __repr__(self) -> str:
+        return f"RangeValue({self.low}, {self.high})"
+
+
+@dataclass(frozen=True)
+class SetValue(QoSValue):
+    """A finite set of admissible values, e.g. accepted formats.
+
+    A :class:`SingleValue` offer satisfies a set requirement when its value
+    is a member; a :class:`SetValue` offer satisfies it when it is a subset.
+    """
+
+    options: FrozenSet[Scalar]
+
+    def __init__(self, options: Iterable[Scalar]):
+        object.__setattr__(self, "options", frozenset(options))
+        if not self.options:
+            raise ValueError("SetValue requires at least one option")
+
+    def contains(self, offer: QoSValue) -> bool:
+        if isinstance(offer, SingleValue):
+            return offer.value in self.options
+        if isinstance(offer, SetValue):
+            return offer.options <= self.options
+        return False
+
+    def is_concrete(self) -> bool:
+        return len(self.options) == 1
+
+    def __repr__(self) -> str:
+        return f"SetValue({sorted(self.options, key=repr)!r})"
+
+
+def as_qos_value(raw: Union[QoSValue, Scalar, Tuple[float, float], Iterable[Scalar]]) -> QoSValue:
+    """Coerce a plain Python value into a :class:`QoSValue`.
+
+    Coercion rules:
+
+    - a :class:`QoSValue` passes through unchanged;
+    - a 2-tuple of numbers becomes a :class:`RangeValue`;
+    - a set or frozenset becomes a :class:`SetValue`;
+    - anything else becomes a :class:`SingleValue`.
+
+    Tuples that are not numeric pairs (e.g. a resolution ``(1600, 1200)``
+    would be ambiguous) must be wrapped explicitly by the caller.
+    """
+    if isinstance(raw, QoSValue):
+        return raw
+    if isinstance(raw, (set, frozenset)):
+        return SetValue(raw)
+    if (
+        isinstance(raw, tuple)
+        and len(raw) == 2
+        and all(isinstance(x, (int, float)) for x in raw)
+    ):
+        return RangeValue(float(raw[0]), float(raw[1]))
+    return SingleValue(raw)
+
+
+def intersection(a: QoSValue, b: QoSValue) -> Optional[QoSValue]:
+    """Return the QoS value admitting exactly what both ``a`` and ``b`` admit.
+
+    Returns ``None`` when the two values are disjoint. Used by automatic
+    correction to decide whether an adjustable output can be tuned into a
+    successor's requirement.
+    """
+    if isinstance(a, SingleValue):
+        return a if b.contains(a) else None
+    if isinstance(b, SingleValue):
+        return b if a.contains(b) else None
+    if isinstance(a, RangeValue) and isinstance(b, RangeValue):
+        low = max(a.low, b.low)
+        high = min(a.high, b.high)
+        if low > high:
+            return None
+        return RangeValue(low, high)
+    if isinstance(a, SetValue) and isinstance(b, SetValue):
+        common = a.options & b.options
+        if not common:
+            return None
+        return SetValue(common)
+    if isinstance(a, SetValue) and isinstance(b, RangeValue):
+        return _set_range_intersection(a, b)
+    if isinstance(a, RangeValue) and isinstance(b, SetValue):
+        return _set_range_intersection(b, a)
+    return None
+
+
+def _set_range_intersection(s: SetValue, r: RangeValue) -> Optional[QoSValue]:
+    numeric = {
+        v
+        for v in s.options
+        if isinstance(v, (int, float)) and r.low <= v <= r.high
+    }
+    if not numeric:
+        return None
+    return SetValue(numeric)
+
+
+def pick_best(value: QoSValue, preference: Preference = Preference.HIGHER) -> SingleValue:
+    """Choose the best concrete value admitted by ``value``.
+
+    Automatic correction uses this to configure an adjustable output to the
+    highest-quality point inside the feasible region, which is how the OC
+    algorithm "best supports the user's QoS requirements".
+    """
+    if isinstance(value, SingleValue):
+        return value
+    if isinstance(value, RangeValue):
+        chosen = value.high if preference is Preference.HIGHER else value.low
+        return SingleValue(chosen)
+    if isinstance(value, SetValue):
+        numeric = [v for v in value.options if isinstance(v, (int, float))]
+        if numeric:
+            chosen = max(numeric) if preference is Preference.HIGHER else min(numeric)
+            return SingleValue(chosen)
+        # Non-numeric sets have no quality order; pick deterministically.
+        return SingleValue(sorted(value.options, key=repr)[0])
+    raise TypeError(f"unsupported QoS value type: {type(value)!r}")

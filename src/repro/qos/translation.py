@@ -1,0 +1,132 @@
+"""Format-translation knowledge used for transcoder insertion.
+
+The OC algorithm "may also insert transcoders in the middle to solve type
+mismatches". The :class:`TranscoderCatalog` is the knowledge base answering
+"is there a transcoder from format X to format Y, and what does it cost?" —
+in the prototype this role is played by the component repository (e.g. the
+``MPEG2wav`` transcoder used during the PC→PDA audio handoff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Transcoding:
+    """One available format translation.
+
+    ``resource_cost`` maps end-system resource names to the normalised
+    requirement of running this transcoder (fed into the component's ``R``
+    vector when it is instantiated); ``fidelity`` in (0, 1] models quality
+    loss introduced by the translation and is carried into delivered-QoS
+    accounting by the media pipeline.
+    """
+
+    source_format: str
+    target_format: str
+    resource_cost: Mapping[str, float] = field(default_factory=dict)
+    fidelity: float = 1.0
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fidelity <= 1.0:
+            raise ValueError(f"fidelity must be in (0, 1], got {self.fidelity}")
+        if self.source_format == self.target_format:
+            raise ValueError("a transcoding must change the format")
+
+    @property
+    def display_name(self) -> str:
+        if self.name:
+            return self.name
+        return f"{self.source_format}2{self.target_format}"
+
+
+class TranscoderCatalog:
+    """Registry of available transcodings with shortest-chain lookup.
+
+    Single-hop lookup covers the common case; :meth:`find_chain` additionally
+    finds multi-hop chains (e.g. MPEG→PCM→WAV) via breadth-first search,
+    which the composer uses when no direct transcoder exists in the current
+    environment.
+    """
+
+    def __init__(self, transcodings: Iterable[Transcoding] = ()) -> None:
+        self._by_pair: Dict[Tuple[str, str], Transcoding] = {}
+        for t in transcodings:
+            self.register(t)
+
+    def register(self, transcoding: Transcoding) -> None:
+        """Add a transcoding, replacing any existing one for the same pair."""
+        self._by_pair[(transcoding.source_format, transcoding.target_format)] = transcoding
+
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def __iter__(self) -> Iterator[Transcoding]:
+        return iter(self._by_pair.values())
+
+    def find(self, source_format: str, target_format: str) -> Optional[Transcoding]:
+        """Return the direct transcoding for the pair, if registered."""
+        return self._by_pair.get((source_format, target_format))
+
+    def find_chain(
+        self, source_format: str, target_format: str, max_hops: int = 3
+    ) -> Optional[List[Transcoding]]:
+        """Return the shortest chain of transcodings from source to target.
+
+        Returns ``None`` when no chain of at most ``max_hops`` steps exists.
+        A direct hit returns a single-element chain. Ties are broken by the
+        order of registration (BFS is stable over insertion order).
+        """
+        if source_format == target_format:
+            return []
+        adjacency: Dict[str, List[Transcoding]] = {}
+        for (src, _dst), t in self._by_pair.items():
+            adjacency.setdefault(src, []).append(t)
+        frontier: List[Tuple[str, List[Transcoding]]] = [(source_format, [])]
+        visited = {source_format}
+        for _hop in range(max_hops):
+            next_frontier: List[Tuple[str, List[Transcoding]]] = []
+            for fmt, path in frontier:
+                for t in adjacency.get(fmt, []):
+                    if t.target_format in visited:
+                        continue
+                    new_path = path + [t]
+                    if t.target_format == target_format:
+                        return new_path
+                    visited.add(t.target_format)
+                    next_frontier.append((t.target_format, new_path))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return None
+
+    def formats(self) -> List[str]:
+        """Return all formats appearing as a source or target, sorted."""
+        names = set()
+        for src, dst in self._by_pair:
+            names.add(src)
+            names.add(dst)
+        return sorted(names)
+
+
+def default_catalog() -> TranscoderCatalog:
+    """A catalog mirroring the prototype's repository.
+
+    Contains the audio translations exercised by the mobile audio-on-demand
+    experiment (notably ``MPEG2wav``) plus common video translations used by
+    the examples.
+    """
+    return TranscoderCatalog(
+        [
+            Transcoding("MPEG", "WAV", {"cpu": 0.15, "memory": 8.0}, fidelity=0.95,
+                        name="MPEG2wav"),
+            Transcoding("WAV", "PCM", {"cpu": 0.05, "memory": 2.0}, fidelity=1.0),
+            Transcoding("MP3", "WAV", {"cpu": 0.12, "memory": 6.0}, fidelity=0.97),
+            Transcoding("MPEG", "MJPEG", {"cpu": 0.30, "memory": 16.0}, fidelity=0.9),
+            Transcoding("MJPEG", "JPEG", {"cpu": 0.10, "memory": 4.0}, fidelity=1.0),
+            Transcoding("MPEG", "H261", {"cpu": 0.25, "memory": 12.0}, fidelity=0.92),
+        ]
+    )

@@ -1,0 +1,127 @@
+"""QoS vectors and the inter-component "satisfy" relation (Equation 1).
+
+A :class:`QoSVector` is the paper's ``Q = [q_1, ..., q_n]``: an immutable
+mapping from parameter name to :class:`~repro.qos.parameters.QoSValue`. We
+match parameters *by name* rather than by position — the paper quantifies
+"∃j: q_Aj (matches) q_Bi", and name identity is the practical reading of
+which output dimension corresponds to which input dimension (a format is
+checked against a format, never against a resolution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.qos.parameters import QoSValue, Scalar, as_qos_value
+
+
+class QoSVector(Mapping[str, QoSValue]):
+    """An immutable named vector of QoS parameter values.
+
+    Used both for output QoS (``Qout``, what a component produces) and for
+    input QoS requirements (``Qin``, what a component needs). Construction
+    coerces plain values through :func:`repro.qos.as_qos_value`::
+
+        QoSVector(format="MPEG", frame_rate=(10, 30))
+    """
+
+    __slots__ = ("_params",)
+
+    def __init__(
+        self,
+        params: Optional[Mapping[str, Union[QoSValue, Scalar]]] = None,
+        **kwargs: Union[QoSValue, Scalar],
+    ) -> None:
+        merged: Dict[str, QoSValue] = {}
+        for source in (params or {}), kwargs:
+            for name, raw in source.items():
+                merged[name] = as_qos_value(raw)
+        self._params: Dict[str, QoSValue] = merged
+
+    def __getitem__(self, name: str) -> QoSValue:
+        return self._params[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._params)
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QoSVector):
+            return NotImplemented
+        return self._params == other._params
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._params.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._params.items()))
+        return f"QoSVector({inner})"
+
+    @property
+    def dimension(self) -> int:
+        """The paper's ``Dim(Q)``: the number of parameters in the vector."""
+        return len(self._params)
+
+    def names(self) -> Iterable[str]:
+        """Return the parameter names in this vector."""
+        return self._params.keys()
+
+    def replace(self, **changes: Union[QoSValue, Scalar]) -> "QoSVector":
+        """Return a copy with the given parameters replaced or added."""
+        merged: Dict[str, Union[QoSValue, Scalar]] = dict(self._params)
+        merged.update(changes)
+        return QoSVector(merged)
+
+    def without(self, *names: str) -> "QoSVector":
+        """Return a copy with the given parameters removed."""
+        remaining = {k: v for k, v in self._params.items() if k not in names}
+        return QoSVector(remaining)
+
+    def merge(self, other: "QoSVector") -> "QoSVector":
+        """Return the union of two vectors; ``other`` wins on conflicts."""
+        merged: Dict[str, QoSValue] = dict(self._params)
+        merged.update(other._params)
+        return QoSVector(merged)
+
+
+EMPTY_QOS = QoSVector()
+
+
+def satisfies(q_out: QoSVector, q_in: QoSVector) -> bool:
+    """The paper's "satisfy" relation: ``Qout_A ⪯ Qin_B`` (Equation 1).
+
+    True iff for every parameter required by ``q_in`` there is a matching
+    (same-named) parameter in ``q_out`` whose value is admitted by the
+    requirement: equal for single-value requirements, contained for range
+    and set requirements. An input vector with no parameters is satisfied
+    by anything.
+    """
+    return not unsatisfied_parameters(q_out, q_in)
+
+
+def unsatisfied_parameters(q_out: QoSVector, q_in: QoSVector) -> List[str]:
+    """Return the names of ``q_in`` requirements that ``q_out`` violates.
+
+    A requirement is violated when the output vector lacks the parameter
+    entirely or offers a value outside the required one. The composition
+    tier uses this to report *which* dimensions are inconsistent so the
+    automatic correction can target them individually.
+    """
+    violations: List[str] = []
+    for name, requirement in q_in.items():
+        offered = q_out.get(name)
+        if offered is None or not requirement.contains(offered):
+            violations.append(name)
+    return violations
+
+
+def consistency_gaps(
+    q_out: QoSVector, q_in: QoSVector
+) -> List[Tuple[str, Optional[QoSValue], QoSValue]]:
+    """Return ``(name, offered_or_None, required)`` for each violation."""
+    gaps: List[Tuple[str, Optional[QoSValue], QoSValue]] = []
+    for name in unsatisfied_parameters(q_out, q_in):
+        gaps.append((name, q_out.get(name), q_in[name]))
+    return gaps

@@ -1,0 +1,122 @@
+"""Plain-text rendering of graphs, placements and overhead breakdowns.
+
+Terminal-friendly reporting used by the examples and the CLI: an indented
+tree view of a service graph, a placement table grouped by device, and the
+stacked horizontal bars of a Figure 4-style overhead breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.graph.cuts import Assignment
+from repro.graph.service_graph import ServiceGraph
+
+BAR_SEGMENTS = (
+    ("composition_ms", "#"),
+    ("distribution_ms", "="),
+    ("download_ms", "D"),
+    ("init_or_handoff_ms", "+"),
+)
+
+
+def render_graph(graph: ServiceGraph, assignment: Optional[Assignment] = None) -> str:
+    """An indented, topologically ordered tree view of a service graph.
+
+    Each node shows its successors; with an assignment, the hosting device
+    is appended, and cut edges are marked ``~>`` instead of ``->``.
+    """
+    lines: List[str] = [f"{graph.name} ({len(graph)} components, "
+                        f"{len(graph.edges())} edges)"]
+    for component_id in graph.topological_order():
+        device = ""
+        if assignment is not None and component_id in assignment:
+            device = f" @ {assignment[component_id]}"
+        lines.append(f"  {component_id}{device}")
+        for successor in graph.successors(component_id):
+            edge = graph.edge(component_id, successor)
+            arrow = "->"
+            if (
+                assignment is not None
+                and component_id in assignment
+                and successor in assignment
+                and assignment[component_id] != assignment[successor]
+            ):
+                arrow = "~>"  # crosses a device boundary
+            lines.append(
+                f"    {arrow} {successor} ({edge.throughput_mbps:g} Mbps)"
+            )
+    return "\n".join(lines)
+
+
+def render_placement(graph: ServiceGraph, assignment: Assignment) -> str:
+    """A per-device summary table of one k-cut."""
+    lines: List[str] = [f"{'device':<16}{'components':>12}{'memory':>10}{'cpu':>8}"]
+    loads = assignment.device_loads(graph)
+    for device_id, members in sorted(assignment.partition().items()):
+        load = loads.get(device_id)
+        memory = load.get("memory", 0.0) if load else 0.0
+        cpu = load.get("cpu", 0.0) if load else 0.0
+        lines.append(
+            f"{device_id:<16}{len(members):>12}{memory:>10.1f}{cpu:>8.2f}"
+        )
+    cut = assignment.cut_edges(graph)
+    cut_mbps = sum(e.throughput_mbps for e in cut)
+    lines.append(f"cut edges: {len(cut)} ({cut_mbps:g} Mbps total)")
+    return "\n".join(lines)
+
+
+def render_overhead_bars(
+    rows: Sequence[Mapping[str, float]],
+    labels: Sequence[str],
+    width: int = 60,
+) -> str:
+    """Figure 4 as stacked horizontal ASCII bars.
+
+    Bars are scaled to the largest total; segment characters:
+    ``#`` composition, ``=`` distribution, ``D`` downloading,
+    ``+`` initialization/state handoff.
+    """
+    if len(rows) != len(labels):
+        raise ValueError("rows and labels must have the same length")
+    if not rows:
+        return "(no rows)"
+    max_total = max(row["total_ms"] for row in rows) or 1.0
+    lines: List[str] = []
+    for label, row in zip(labels, rows):
+        bar = ""
+        for key, char in BAR_SEGMENTS:
+            segment = int(round(row.get(key, 0.0) / max_total * width))
+            bar += char * segment
+        lines.append(f"{label:<10} |{bar:<{width}}| {row['total_ms']:8.1f} ms")
+    legend = "legend: # composition  = distribution  D download  + init/handoff"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_success_series(
+    sample_times: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 10,
+) -> str:
+    """Figure 5 as a coarse ASCII chart (one letter per algorithm).
+
+    Each algorithm plots its first letter at the bucketed success-rate row;
+    collisions show the letter of the later-plotted series.
+    """
+    if not sample_times:
+        return "(no samples)"
+    rows = [[" "] * len(sample_times) for _ in range(height + 1)]
+    for name, values in series.items():
+        letter = name[0].upper()
+        for column, value in enumerate(values):
+            bucket = min(height, max(0, int(round(value * height))))
+            rows[height - bucket][column] = letter
+    lines: List[str] = []
+    for i, row in enumerate(rows):
+        level = (height - i) / height
+        lines.append(f"{level:>5.2f} |" + " ".join(row))
+    lines.append("      +" + "--" * len(sample_times))
+    labels = "  ".join(f"{name}={name[0].upper()}" for name in series)
+    lines.append(f"       {labels}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""End-system resource model.
+
+Implements the paper's resource requirement vectors ``R = [r_1, ..., r_m]``,
+availability vectors ``RA``, vector addition (Definition 3.1), component-wise
+comparison (Definition 3.2), and the benchmark-machine normalisation used to
+make heterogeneous devices comparable (Section 3.3).
+"""
+
+from repro.resources.vectors import (
+    CPU,
+    MEMORY,
+    ResourceVector,
+    weighted_magnitude,
+)
+from repro.resources.normalization import BenchmarkNormalizer, DeviceProfile
+
+__all__ = [
+    "CPU",
+    "MEMORY",
+    "ResourceVector",
+    "weighted_magnitude",
+    "BenchmarkNormalizer",
+    "DeviceProfile",
+]

@@ -1,0 +1,123 @@
+"""Benchmark-machine normalisation (Section 3.3).
+
+Heterogeneous devices report raw resource figures that are not directly
+comparable: "100% CPU" on a PDA is far less compute than "100% CPU" on a PC.
+The paper normalises both resource availability and resource requirements to
+a *benchmark machine*: memory is unaffected by heterogeneity, while CPU is
+rescaled by the speed ratio between the device and the benchmark. The
+paper's example: with a laptop benchmark, ``RA_PDA=[32MB, 100%]`` becomes
+``N(RA_PDA)=[32MB, 40%]`` and ``RA_PC=[256MB, 100%]`` becomes
+``[256MB, 500%]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.resources.vectors import ResourceVector
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Relative speed factors of one device class versus the benchmark.
+
+    ``speed_factors`` maps resource names to the ratio
+
+        (device units of work per raw resource unit)
+        / (benchmark units of work per raw resource unit)
+
+    e.g. a PDA whose CPU is 0.4x the benchmark laptop has
+    ``speed_factors={"cpu": 0.4}``. Capacity-like resources (memory, disk)
+    that heterogeneity does not affect simply omit an entry (factor 1.0).
+    """
+
+    name: str
+    speed_factors: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for resource, factor in self.speed_factors.items():
+            if factor <= 0:
+                raise ValueError(
+                    f"speed factor for {resource!r} must be positive, got {factor}"
+                )
+
+
+class BenchmarkNormalizer:
+    """Normalises R/RA vectors of heterogeneous devices to a benchmark.
+
+    Availabilities are *multiplied* by the device's speed factor (a fast PC
+    offers more benchmark-equivalent CPU than its raw percentage suggests);
+    requirements measured on a device are likewise converted into
+    benchmark-equivalent amounts. In the common workflow, requirement
+    vectors are already expressed in benchmark units by the profiling
+    service, and only availabilities need normalisation.
+    """
+
+    def __init__(self, benchmark_name: str = "benchmark") -> None:
+        self.benchmark_name = benchmark_name
+        self._profiles: Dict[str, DeviceProfile] = {}
+
+    def register(self, profile: DeviceProfile) -> None:
+        """Register (or replace) a device profile."""
+        self._profiles[profile.name] = profile
+
+    def profile(self, device_class: str) -> Optional[DeviceProfile]:
+        """Return the registered profile for a device class, if any."""
+        return self._profiles.get(device_class)
+
+    def normalize_availability(
+        self, raw: ResourceVector, device_class: str
+    ) -> ResourceVector:
+        """Convert a device's raw RA vector to benchmark-equivalent units.
+
+        Unregistered device classes are assumed benchmark-equivalent
+        (factor 1.0 everywhere), which makes the normaliser a no-op in
+        homogeneous simulations.
+        """
+        profile = self._profiles.get(device_class)
+        if profile is None:
+            return raw
+        return raw.scaled(profile.speed_factors)
+
+    def normalize_requirement(
+        self, measured: ResourceVector, device_class: str
+    ) -> ResourceVector:
+        """Convert a requirement measured on ``device_class`` to benchmark units.
+
+        A component observed to use 50% CPU on a 0.4x-speed PDA performs
+        0.2 benchmark-CPUs of work, so the conversion *multiplies* by the
+        speed factor, the same direction as availabilities.
+        """
+        profile = self._profiles.get(device_class)
+        if profile is None:
+            return measured
+        return measured.scaled(profile.speed_factors)
+
+    def denormalize_requirement(
+        self, benchmark_units: ResourceVector, device_class: str
+    ) -> ResourceVector:
+        """Express a benchmark-unit requirement in a device's raw units.
+
+        The inverse of :meth:`normalize_requirement`: running a
+        0.2-benchmark-CPU component on a 0.4x PDA consumes 50% of the PDA's
+        raw CPU.
+        """
+        profile = self._profiles.get(device_class)
+        if profile is None:
+            return benchmark_units
+        inverse = {name: 1.0 / factor for name, factor in profile.speed_factors.items()}
+        return benchmark_units.scaled(inverse)
+
+
+def paper_normalizer() -> BenchmarkNormalizer:
+    """The normaliser from the paper's running example (laptop benchmark).
+
+    PDA CPU is 0.4x the laptop, PC CPU is 5x — reproducing
+    ``N(RA_PDA) = [32MB, 40%]`` and ``N(RA_PC) = [256MB, 500%]``.
+    """
+    normalizer = BenchmarkNormalizer(benchmark_name="laptop")
+    normalizer.register(DeviceProfile("laptop", {}))
+    normalizer.register(DeviceProfile("pda", {"cpu": 0.4}))
+    normalizer.register(DeviceProfile("pc", {"cpu": 5.0}))
+    return normalizer

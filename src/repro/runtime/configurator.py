@@ -1,0 +1,466 @@
+"""The integrated service configurator (the paper's two-tier model, live).
+
+Wires the service composer (tier 1), the service distributor (tier 2), the
+deployer, the repository and the state-handoff protocol over one domain.
+Sessions delegate their lifecycle transitions here; every transition
+returns a :class:`ConfigurationRecord` carrying Figure 4's overhead
+breakdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.composition.composer import (
+    CompositionRequest,
+    CompositionResult,
+    ServiceComposer,
+)
+from repro.distribution.distributor import DistributionResult, ServiceDistributor
+from repro.distribution.fit import CandidateDevice, DistributionEnvironment
+from repro.domain.domain import DomainServer
+from repro.events.bus import EventBus
+from repro.events.types import Event, Topics
+from repro.graph.cuts import Assignment
+from repro.graph.service_graph import ServiceGraph
+from repro.mobility.migration import HandoffReport, MigrationService, StateHandoffProtocol
+from repro.network.links import transfer_time_s
+from repro.runtime.deployment import (
+    ConfigurationTiming,
+    Deployer,
+    DeploymentCostModel,
+    DeploymentError,
+)
+from repro.runtime.repository import ComponentRepository
+from repro.runtime.session import ApplicationSession, ConfigurationRecord
+
+
+@dataclass(frozen=True)
+class ConfigurationOutcome:
+    """Summary of a configure/reconfigure call for external reporting."""
+
+    success: bool
+    timing: ConfigurationTiming
+    label: str
+
+
+class ServiceConfigurator:
+    """Domain-level entry point of the service configuration model.
+
+    ``playout_buffer_kb`` sizes the client-side priming buffer filled over
+    the stream path during a handoff — the term that makes handoff onto a
+    wireless PDA slower than back onto a wired PC.
+    """
+
+    def __init__(
+        self,
+        server: DomainServer,
+        composer: ServiceComposer,
+        distributor: ServiceDistributor,
+        repository: Optional[ComponentRepository] = None,
+        cost_model: Optional[DeploymentCostModel] = None,
+        playout_buffer_kb: float = 64.0,
+    ) -> None:
+        self.server = server
+        self.composer = composer
+        self.distributor = distributor
+        self.cost_model = cost_model or DeploymentCostModel()
+        self.deployer = Deployer(repository=repository, cost_model=self.cost_model)
+        self.handoff_protocol = StateHandoffProtocol(
+            MigrationService(server.network)
+        )
+        self.playout_buffer_kb = playout_buffer_kb
+        self._session_ids = itertools.count(1)
+        self.sessions: Dict[str, ApplicationSession] = {}
+
+    # -- conveniences ---------------------------------------------------------------
+
+    @property
+    def bus(self) -> EventBus:
+        return self.server.bus
+
+    @property
+    def now(self) -> float:
+        return self.server.now
+
+    def create_session(
+        self,
+        request: CompositionRequest,
+        user_id: Optional[str] = None,
+        session_id: Optional[str] = None,
+    ) -> ApplicationSession:
+        """Register a new (not yet started) application session."""
+        if session_id is None:
+            session_id = f"session-{next(self._session_ids)}"
+        session = ApplicationSession(session_id, self, request, user_id=user_id)
+        self.sessions[session_id] = session
+        return session
+
+    def _environment(self) -> Tuple[DistributionEnvironment, Dict[str, object]]:
+        devices = {d.device_id: d for d in self.server.available_devices()}
+        candidates = [
+            CandidateDevice(d.device_id, d.available()) for d in devices.values()
+        ]
+        environment = DistributionEnvironment.from_topology(
+            candidates, self.server.network
+        )
+        return environment, devices
+
+    # -- the two-tier pipeline ---------------------------------------------------------
+
+    def configure(
+        self,
+        session: ApplicationSession,
+        request: CompositionRequest,
+        label: str,
+        skip_downloads: bool = False,
+        graph_transform=None,
+    ) -> ConfigurationRecord:
+        """Initial configuration: compose, distribute, deploy.
+
+        ``graph_transform``, when given, maps the composed graph to the one
+        actually distributed and deployed — the hook QoS-degradation uses
+        to scale demand to the admitted quality level.
+        """
+        composition = self.composer.compose(request)
+        composition_s = self.cost_model.composition_time_s(composition)
+        if not composition.success or composition.graph is None:
+            return self._failure(session, label, composition_s, composition, None)
+        if graph_transform is not None:
+            composition.graph = graph_transform(composition.graph)
+
+        environment, devices = self._environment()
+        distribution = self.distributor.distribute(composition.graph, environment)
+        distribution_s = self.cost_model.distribution_time_s(distribution)
+        if not distribution.feasible or distribution.assignment is None:
+            return self._failure(
+                session, label, composition_s, composition, distribution
+            )
+
+        try:
+            deployment = self.deployer.deploy(
+                composition.graph,
+                distribution.assignment,
+                devices,
+                self.server.network,
+                skip_downloads=skip_downloads,
+            )
+        except DeploymentError:
+            return self._failure(
+                session, label, composition_s, composition, distribution
+            )
+        session.graph = composition.graph
+        session.deployment = deployment
+        timing = ConfigurationTiming(
+            composition_ms=composition_s * 1000.0,
+            distribution_ms=distribution_s * 1000.0,
+            download_ms=deployment.download_s * 1000.0,
+            initialization_ms=deployment.initialization_s * 1000.0,
+        )
+        self.bus.emit(
+            Topics.SESSION_CONFIGURED,
+            timestamp=self.now,
+            source=session.session_id,
+            session_id=session.session_id,
+            label=label,
+            total_ms=timing.total_ms,
+        )
+        return ConfigurationRecord(
+            label=label,
+            timing=timing,
+            success=True,
+            composition=composition,
+            distribution=distribution,
+        )
+
+    def reconfigure(
+        self,
+        session: ApplicationSession,
+        request: CompositionRequest,
+        label: str,
+        old_client: Optional[str],
+        new_client: str,
+        skip_downloads: bool = False,
+    ) -> ConfigurationRecord:
+        """Device-switch reconfiguration with state handoff.
+
+        The old graph is retired first (freeing its resources at the
+        interruption point), the new graph is configured from scratch in
+        the changed environment, and the stateful components' checkpoints
+        are handed off from their old devices to their new ones.
+        """
+        old_graph = session.graph
+        old_assignment = (
+            session.deployment.assignment if session.deployment is not None else None
+        )
+        if session.deployment is not None:
+            self.release(session)
+            session.deployment = None
+
+        record = self.configure(
+            session, request, label=label, skip_downloads=skip_downloads
+        )
+        if not record.success or session.graph is None:
+            return record
+
+        handoff = self._handoff(
+            session, old_graph, old_assignment, old_client, new_client
+        )
+        timing = ConfigurationTiming(
+            composition_ms=record.timing.composition_ms,
+            distribution_ms=record.timing.distribution_ms,
+            download_ms=record.timing.download_ms,
+            initialization_ms=record.timing.initialization_ms,
+            handoff_ms=handoff.total_s * 1000.0 if handoff else 0.0,
+        )
+        return ConfigurationRecord(
+            label=label,
+            timing=timing,
+            success=True,
+            composition=record.composition,
+            distribution=record.distribution,
+            handoff=handoff,
+        )
+
+    def redistribute(
+        self,
+        session: ApplicationSession,
+        label: str,
+        skip_downloads: bool = True,
+    ) -> ConfigurationRecord:
+        """Re-run tier 2 only, on the session's existing consistent graph."""
+        if session.graph is None:
+            raise RuntimeError("session has no configured graph to redistribute")
+        old_assignment = (
+            session.deployment.assignment if session.deployment is not None else None
+        )
+        if session.deployment is not None:
+            self.release(session)
+            session.deployment = None
+
+        environment, devices = self._environment()
+        try:
+            distribution = self.distributor.distribute(session.graph, environment)
+        except ValueError:
+            # A pinned device left the environment (e.g. the client device
+            # crashed): the current graph cannot be redistributed at all —
+            # the user must switch portals, which recomposes instead.
+            return self._failure(session, label, 0.0, None, None)
+        distribution_s = self.cost_model.distribution_time_s(distribution)
+        if not distribution.feasible or distribution.assignment is None:
+            return self._failure(session, label, 0.0, None, distribution)
+        try:
+            deployment = self.deployer.deploy(
+                session.graph,
+                distribution.assignment,
+                devices,
+                self.server.network,
+                skip_downloads=skip_downloads,
+            )
+        except DeploymentError:
+            return self._failure(session, label, 0.0, None, distribution)
+        session.deployment = deployment
+
+        handoff = None
+        if old_assignment is not None:
+            moves = self._moves(
+                session, session.graph, old_assignment, distribution.assignment
+            )
+            if moves:
+                anchor = session.request.client_device_id or next(
+                    iter(distribution.assignment.devices_used())
+                )
+                handoff = self.handoff_protocol.handoff(
+                    session.component_states,
+                    moves,
+                    old_device=anchor,
+                    new_device=anchor,
+                    first_frame_period_s=self._first_frame_period(session),
+                    timestamp=self.now,
+                )
+        timing = ConfigurationTiming(
+            distribution_ms=distribution_s * 1000.0,
+            download_ms=deployment.download_s * 1000.0,
+            initialization_ms=deployment.initialization_s * 1000.0,
+            handoff_ms=handoff.total_s * 1000.0 if handoff else 0.0,
+        )
+        self.bus.emit(
+            Topics.SESSION_RECONFIGURED,
+            timestamp=self.now,
+            source=session.session_id,
+            session_id=session.session_id,
+            label=label,
+        )
+        return ConfigurationRecord(
+            label=label,
+            timing=timing,
+            success=True,
+            distribution=distribution,
+            handoff=handoff,
+        )
+
+    def release(self, session: ApplicationSession) -> None:
+        """Tear down a session's deployment."""
+        if session.deployment is None:
+            return
+        _env, devices = self._environment_all()
+        self.deployer.teardown(session.deployment, devices, self.server.network)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _environment_all(self):
+        devices = {
+            d.device_id: d for d in self.server.domain.devices(online_only=False)
+        }
+        return None, devices
+
+    def _failure(
+        self,
+        session: ApplicationSession,
+        label: str,
+        composition_s: float,
+        composition: Optional[CompositionResult],
+        distribution: Optional[DistributionResult],
+    ) -> ConfigurationRecord:
+        distribution_ms = 0.0
+        if distribution is not None:
+            distribution_ms = (
+                self.cost_model.distribution_time_s(distribution) * 1000.0
+            )
+        self.bus.emit(
+            Topics.SESSION_FAILED,
+            timestamp=self.now,
+            source=session.session_id,
+            session_id=session.session_id,
+            label=label,
+        )
+        return ConfigurationRecord(
+            label=label,
+            timing=ConfigurationTiming(
+                composition_ms=composition_s * 1000.0,
+                distribution_ms=distribution_ms,
+            ),
+            success=False,
+            composition=composition,
+            distribution=distribution,
+        )
+
+    def _handoff(
+        self,
+        session: ApplicationSession,
+        old_graph: Optional[ServiceGraph],
+        old_assignment: Optional[Assignment],
+        old_client: Optional[str],
+        new_client: str,
+    ) -> Optional[HandoffReport]:
+        if (
+            old_graph is None
+            or old_assignment is None
+            or old_client is None
+            or session.deployment is None
+        ):
+            return None
+        moves = self._moves(
+            session, old_graph, old_assignment, session.deployment.assignment
+        )
+        base = self.handoff_protocol.handoff(
+            session.component_states,
+            moves,
+            old_device=old_client,
+            new_device=new_client,
+            first_frame_period_s=self._first_frame_period(session),
+            timestamp=self.now,
+        )
+        priming_s = self._priming_time(session, new_client)
+        return HandoffReport(
+            old_device=base.old_device,
+            new_device=base.new_device,
+            protocol_s=base.protocol_s,
+            buffering_s=base.buffering_s + priming_s,
+            migrations=base.migrations,
+        )
+
+    def _moves(
+        self,
+        session: ApplicationSession,
+        old_graph: ServiceGraph,
+        old_assignment: Assignment,
+        new_assignment: Assignment,
+    ) -> Dict[str, Tuple[str, str]]:
+        """Components with live state whose device changed."""
+        moves: Dict[str, Tuple[str, str]] = {}
+        for component_id, state in session.component_states.items():
+            old_device = old_assignment.get(component_id)
+            new_device = new_assignment.get(component_id)
+            if old_device is None or new_device is None:
+                continue
+            if old_device != new_device:
+                moves[component_id] = (old_device, new_device)
+        return moves
+
+    def _first_frame_period(self, session: ApplicationSession) -> float:
+        rate = session.delivered_rate()
+        if rate is None or rate <= 0:
+            return 0.0
+        return 1.0 / rate
+
+    def _priming_time(self, session: ApplicationSession, new_client: str) -> float:
+        """Fill the client playout buffer over the stream path.
+
+        The buffer flows from the stream's source device to the new client;
+        a wireless client link makes this (and hence the whole handoff)
+        slower, reproducing the paper's PC→PDA > PDA→PC asymmetry.
+        """
+        if session.graph is None or session.deployment is None:
+            return 0.0
+        sources = session.graph.sources()
+        if not sources:
+            return 0.0
+        source_device = session.deployment.assignment.get(sources[0])
+        if source_device is None or source_device == new_client:
+            return 0.0
+        network = self.server.network
+        bandwidth = network.available_bandwidth(source_device, new_client)
+        if bandwidth <= 0.0:
+            bandwidth = network.pair_capacity(source_device, new_client)
+        if bandwidth <= 0.0:
+            return 0.0
+        return transfer_time_s(
+            self.playout_buffer_kb,
+            bandwidth,
+            network.path_latency_ms(source_device, new_client),
+        )
+
+    # -- event-driven reconfiguration ------------------------------------------------
+
+    def enable_auto_reconfiguration(self, session: ApplicationSession) -> None:
+        """Wire a session to the domain's event stream.
+
+        - ``user.device_switched`` for the session's user triggers a device
+          switch handoff;
+        - ``device.crashed`` / ``device.left`` for a device the session
+          uses triggers redistribution.
+        """
+
+        def on_switch(event: Event) -> None:
+            if not session.running:
+                return
+            if session.user_id is not None and event.payload.get("user_id") != session.user_id:
+                return
+            new_device = event.payload.get("new_device")
+            if new_device and new_device != session.client_device:
+                device = self.server.domain.device(new_device)
+                session.switch_device(new_device, device.device_class)
+
+        def on_device_gone(event: Event) -> None:
+            if not session.running:
+                return
+            device_id = event.payload.get("device_id")
+            if device_id in session.devices_in_use():
+                session.redistribute(label=f"device-lost:{device_id}")
+
+        self.bus.subscribe(Topics.USER_DEVICE_SWITCHED, on_switch)
+        self.bus.subscribe(Topics.DEVICE_CRASHED, on_device_gone)
+        self.bus.subscribe(Topics.DEVICE_LEFT, on_device_gone)

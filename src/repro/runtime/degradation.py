@@ -1,0 +1,176 @@
+"""Graceful QoS degradation on admission failure.
+
+The paper's goal is the *best possible* QoS, not all-or-nothing admission:
+when the distribution tier cannot fit the graph configured at the user's
+preferred QoS, a soft-QoS system should retry at progressively lower
+levels rather than reject ("the user can continue his or her tasks with
+minimum QoS degradations").
+
+A :class:`DegradationLadder` is an ordered list of user-QoS vectors, best
+first. :class:`DegradingConfigurator` wraps a
+:class:`~repro.runtime.configurator.ServiceConfigurator` and walks the
+ladder: each level re-composes the application with that user QoS (the
+composer's corrections then tune adjustable outputs / pick lighter
+components) and attempts distribution; the first level that deploys wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.composition.composer import CompositionRequest
+from repro.qos.vectors import QoSVector
+from repro.runtime.configurator import ServiceConfigurator
+from repro.runtime.session import ApplicationSession, ConfigurationRecord
+
+
+@dataclass(frozen=True)
+class QoSLevel:
+    """One rung of the ladder.
+
+    ``demand_scale`` models rate-proportional resource consumption: media
+    components' CPU/bandwidth demand scales roughly with the processed
+    rate, so admitting at half the frame rate costs about half the demand.
+    The composed graph's resource vectors and edge throughputs are
+    multiplied by this factor before distribution.
+    """
+
+    label: str
+    user_qos: QoSVector
+    demand_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.demand_scale <= 1.0:
+            raise ValueError("demand_scale must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DegradationLadder:
+    """Ordered QoS levels, best first."""
+
+    levels: Tuple[QoSLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("a degradation ladder needs at least one level")
+
+    @classmethod
+    def of(cls, *levels: QoSLevel) -> "DegradationLadder":
+        return cls(tuple(levels))
+
+    @classmethod
+    def rate_ladder(
+        cls, parameter: str, rates: Sequence[float]
+    ) -> "DegradationLadder":
+        """A ladder over one numeric rate parameter, best (highest) first.
+
+        Demand scales are the rate's fraction of the best level's rate.
+        """
+        ordered = sorted(rates, reverse=True)
+        best = ordered[0]
+        return cls(
+            tuple(
+                QoSLevel(
+                    label=f"{parameter}={rate:g}",
+                    user_qos=QoSVector({parameter: rate}),
+                    demand_scale=rate / best,
+                )
+                for rate in ordered
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+
+def scale_graph_demand(graph, factor: float):
+    """Scale every component's R vector and edge throughput by ``factor``.
+
+    Returns a new graph; the input is untouched. Factor 1.0 returns the
+    graph unchanged (identity).
+    """
+    from repro.graph.service_graph import ServiceEdge, ServiceGraph
+    import dataclasses as _dc
+
+    if factor == 1.0:
+        return graph
+    scaled = ServiceGraph(name=graph.name)
+    for component in graph:
+        scaled.add_component(
+            _dc.replace(component, resources=component.resources * factor)
+        )
+    for edge in graph.edges():
+        scaled.add_edge(
+            ServiceEdge(edge.source, edge.target, edge.throughput_mbps * factor)
+        )
+    return scaled
+
+
+@dataclass
+class DegradedOutcome:
+    """Which level (if any) was admitted, and the attempts made."""
+
+    session: ApplicationSession
+    admitted_level: Optional[str]
+    attempts: List[ConfigurationRecord] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return self.admitted_level is not None
+
+    @property
+    def degraded(self) -> bool:
+        """True when admission happened below the top level."""
+        return self.success and bool(self.attempts) and (
+            self.attempts[0].label != self.attempts[-1].label
+        )
+
+
+class DegradingConfigurator:
+    """Walks a degradation ladder until a level is admitted."""
+
+    def __init__(
+        self,
+        configurator: ServiceConfigurator,
+        ladder: DegradationLadder,
+    ) -> None:
+        self.configurator = configurator
+        self.ladder = ladder
+
+    def start_with_degradation(
+        self,
+        request: CompositionRequest,
+        user_id: Optional[str] = None,
+        skip_downloads: bool = False,
+    ) -> DegradedOutcome:
+        """Try each ladder level; return after the first admission.
+
+        The returned outcome's session is RUNNING at the admitted level, or
+        FAILED (having tried every level). Each attempt appears in the
+        session's timeline with the level's label.
+        """
+        session = self.configurator.create_session(request, user_id=user_id)
+        outcome = DegradedOutcome(session=session, admitted_level=None)
+        for level in self.ladder.levels:
+            session.request = dataclasses.replace(
+                session.request, user_qos=level.user_qos
+            )
+            # Reset a failed previous attempt so start() may run again.
+            from repro.runtime.session import SessionState
+
+            if session.state is SessionState.FAILED:
+                session.state = SessionState.NEW
+            record = session.start(
+                label=f"admit@{level.label}",
+                skip_downloads=skip_downloads,
+                graph_transform=lambda g, f=level.demand_scale: scale_graph_demand(
+                    g, f
+                ),
+            )
+            outcome.attempts.append(record)
+            if record.success:
+                outcome.admitted_level = level.label
+                break
+        return outcome

@@ -1,0 +1,103 @@
+"""The component repository and dynamic downloading.
+
+In the video-conferencing experiment "all required service components need
+to be downloaded on demand from the component repository" — the dominant
+share of Figure 4's configuration overhead. The repository is hosted on a
+well-known server device; download time is the code package's transfer
+time from that server to the target device, plus a fixed install cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.domain.device import Device
+from repro.network.links import transfer_time_s
+from repro.network.topology import NetworkTopology
+
+
+@dataclass(frozen=True)
+class DownloadRecord:
+    """One performed (or skipped) component download."""
+
+    service_type: str
+    target_device: str
+    downloaded: bool
+    duration_s: float
+
+
+class ComponentRepository:
+    """Code packages downloadable to any device.
+
+    ``host_device`` is where the repository lives; package sizes default to
+    the component's ``code_size_kb`` when not registered explicitly.
+    """
+
+    def __init__(
+        self,
+        host_device: str,
+        install_cost_s: float = 0.02,
+    ) -> None:
+        if not host_device:
+            raise ValueError("host_device must be non-empty")
+        if install_cost_s < 0:
+            raise ValueError("install cost cannot be negative")
+        self.host_device = host_device
+        self.install_cost_s = install_cost_s
+        self._packages: Dict[str, float] = {}
+
+    def register_package(self, service_type: str, code_size_kb: float) -> None:
+        """Publish (or update) a code package."""
+        if code_size_kb < 0:
+            raise ValueError("code size cannot be negative")
+        self._packages[service_type] = code_size_kb
+
+    def has_package(self, service_type: str) -> bool:
+        return service_type in self._packages
+
+    def package_size_kb(self, service_type: str, default: float = 0.0) -> float:
+        """Size of a published package (fallback when unpublished)."""
+        return self._packages.get(service_type, default)
+
+    def download_time_s(
+        self,
+        service_type: str,
+        target_device: str,
+        topology: NetworkTopology,
+        fallback_size_kb: float = 0.0,
+    ) -> float:
+        """Time to fetch and install one package on a device."""
+        if target_device == self.host_device:
+            return self.install_cost_s
+        size_kb = self.package_size_kb(service_type, fallback_size_kb)
+        bandwidth = topology.available_bandwidth(self.host_device, target_device)
+        if bandwidth <= 0.0:
+            bandwidth = topology.pair_capacity(self.host_device, target_device)
+        if bandwidth <= 0.0:
+            raise RuntimeError(
+                f"no connectivity from repository {self.host_device!r} "
+                f"to {target_device!r}"
+            )
+        latency_ms = topology.path_latency_ms(self.host_device, target_device)
+        return transfer_time_s(size_kb, bandwidth, latency_ms) + self.install_cost_s
+
+    def ensure_installed(
+        self,
+        device: Device,
+        service_type: str,
+        topology: NetworkTopology,
+        fallback_size_kb: float = 0.0,
+    ) -> DownloadRecord:
+        """Download the package unless the device already has it.
+
+        "The dynamic downloading overhead ... can often be avoided if the
+        required components are already on the target devices."
+        """
+        if device.has_component(service_type):
+            return DownloadRecord(service_type, device.device_id, False, 0.0)
+        duration = self.download_time_s(
+            service_type, device.device_id, topology, fallback_size_kb
+        )
+        device.install_component(service_type)
+        return DownloadRecord(service_type, device.device_id, True, duration)

@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulation kernel.
+
+Drives the synthetic media pipelines (Figure 3), the deployment timing
+model (Figure 4), and the long-horizon workload of the success-rate
+experiment (Figure 5). Purely logical time: runs are reproducible
+bit-for-bit across machines.
+"""
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.process import Process
+from repro.sim.distributions import (
+    bounded_exponential,
+    exponential,
+    poisson_arrival_times,
+)
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "Process",
+    "bounded_exponential",
+    "exponential",
+    "poisson_arrival_times",
+]

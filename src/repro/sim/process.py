@@ -1,0 +1,81 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields non-negative delays (seconds);
+the kernel resumes it after each delay. This is the idiom the media
+pipeline stages and workload drivers are written in::
+
+    def heartbeat(sim):
+        while True:
+            print("beat at", sim.now)
+            yield 1.0
+
+    Process(sim, heartbeat(sim))
+    sim.run_until(5.0)
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.kernel import EventHandle, Simulator
+
+ProcessGenerator = Generator[float, None, None]
+
+
+class Process:
+    """Wraps a delay-yielding generator as a schedulable process.
+
+    The process starts immediately (its first segment runs at the current
+    simulation time) unless ``start_delay`` is given. ``stop`` cancels the
+    pending resume; a generator returning normally marks the process
+    finished.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: ProcessGenerator,
+        start_delay: float = 0.0,
+        name: str = "process",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self._handle: Optional[EventHandle] = None
+        self._finished = False
+        self._stopped = False
+        self._handle = sim.schedule(start_delay, self._resume)
+
+    @property
+    def finished(self) -> bool:
+        """True when the generator returned normally."""
+        return self._finished
+
+    @property
+    def alive(self) -> bool:
+        """True while the process has more work scheduled."""
+        return not self._finished and not self._stopped
+
+    def stop(self) -> None:
+        """Terminate the process; its generator is closed."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if not self._finished:
+            self._generator.close()
+        self._stopped = True
+
+    def _resume(self) -> None:
+        if self._stopped:
+            return
+        self._handle = None
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self._finished = True
+            return
+        if delay < 0:
+            raise ValueError(
+                f"process {self.name!r} yielded a negative delay ({delay})"
+            )
+        self._handle = self.sim.schedule(delay, self._resume)

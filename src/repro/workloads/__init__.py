@@ -1,0 +1,12 @@
+"""Workload generation for the simulation experiments."""
+
+from repro.workloads.generator import Table1Workload, Table1Case
+from repro.workloads.requests import ApplicationRequest, RequestTrace, figure5_trace
+
+__all__ = [
+    "Table1Workload",
+    "Table1Case",
+    "ApplicationRequest",
+    "RequestTrace",
+    "figure5_trace",
+]

@@ -1,0 +1,99 @@
+"""The Table 1 workload: random graphs on a PC + PDA pair.
+
+Section 4: "we limit ourselves to the special case of two-way cut. We
+assume two heterogeneous devices (PC, PDA) are used, with initial
+normalized resource availability vectors RA1 = [256MB, 300%], RA2 = [32MB,
+100%] . . . service graphs with 10 to 20 service components. Each component
+has, on average, 3 to 6 outbound edges. Other parameters including resource
+requirement vectors, communication throughput on each edge and weight
+values are uniformly distributed."
+
+Per-component requirement ranges are scaled so that randomly generated
+graphs usually *can* fit the device pair (the comparison is about solution
+quality among feasible cuts, not admission), while the PDA's small memory
+still forces a genuinely asymmetric packing problem.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.distribution.cost import CostWeights
+from repro.distribution.fit import CandidateDevice, DistributionEnvironment
+from repro.graph.generators import RandomGraphConfig, random_service_graph
+from repro.graph.service_graph import ServiceGraph
+from repro.resources.vectors import CPU, MEMORY, ResourceVector
+
+
+@dataclass(frozen=True)
+class Table1Case:
+    """One random instance: a graph, the device pair, and sampled weights."""
+
+    index: int
+    graph: ServiceGraph
+    environment: DistributionEnvironment
+    weights: CostWeights
+
+
+@dataclass
+class Table1Workload:
+    """Generator of Table 1 instances.
+
+    - ``pc`` / ``pda`` — the paper's normalised availability vectors;
+    - ``bandwidth_mbps`` — end-to-end bandwidth of the single device pair
+      (the paper does not state it; 10 Mbps keeps the network term of the
+      cost aggregation live without making most random cuts infeasible);
+    - ``graph_config`` — 10–20 components, 3–6 outbound edges, with
+      requirement ranges sized for the PC+PDA capacity.
+    """
+
+    seed: int = 2002
+    case_count: int = 150
+    pc: ResourceVector = field(
+        default_factory=lambda: ResourceVector({MEMORY: 256.0, CPU: 3.0})
+    )
+    pda: ResourceVector = field(
+        default_factory=lambda: ResourceVector({MEMORY: 32.0, CPU: 1.0})
+    )
+    bandwidth_mbps: float = 10.0
+    graph_config: RandomGraphConfig = field(
+        default_factory=lambda: RandomGraphConfig(
+            node_count=(10, 20),
+            out_degree=(3, 6),
+            memory_mb=(6.0, 26.0),
+            cpu_fraction=(0.04, 0.25),
+            throughput_mbps=(0.05, 0.5),
+        )
+    )
+
+    def environment(self) -> DistributionEnvironment:
+        """The two-device environment shared by every case."""
+        return DistributionEnvironment(
+            [CandidateDevice("pc", self.pc), CandidateDevice("pda", self.pda)],
+            bandwidth={("pc", "pda"): self.bandwidth_mbps},
+        )
+
+    def sample_weights(self, rng: random.Random) -> CostWeights:
+        """Uniformly distributed weight values, normalised to sum 1."""
+        raw = [rng.uniform(0.1, 1.0) for _ in range(3)]
+        total = sum(raw)
+        return CostWeights(
+            {MEMORY: raw[0] / total, CPU: raw[1] / total}, raw[2] / total
+        )
+
+    def cases(self) -> Iterator[Table1Case]:
+        """Yield the 150 (by default) random instances, deterministically."""
+        rng = random.Random(self.seed)
+        environment = self.environment()
+        for index in range(self.case_count):
+            graph = random_service_graph(
+                rng, self.graph_config, name=f"table1-{index}"
+            )
+            yield Table1Case(
+                index=index,
+                graph=graph,
+                environment=environment,
+                weights=self.sample_weights(rng),
+            )

@@ -1,0 +1,76 @@
+"""The Figure 5 request trace.
+
+"We randomly create 5000 application requests over 1000 hours period. Each
+request randomly selects a service graph from 5 predefined ones . . . The
+length of each application is exponentially distributed from 5 minutes to
+1 hour[]."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.sim.distributions import bounded_exponential, poisson_arrival_times
+
+MINUTES_5_H = 5.0 / 60.0
+HOUR_H = 1.0
+
+
+@dataclass(frozen=True)
+class ApplicationRequest:
+    """One application arrival in the Figure 5 trace (times in hours)."""
+
+    request_id: int
+    arrival_h: float
+    duration_h: float
+    graph_index: int
+
+    @property
+    def departure_h(self) -> float:
+        return self.arrival_h + self.duration_h
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A full request trace plus its generation parameters."""
+
+    requests: Sequence[ApplicationRequest]
+    horizon_h: float
+
+    def __iter__(self) -> Iterator[ApplicationRequest]:
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def arrivals_in(self, start_h: float, end_h: float) -> List[ApplicationRequest]:
+        """Requests arriving inside a half-open interval [start, end)."""
+        return [r for r in self.requests if start_h <= r.arrival_h < end_h]
+
+
+def figure5_trace(
+    seed: int = 5,
+    request_count: int = 5000,
+    horizon_h: float = 1000.0,
+    graph_count: int = 5,
+    mean_duration_h: float = 0.5,
+) -> RequestTrace:
+    """Generate the Figure 5 workload trace deterministically."""
+    if graph_count < 1:
+        raise ValueError("need at least one predefined graph")
+    rng = random.Random(seed)
+    arrivals = poisson_arrival_times(rng, request_count, horizon_h)
+    requests = [
+        ApplicationRequest(
+            request_id=index,
+            arrival_h=arrival,
+            duration_h=bounded_exponential(
+                rng, mean_duration_h, MINUTES_5_H, HOUR_H
+            ),
+            graph_index=rng.randrange(graph_count),
+        )
+        for index, arrival in enumerate(arrivals)
+    ]
+    return RequestTrace(requests=tuple(requests), horizon_h=horizon_h)

@@ -1,0 +1,87 @@
+"""Unit tests for the mobile audio-on-demand application testbed."""
+
+import pytest
+
+from repro.apps.audio_on_demand import (
+    audio_abstract_graph,
+    audio_request,
+    build_audio_testbed,
+)
+
+
+class TestTestbedConstruction:
+    def test_devices_present(self):
+        testbed = build_audio_testbed()
+        assert set(testbed.devices) == {
+            "desktop1",
+            "desktop2",
+            "desktop3",
+            "jornada",
+        }
+
+    def test_paper_availability_vectors(self):
+        testbed = build_audio_testbed()
+        assert testbed.devices["desktop1"].capacity["memory"] == 256.0
+        assert testbed.devices["jornada"].capacity["memory"] == 32.0
+        assert testbed.devices["jornada"].capacity["cpu"] == 0.5
+
+    def test_pda_behind_wireless_link(self):
+        testbed = build_audio_testbed()
+        net = testbed.server.network
+        assert net.pair_capacity("desktop1", "jornada") == 5.0
+        assert net.pair_capacity("desktop1", "desktop2") == 100.0
+
+    def test_preinstall_flag(self):
+        with_install = build_audio_testbed(preinstall=True)
+        assert with_install.devices["desktop1"].has_component("audio_server")
+        without = build_audio_testbed(preinstall=False)
+        assert not without.devices["desktop1"].has_component("audio_server")
+
+    def test_registry_has_both_player_variants(self):
+        testbed = build_audio_testbed()
+        players = testbed.server.domain.registry.lookup("audio_player")
+        platforms = {frozenset(p.platforms) for p in players}
+        assert frozenset({"pda"}) in platforms
+
+
+class TestAbstractGraph:
+    def test_shape(self):
+        graph = audio_abstract_graph()
+        graph.validate()
+        assert len(graph) == 2
+        assert graph.spec("audio-player").pin is not None
+
+    def test_request_carries_device_class(self):
+        testbed = build_audio_testbed()
+        request = audio_request(testbed, "jornada")
+        assert request.client_device_class == "pda"
+        assert request.client_device_id == "jornada"
+
+
+class TestComposition:
+    def test_desktop_client_needs_no_transcoder(self):
+        testbed = build_audio_testbed()
+        result = testbed.configurator.composer.compose(
+            audio_request(testbed, "desktop2")
+        )
+        assert result.success
+        assert len(result.graph) == 2
+
+    def test_pda_client_gets_mpeg2wav(self):
+        testbed = build_audio_testbed()
+        result = testbed.configurator.composer.compose(
+            audio_request(testbed, "jornada")
+        )
+        assert result.success
+        transcoders = [
+            cid for cid in result.graph.component_ids() if "MPEG2wav" in cid
+        ]
+        assert len(transcoders) == 1
+
+    def test_pda_player_is_the_lightweight_variant(self):
+        testbed = build_audio_testbed()
+        result = testbed.configurator.composer.compose(
+            audio_request(testbed, "jornada")
+        )
+        player = result.graph.component("audio-player")
+        assert player.resources["memory"] == pytest.approx(6.0)

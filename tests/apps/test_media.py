@@ -1,0 +1,149 @@
+"""Unit tests for the synthetic media pipeline."""
+
+import pytest
+
+from repro.apps.media import MediaPipeline
+from repro.graph.cuts import Assignment
+from repro.graph.service_graph import ServiceComponent, ServiceGraph
+from repro.network.links import LinkClass
+from repro.network.topology import NetworkTopology
+from repro.qos.vectors import QoSVector
+from repro.sim.kernel import Simulator
+
+
+def component(cid, rate=None, media=None, qos_input=None):
+    attributes = (("media", media),) if media else ()
+    qos_output = QoSVector(frame_rate=rate) if rate is not None else QoSVector()
+    return ServiceComponent(
+        component_id=cid,
+        service_type="stage",
+        qos_output=qos_output,
+        qos_input=qos_input or QoSVector(),
+        attributes=attributes,
+    )
+
+
+def simple_pipeline(source_rate=20.0, sink_media=None):
+    graph = ServiceGraph()
+    graph.add_component(component("src", rate=source_rate, media="audio"))
+    graph.add_component(component("sink", media=sink_media))
+    graph.connect("src", "sink", 1.0)
+    sim = Simulator()
+    return sim, MediaPipeline(sim, graph)
+
+
+class TestSteadyStateRate:
+    def test_sink_receives_source_rate(self):
+        sim, pipeline = simple_pipeline(source_rate=20.0)
+        pipeline.run_for(30.0)
+        assert pipeline.measured_qos(window_s=10.0)["sink"] == pytest.approx(
+            20.0, abs=0.5
+        )
+
+    def test_intermediate_stage_preserves_rate(self):
+        graph = ServiceGraph()
+        graph.add_component(component("src", rate=40.0, media="audio"))
+        graph.add_component(component("mid", rate=40.0))
+        graph.add_component(component("sink"))
+        graph.connect("src", "mid", 1.0)
+        graph.connect("mid", "sink", 1.0)
+        sim = Simulator()
+        pipeline = MediaPipeline(sim, graph)
+        pipeline.run_for(30.0)
+        assert pipeline.measured_qos()["sink"] == pytest.approx(40.0, abs=1.0)
+
+    def test_throttling_stage_reduces_rate(self):
+        graph = ServiceGraph()
+        graph.add_component(component("src", rate=60.0, media="video"))
+        graph.add_component(component("buffer", rate=25.0))
+        graph.add_component(component("sink"))
+        graph.connect("src", "buffer", 1.0)
+        graph.connect("buffer", "sink", 1.0)
+        sim = Simulator()
+        pipeline = MediaPipeline(sim, graph)
+        pipeline.run_for(30.0)
+        assert pipeline.measured_qos()["sink"] == pytest.approx(25.0, abs=1.5)
+        assert pipeline.drop_counts()["buffer"] > 0
+
+
+class TestMediaFiltering:
+    def test_sink_filters_by_media_kind(self):
+        graph = ServiceGraph()
+        graph.add_component(component("video-src", rate=25.0, media="video"))
+        graph.add_component(component("audio-src", rate=6.0, media="audio"))
+        graph.add_component(component("mux"))
+        graph.add_component(component("video-sink", media="video"))
+        graph.add_component(component("audio-sink", media="audio"))
+        graph.connect("video-src", "mux", 3.0)
+        graph.connect("audio-src", "mux", 0.3)
+        graph.connect("mux", "video-sink", 3.0)
+        graph.connect("mux", "audio-sink", 0.3)
+        sim = Simulator()
+        pipeline = MediaPipeline(sim, graph)
+        pipeline.run_for(30.0)
+        qos = pipeline.measured_qos()
+        assert qos["video-sink"] == pytest.approx(25.0, abs=1.0)
+        assert qos["audio-sink"] == pytest.approx(6.0, abs=0.5)
+
+
+class TestNetworkDelay:
+    def test_cross_device_frames_incur_latency(self):
+        graph = ServiceGraph()
+        graph.add_component(component("src", rate=10.0, media="audio"))
+        graph.add_component(component("sink"))
+        graph.connect("src", "sink", 1.0)
+        topology = NetworkTopology()
+        topology.connect("d1", "d2", LinkClass.WLAN)
+        sim = Simulator()
+        pipeline = MediaPipeline(
+            sim,
+            graph,
+            assignment=Assignment({"src": "d1", "sink": "d2"}),
+            topology=topology,
+        )
+        pipeline.run_for(20.0)
+        stats = pipeline.sink_stats("sink")
+        assert stats.mean_latency_s() > 0.005  # wlan latency dominates
+
+    def test_colocated_frames_arrive_immediately(self):
+        graph = ServiceGraph()
+        graph.add_component(component("src", rate=10.0, media="audio"))
+        graph.add_component(component("sink"))
+        graph.connect("src", "sink", 1.0)
+        sim = Simulator()
+        pipeline = MediaPipeline(
+            sim, graph, assignment=Assignment({"src": "d", "sink": "d"})
+        )
+        pipeline.run_for(20.0)
+        assert pipeline.sink_stats("sink").mean_latency_s() < 0.001
+
+
+class TestLifecycle:
+    def test_stop_halts_production(self):
+        sim, pipeline = simple_pipeline(source_rate=10.0)
+        pipeline.start()
+        sim.run_until(5.0)
+        delivered_at_stop = pipeline.sink_stats("sink").delivered
+        pipeline.stop()
+        sim.run_until(20.0)
+        assert pipeline.sink_stats("sink").delivered <= delivered_at_stop + 1
+
+    def test_sink_stats_window(self):
+        sim, pipeline = simple_pipeline(source_rate=10.0)
+        pipeline.run_for(30.0)
+        stats = pipeline.sink_stats("sink")
+        assert stats.first_arrival is not None
+        assert stats.last_arrival is not None
+        assert stats.delivered == pytest.approx(300, abs=3)
+        with pytest.raises(ValueError):
+            stats.delivered_fps(sim.now, window_s=0.0)
+
+    def test_rateless_source_produces_nothing(self):
+        graph = ServiceGraph()
+        graph.add_component(component("src"))
+        graph.add_component(component("sink"))
+        graph.connect("src", "sink", 1.0)
+        sim = Simulator()
+        pipeline = MediaPipeline(sim, graph)
+        pipeline.run_for(10.0)
+        assert pipeline.sink_stats("sink").delivered == 0

@@ -1,0 +1,112 @@
+"""Fidelity accounting through lossy pipeline stages."""
+
+import pytest
+
+from repro.apps.media import Frame, MediaPipeline
+from repro.graph.service_graph import ServiceComponent, ServiceGraph
+from repro.qos.vectors import QoSVector
+from repro.sim.kernel import Simulator
+
+
+def stage(cid, rate=None, media=None, fidelity=None):
+    attributes = []
+    if media:
+        attributes.append(("media", media))
+    if fidelity is not None:
+        attributes.append(("fidelity", str(fidelity)))
+    return ServiceComponent(
+        component_id=cid,
+        service_type="stage",
+        qos_output=QoSVector(frame_rate=rate) if rate else QoSVector(),
+        attributes=tuple(attributes),
+    )
+
+
+class TestFrameFidelity:
+    def test_degraded_by_multiplies(self):
+        frame = Frame(seq=1, media="audio", created_at=0.0, source="s")
+        degraded = frame.degraded_by(0.9).degraded_by(0.5)
+        assert degraded.fidelity == pytest.approx(0.45)
+        assert frame.fidelity == 1.0  # original untouched
+
+
+class TestPipelineFidelity:
+    def run_pipeline(self, *stages):
+        graph = ServiceGraph()
+        for component in stages:
+            graph.add_component(component)
+        ids = [c.component_id for c in stages]
+        for a, b in zip(ids, ids[1:]):
+            graph.connect(a, b, 1.0)
+        sim = Simulator()
+        pipeline = MediaPipeline(sim, graph)
+        pipeline.run_for(10.0)
+        return pipeline.sink_stats(ids[-1])
+
+    def test_lossless_path_preserves_fidelity(self):
+        stats = self.run_pipeline(
+            stage("src", rate=10.0, media="audio"),
+            stage("mid"),
+            stage("sink"),
+        )
+        assert stats.mean_fidelity() == pytest.approx(1.0)
+
+    def test_lossy_transcoder_degrades(self):
+        stats = self.run_pipeline(
+            stage("src", rate=10.0, media="audio"),
+            stage("transcoder", fidelity=0.95),
+            stage("sink"),
+        )
+        assert stats.mean_fidelity() == pytest.approx(0.95)
+
+    def test_chained_losses_multiply(self):
+        stats = self.run_pipeline(
+            stage("src", rate=10.0, media="audio"),
+            stage("t1", fidelity=0.9),
+            stage("t2", fidelity=0.8),
+            stage("sink"),
+        )
+        assert stats.mean_fidelity() == pytest.approx(0.72)
+
+    def test_invalid_fidelity_attribute_ignored(self):
+        stats = self.run_pipeline(
+            stage("src", rate=10.0, media="audio"),
+            ServiceComponent(
+                component_id="weird",
+                service_type="stage",
+                attributes=(("fidelity", "not-a-number"),),
+            ),
+            stage("sink"),
+        )
+        assert stats.mean_fidelity() == pytest.approx(1.0)
+
+    def test_empty_sink_reports_zero(self):
+        graph = ServiceGraph()
+        graph.add_component(stage("only"))
+        sim = Simulator()
+        pipeline = MediaPipeline(sim, graph)
+        pipeline.run_for(1.0)
+        assert pipeline.sink_stats("only").mean_fidelity() == 0.0
+
+
+class TestEndToEndFidelityThroughComposition:
+    def test_mpeg2wav_handoff_reports_transcoder_loss(self):
+        """The PDA path passes the MPEG2wav transcoder (fidelity 0.95)."""
+        from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "jornada")
+        )
+        session.start()
+        sim = Simulator()
+        pipeline = MediaPipeline(
+            sim,
+            session.graph,
+            assignment=session.deployment.assignment,
+            topology=testbed.server.network,
+        )
+        pipeline.run_for(15.0)
+        fidelity = pipeline.sink_stats("audio-player").mean_fidelity()
+        assert fidelity == pytest.approx(0.95)
+        session.stop()

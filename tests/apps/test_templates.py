@@ -1,0 +1,27 @@
+"""Unit tests for the Figure 5 predefined graphs."""
+
+from repro.apps.templates import FIGURE5_SEEDS, figure5_graphs
+
+
+class TestFigure5Graphs:
+    def test_exactly_five_graphs(self):
+        assert len(figure5_graphs()) == 5
+
+    def test_paper_size_parameters(self):
+        for graph in figure5_graphs():
+            assert 50 <= len(graph) <= 100
+            graph.validate()
+
+    def test_deterministic_across_calls(self):
+        first = figure5_graphs()
+        second = figure5_graphs()
+        for a, b in zip(first, second):
+            assert a.component_ids() == b.component_ids()
+            assert [e.key for e in a.edges()] == [e.key for e in b.edges()]
+
+    def test_names_distinct(self):
+        names = [g.name for g in figure5_graphs()]
+        assert len(set(names)) == 5
+
+    def test_seeds_distinct(self):
+        assert len(set(FIGURE5_SEEDS)) == 5

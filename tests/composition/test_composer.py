@@ -1,0 +1,276 @@
+"""Unit tests for the four-step service composer."""
+
+import pytest
+
+from repro.composition.composer import CompositionRequest, ServiceComposer
+from repro.composition.corrections import CorrectionPolicy
+from repro.composition.recursion import DecompositionRegistry
+from repro.discovery.registry import ServiceDescription, ServiceRegistry
+from repro.discovery.service import DiscoveryService
+from repro.graph.abstract import (
+    AbstractComponentSpec,
+    AbstractServiceGraph,
+    PinConstraint,
+)
+from repro.graph.service_graph import ServiceComponent
+from repro.qos.translation import Transcoding, TranscoderCatalog
+from repro.qos.vectors import QoSVector
+from repro.resources.vectors import ResourceVector
+
+
+def template(service_type: str, **kwargs) -> ServiceComponent:
+    return ServiceComponent(
+        component_id=f"template/{service_type}",
+        service_type=service_type,
+        resources=ResourceVector(memory=8, cpu=0.1),
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def registry():
+    registry = ServiceRegistry()
+    registry.register(
+        ServiceDescription(
+            service_type="media_server",
+            provider_id="server#1",
+            component_template=template(
+                "media_server", qos_output=QoSVector(format="MPEG", frame_rate=30)
+            ),
+            hosted_on="serverbox",
+        )
+    )
+    registry.register(
+        ServiceDescription(
+            service_type="wav_player",
+            provider_id="player#1",
+            component_template=template(
+                "wav_player",
+                qos_input=QoSVector(format="WAV", frame_rate=(10.0, 40.0)),
+            ),
+        )
+    )
+    return registry
+
+
+@pytest.fixture
+def composer(registry):
+    catalog = TranscoderCatalog([Transcoding("MPEG", "WAV")])
+    return ServiceComposer(
+        DiscoveryService(registry), CorrectionPolicy(catalog=catalog)
+    )
+
+
+def simple_abstract() -> AbstractServiceGraph:
+    graph = AbstractServiceGraph(name="app")
+    graph.add_spec(AbstractComponentSpec("server", "media_server"))
+    graph.add_spec(
+        AbstractComponentSpec(
+            "player", "wav_player", pin=PinConstraint(role="client")
+        )
+    )
+    graph.connect("server", "player", 1.5)
+    return graph
+
+
+class TestHappyPath:
+    def test_composes_consistent_graph(self, composer):
+        result = composer.compose(
+            CompositionRequest(simple_abstract(), client_device_id="pda1")
+        )
+        assert result.success
+        assert result.graph is not None
+        # Spec ids become component ids; a transcoder was spliced in.
+        assert "server" in result.graph and "player" in result.graph
+        assert len(result.graph) == 3
+
+    def test_client_pin_resolved_to_device(self, composer):
+        result = composer.compose(
+            CompositionRequest(simple_abstract(), client_device_id="pda1")
+        )
+        assert result.graph.component("player").pinned_to == "pda1"
+
+    def test_hosted_instance_pinned_to_host(self, composer):
+        result = composer.compose(
+            CompositionRequest(simple_abstract(), client_device_id="pda1")
+        )
+        assert result.graph.component("server").pinned_to == "serverbox"
+
+    def test_discovery_queries_counted(self, composer):
+        result = composer.compose(
+            CompositionRequest(simple_abstract(), client_device_id="pda1")
+        )
+        assert result.discovery_queries == 2
+        assert result.work_units() >= result.discovery_queries
+
+    def test_edges_carry_abstract_throughput(self, composer):
+        result = composer.compose(
+            CompositionRequest(simple_abstract(), client_device_id="pda1")
+        )
+        total = sum(e.throughput_mbps for e in result.graph.edges())
+        assert total == pytest.approx(3.0)  # 1.5 split across the transcoder
+
+
+class TestOptionalServices:
+    def test_missing_optional_is_dropped_with_bridging(self, composer):
+        graph = simple_abstract()
+        # No equalizer instance exists anywhere.
+        graph.add_spec(
+            AbstractComponentSpec("eq", "equalizer", optional=True)
+        )
+        # Rewire: server -> eq -> player (and keep the direct edge out).
+        rebuilt = AbstractServiceGraph(name="app2")
+        rebuilt.add_spec(graph.spec("server"))
+        rebuilt.add_spec(graph.spec("eq"))
+        rebuilt.add_spec(graph.spec("player"))
+        rebuilt.connect("server", "eq", 1.5)
+        rebuilt.connect("eq", "player", 1.5)
+        result = composer.compose(
+            CompositionRequest(rebuilt, client_device_id="pda1")
+        )
+        assert result.success
+        assert result.dropped_optional == ["eq"]
+        assert result.graph.has_edge("server", "player") or any(
+            "transcoder" in cid for cid in result.graph.component_ids()
+        )
+
+    def test_present_optional_is_kept(self, composer, registry):
+        registry.register(
+            ServiceDescription(
+                service_type="equalizer",
+                provider_id="eq#1",
+                component_template=template(
+                    "equalizer",
+                    qos_input=QoSVector(),
+                    qos_output=QoSVector(format="MPEG", frame_rate=30),
+                ),
+            )
+        )
+        graph = AbstractServiceGraph(name="app3")
+        graph.add_spec(AbstractComponentSpec("server", "media_server"))
+        graph.add_spec(AbstractComponentSpec("eq", "equalizer", optional=True))
+        graph.add_spec(
+            AbstractComponentSpec(
+                "player", "wav_player", pin=PinConstraint(role="client")
+            )
+        )
+        graph.connect("server", "eq", 1.5)
+        graph.connect("eq", "player", 1.5)
+        result = composer.compose(
+            CompositionRequest(graph, client_device_id="pda1")
+        )
+        assert result.success
+        assert "eq" in result.graph
+        assert result.dropped_optional == []
+
+
+class TestMissingMandatory:
+    def test_failure_reports_missing_spec(self, composer):
+        graph = simple_abstract()
+        graph.add_spec(AbstractComponentSpec("ghost", "nonexistent_service"))
+        graph.connect("server", "ghost", 0.1)
+        result = composer.compose(
+            CompositionRequest(graph, client_device_id="pda1")
+        )
+        assert not result.success
+        assert result.missing == ["ghost"]
+        assert result.graph is None
+
+    def test_recursive_decomposition_rescues_missing_service(
+        self, registry
+    ):
+        registry.register(
+            ServiceDescription(
+                service_type="mpeg_decoder",
+                provider_id="dec#1",
+                component_template=template(
+                    "mpeg_decoder",
+                    qos_input=QoSVector(format="MPEG"),
+                    qos_output=QoSVector(format="WAV", frame_rate=30),
+                ),
+            )
+        )
+        registry.register(
+            ServiceDescription(
+                service_type="raw_player",
+                provider_id="raw#1",
+                component_template=template(
+                    "raw_player",
+                    qos_input=QoSVector(format="WAV"),
+                ),
+            )
+        )
+        registry.register(
+            ServiceDescription(
+                service_type="media_server",
+                provider_id="server#2",
+                component_template=template(
+                    "media_server", qos_output=QoSVector(format="MPEG", frame_rate=30)
+                ),
+            )
+        )
+
+        decompositions = DecompositionRegistry()
+
+        def rule(spec):
+            sub = AbstractServiceGraph(name="player-decomp")
+            sub.add_spec(AbstractComponentSpec("decoder", "mpeg_decoder"))
+            sub.add_spec(AbstractComponentSpec("raw", "raw_player"))
+            sub.connect("decoder", "raw", 1.0)
+            return sub
+
+        decompositions.register("fancy_player", rule)
+        composer = ServiceComposer(
+            DiscoveryService(registry),
+            CorrectionPolicy(),
+            decompositions=decompositions,
+        )
+        graph = AbstractServiceGraph(name="app4")
+        graph.add_spec(AbstractComponentSpec("server", "media_server"))
+        graph.add_spec(AbstractComponentSpec("player", "fancy_player"))
+        graph.connect("server", "player", 1.0)
+        result = composer.compose(CompositionRequest(graph))
+        assert result.success
+        assert "player" in result.expanded
+        assert len(result.expanded["player"]) == 2
+
+    def test_recursion_limit_zero_disables_expansion(self, registry):
+        decompositions = DecompositionRegistry()
+        decompositions.register(
+            "fancy_player",
+            lambda spec: AbstractServiceGraph(name="never-built"),
+        )
+        composer = ServiceComposer(
+            DiscoveryService(registry),
+            decompositions=decompositions,
+            recursion_limit=0,
+        )
+        graph = AbstractServiceGraph(name="app5")
+        graph.add_spec(AbstractComponentSpec("player", "fancy_player"))
+        result = composer.compose(CompositionRequest(graph))
+        assert not result.success
+        assert result.missing == ["player"]
+
+
+class TestRequestDefaults:
+    def test_client_role_defaults_to_client_device(self):
+        request = CompositionRequest(simple_abstract(), client_device_id="pc9")
+        assert request.resolved_roles()["client"] == "pc9"
+
+    def test_explicit_roles_win(self):
+        request = CompositionRequest(
+            simple_abstract(),
+            client_device_id="pc9",
+            roles={"client": "override"},
+        )
+        assert request.resolved_roles()["client"] == "override"
+
+    def test_discovery_context_carries_user_qos(self):
+        request = CompositionRequest(
+            simple_abstract(),
+            user_qos=QoSVector(frame_rate=30),
+            client_device_class="pda",
+        )
+        context = request.discovery_context()
+        assert context.client_device_class == "pda"
+        assert context.user_qos["frame_rate"].value == 30

@@ -1,0 +1,154 @@
+"""Unit tests for the Ordered Coordination algorithm."""
+
+import pytest
+
+from repro.composition.corrections import CorrectionPolicy
+from repro.composition.ordered_coordination import (
+    check_edge,
+    consistency_sweep,
+    ordered_coordination,
+)
+from repro.graph.service_graph import ServiceComponent, ServiceEdge, ServiceGraph
+from repro.qos.translation import Transcoding, TranscoderCatalog
+from repro.qos.vectors import QoSVector
+from tests.conftest import make_component
+
+
+def producer(cid: str, **qos) -> ServiceComponent:
+    return make_component(cid, qos_output=QoSVector(**qos))
+
+
+def consumer(cid: str, **qos) -> ServiceComponent:
+    return make_component(cid, qos_input=QoSVector(**qos))
+
+
+def link(*components) -> ServiceGraph:
+    graph = ServiceGraph()
+    for component in components:
+        graph.add_component(component)
+    for a, b in zip(components, components[1:]):
+        graph.add_edge(ServiceEdge(a.component_id, b.component_id, 1.0))
+    return graph
+
+
+class TestCheckEdge:
+    def test_consistent_edge_reports_nothing(self):
+        graph = link(producer("a", format="WAV"), consumer("b", format="WAV"))
+        assert check_edge(graph, "a", "b") == []
+
+    def test_inconsistent_edge_reports_parameter(self):
+        graph = link(producer("a", format="MPEG"), consumer("b", format="WAV"))
+        issues = check_edge(graph, "a", "b")
+        assert len(issues) == 1
+        assert issues[0].parameter == "format"
+        assert "format" in issues[0].describe()
+
+
+class TestConsistencySweep:
+    def test_counts_every_edge_once(self, diamond_graph):
+        issues, checked = consistency_sweep(diamond_graph)
+        assert checked == len(diamond_graph.edges())
+        assert issues == []
+
+    def test_reverse_topological_visit_finds_all_issues(self):
+        graph = link(
+            producer("a", format="MPEG"),
+            make_component(
+                "b",
+                qos_input=QoSVector(format="WAV"),
+                qos_output=QoSVector(rate=10),
+            ),
+            consumer("c", rate=20),
+        )
+        issues, _ = consistency_sweep(graph)
+        assert {(i.predecessor, i.node) for i in issues} == {("a", "b"), ("b", "c")}
+
+
+class TestOrderedCoordinationNoPolicy:
+    def test_clean_graph_is_consistent(self):
+        graph = link(producer("a", format="WAV"), consumer("b", format="WAV"))
+        report = ordered_coordination(graph, policy=None)
+        assert report.consistent
+        assert report.passes == 1
+        assert report.corrections == []
+
+    def test_issues_unresolved_without_policy(self):
+        graph = link(producer("a", format="MPEG"), consumer("b", format="WAV"))
+        report = ordered_coordination(graph, policy=None)
+        assert not report.consistent
+        assert len(report.unresolved) == 1
+
+    def test_max_passes_must_be_positive(self):
+        graph = link(producer("a"))
+        with pytest.raises(ValueError):
+            ordered_coordination(graph, max_passes=0)
+
+
+class TestOrderedCoordinationWithPolicy:
+    def test_transcoder_insertion_restores_consistency(self):
+        graph = link(producer("a", format="MPEG"), consumer("b", format="WAV"))
+        catalog = TranscoderCatalog([Transcoding("MPEG", "WAV")])
+        report = ordered_coordination(graph, CorrectionPolicy(catalog=catalog))
+        assert report.consistent
+        assert any(c.kind == "insert_transcoder" for c in report.corrections)
+        assert len(graph) == 3  # transcoder spliced in
+        issues, _ = consistency_sweep(graph)
+        assert issues == []
+
+    def test_adjustment_preserves_client_side_output(self):
+        # The client node's requirement forces the server's adjustable
+        # output down; the client itself is untouched (its output is the
+        # user's QoS and must be preserved).
+        server = ServiceComponent(
+            component_id="server",
+            service_type="src",
+            qos_output=QoSVector(frame_rate=60),
+            adjustable_outputs=frozenset({"frame_rate"}),
+            output_capabilities=QoSVector(frame_rate=(5.0, 60.0)),
+        )
+        client = make_component(
+            "client",
+            qos_input=QoSVector(frame_rate=(10.0, 30.0)),
+            qos_output=QoSVector(frame_rate=30),
+        )
+        graph = link(server, client)
+        report = ordered_coordination(graph, CorrectionPolicy())
+        assert report.consistent
+        assert graph.component("server").qos_output["frame_rate"].value == 30.0
+        assert graph.component("client").qos_output["frame_rate"].value == 30
+
+    def test_adjustment_propagates_upstream_through_passthrough(self):
+        source = producer("source", frame_rate=60)
+        filter_component = ServiceComponent(
+            component_id="filter",
+            service_type="filter",
+            qos_input=QoSVector(frame_rate=(1.0, 100.0)),
+            qos_output=QoSVector(frame_rate=60),
+            adjustable_outputs=frozenset({"frame_rate"}),
+            output_capabilities=QoSVector(frame_rate=(1.0, 100.0)),
+            passthrough=frozenset({"frame_rate"}),
+        )
+        client = consumer("client", frame_rate=(10.0, 30.0))
+        graph = link(source, filter_component, client)
+        report = ordered_coordination(graph, CorrectionPolicy())
+        # The filter is tuned down to 30 fps and now requires 30 at its
+        # input; the fixed-rate source violates that, and a buffer fixes it.
+        adjusted = graph.component("filter")
+        assert adjusted.qos_output["frame_rate"].value == 30.0
+        assert adjusted.qos_input["frame_rate"].value == 30.0
+        assert report.consistent
+        kinds = {c.kind for c in report.corrections}
+        assert "adjust_output" in kinds
+        assert "insert_buffer" in kinds
+
+    def test_work_is_linear_in_edges_per_pass(self, diamond_graph):
+        report = ordered_coordination(diamond_graph, CorrectionPolicy())
+        assert report.checked_edges == len(diamond_graph.edges()) * report.passes
+
+    def test_unfixable_issue_reported_unresolved(self):
+        graph = link(producer("a", format="MPEG"), consumer("b", format="OGG"))
+        report = ordered_coordination(
+            graph, CorrectionPolicy(catalog=TranscoderCatalog())
+        )
+        assert not report.consistent
+        assert report.unresolved

@@ -1,0 +1,72 @@
+"""Composer + online profiler: measured requirements beat declared ones."""
+
+import pytest
+
+from repro.composition.composer import CompositionRequest, ServiceComposer
+from repro.discovery.registry import ServiceDescription, ServiceRegistry
+from repro.discovery.service import DiscoveryService
+from repro.graph.abstract import AbstractComponentSpec, AbstractServiceGraph
+from repro.graph.service_graph import ServiceComponent
+from repro.profiling.profiler import OnlineProfiler
+from repro.resources.vectors import ResourceVector
+
+
+def build_world():
+    registry = ServiceRegistry()
+    registry.register(
+        ServiceDescription(
+            service_type="filter",
+            provider_id="f1",
+            component_template=ServiceComponent(
+                component_id="tpl",
+                service_type="filter",
+                resources=ResourceVector(memory=10.0, cpu=0.1),  # declared
+            ),
+        )
+    )
+    abstract = AbstractServiceGraph(name="app")
+    abstract.add_spec(AbstractComponentSpec("stage", "filter"))
+    return registry, abstract
+
+
+class TestProfilerIntegration:
+    def test_confident_estimate_overrides_declared(self):
+        registry, abstract = build_world()
+        profiler = OnlineProfiler()
+        for _ in range(3):  # three samples -> confident
+            profiler.observe("filter", ResourceVector(memory=25.0, cpu=0.4))
+        composer = ServiceComposer(
+            DiscoveryService(registry), profiler=profiler
+        )
+        result = composer.compose(CompositionRequest(abstract))
+        assert result.success
+        component = result.graph.component("stage")
+        assert component.resources["memory"] == pytest.approx(25.0)
+        assert component.resources["cpu"] == pytest.approx(0.4)
+
+    def test_unconfident_estimate_ignored(self):
+        registry, abstract = build_world()
+        profiler = OnlineProfiler()
+        profiler.observe("filter", ResourceVector(memory=99.0))  # one sample
+        composer = ServiceComposer(
+            DiscoveryService(registry), profiler=profiler
+        )
+        result = composer.compose(CompositionRequest(abstract))
+        assert result.graph.component("stage").resources["memory"] == 10.0
+
+    def test_no_profiler_keeps_declared(self):
+        registry, abstract = build_world()
+        composer = ServiceComposer(DiscoveryService(registry))
+        result = composer.compose(CompositionRequest(abstract))
+        assert result.graph.component("stage").resources["memory"] == 10.0
+
+    def test_unknown_type_keeps_declared(self):
+        registry, abstract = build_world()
+        profiler = OnlineProfiler()
+        for _ in range(3):
+            profiler.observe("some_other_type", ResourceVector(memory=1.0))
+        composer = ServiceComposer(
+            DiscoveryService(registry), profiler=profiler
+        )
+        result = composer.compose(CompositionRequest(abstract))
+        assert result.graph.component("stage").resources["memory"] == 10.0

@@ -1,0 +1,93 @@
+"""Unit tests for hierarchical discovery federation."""
+
+import pytest
+
+from repro.composition.composer import CompositionRequest, ServiceComposer
+from repro.discovery.federation import FederatedDiscoveryService
+from repro.discovery.registry import ServiceDescription, ServiceRegistry
+from repro.discovery.service import DiscoveryService
+from repro.graph.abstract import AbstractComponentSpec, AbstractServiceGraph
+from repro.graph.service_graph import ServiceComponent
+from repro.qos.vectors import QoSVector
+
+
+def register(registry, service_type, provider_id, frame_rate=30):
+    registry.register(
+        ServiceDescription(
+            service_type=service_type,
+            provider_id=provider_id,
+            component_template=ServiceComponent(
+                component_id="tpl",
+                service_type=service_type,
+                qos_output=QoSVector(frame_rate=frame_rate),
+            ),
+        )
+    )
+
+
+@pytest.fixture
+def tiers():
+    room = ServiceRegistry()
+    building = ServiceRegistry()
+    campus = ServiceRegistry()
+    register(room, "player", "room-player")
+    register(building, "player", "building-player")
+    register(building, "recorder", "building-recorder")
+    register(campus, "archive", "campus-archive")
+    return (
+        DiscoveryService(room),
+        DiscoveryService(building),
+        DiscoveryService(campus),
+    )
+
+
+class TestFederation:
+    def test_local_tier_wins(self, tiers):
+        federation = FederatedDiscoveryService(tiers)
+        spec = AbstractComponentSpec("s", "player")
+        found = federation.discover(spec)
+        assert found.provider_id == "room-player"
+        assert federation.escalations == 0
+
+    def test_escalates_on_local_miss(self, tiers):
+        federation = FederatedDiscoveryService(tiers)
+        spec = AbstractComponentSpec("s", "recorder")
+        found = federation.discover(spec)
+        assert found.provider_id == "building-recorder"
+        assert federation.escalations == 1
+
+    def test_escalates_two_levels(self, tiers):
+        federation = FederatedDiscoveryService(tiers)
+        spec = AbstractComponentSpec("s", "archive")
+        found = federation.discover(spec)
+        assert found.provider_id == "campus-archive"
+
+    def test_miss_everywhere_returns_none(self, tiers):
+        federation = FederatedDiscoveryService(tiers)
+        assert federation.discover(AbstractComponentSpec("s", "ghost")) is None
+
+    def test_discover_all_stops_at_first_nonempty_tier(self, tiers):
+        federation = FederatedDiscoveryService(tiers)
+        results = federation.discover_all(AbstractComponentSpec("s", "player"))
+        assert [r.description.provider_id for r in results] == ["room-player"]
+
+    def test_query_count_aggregates_tiers(self, tiers):
+        federation = FederatedDiscoveryService(tiers)
+        federation.discover(AbstractComponentSpec("s", "archive"))
+        # One query against each of the three tiers.
+        assert federation.query_count == 3
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedDiscoveryService([])
+
+    def test_composer_accepts_federation(self, tiers):
+        federation = FederatedDiscoveryService(tiers)
+        composer = ServiceComposer(federation)
+        abstract = AbstractServiceGraph(name="app")
+        abstract.add_spec(AbstractComponentSpec("p", "player"))
+        abstract.add_spec(AbstractComponentSpec("r", "recorder"))
+        abstract.connect("r", "p", 1.0)
+        result = composer.compose(CompositionRequest(abstract))
+        assert result.success
+        assert federation.escalations == 1  # the recorder came from upstairs

@@ -1,0 +1,77 @@
+"""Unit tests for leased (soft-state) service advertisements."""
+
+import pytest
+
+from repro.discovery.registry import ServiceDescription, ServiceRegistry
+from repro.events.bus import EventBus
+from repro.events.types import Topics
+from tests.conftest import make_component
+
+
+def describe(provider_id="p1"):
+    return ServiceDescription(
+        service_type="player",
+        provider_id=provider_id,
+        component_template=make_component("tpl", service_type="player"),
+    )
+
+
+class TestLeases:
+    def test_permanent_registration_never_expires(self):
+        registry = ServiceRegistry()
+        registry.register(describe())
+        assert registry.expire_leases(now=1e9) == []
+        assert "p1" in registry
+        assert registry.lease_expiry("p1") is None
+
+    def test_leased_ad_expires(self):
+        registry = ServiceRegistry()
+        registry.register(describe(), timestamp=10.0, lease_s=30.0)
+        assert registry.lease_expiry("p1") == 40.0
+        assert registry.expire_leases(now=39.9) == []
+        assert registry.expire_leases(now=40.0) == ["p1"]
+        assert "p1" not in registry
+
+    def test_renewal_extends(self):
+        registry = ServiceRegistry()
+        registry.register(describe(), timestamp=0.0, lease_s=30.0)
+        registry.renew_lease("p1", timestamp=25.0, lease_s=30.0)
+        assert registry.expire_leases(now=31.0) == []
+        assert registry.expire_leases(now=55.0) == ["p1"]
+
+    def test_renew_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            ServiceRegistry().renew_lease("ghost", 0.0, 10.0)
+
+    def test_invalid_lease_rejected(self):
+        registry = ServiceRegistry()
+        with pytest.raises(ValueError):
+            registry.register(describe(), lease_s=0.0)
+        registry.register(describe("p2"))
+        with pytest.raises(ValueError):
+            registry.renew_lease("p2", 0.0, -1.0)
+
+    def test_unregister_clears_lease(self):
+        registry = ServiceRegistry()
+        registry.register(describe(), lease_s=10.0)
+        registry.unregister("p1")
+        # No stale lease left: re-registering and expiring works cleanly.
+        registry.register(describe())
+        assert registry.expire_leases(now=1e9) == []
+
+    def test_expiry_publishes_unregistered_event(self):
+        bus = EventBus()
+        registry = ServiceRegistry(bus=bus)
+        registry.register(describe(), lease_s=5.0)
+        registry.expire_leases(now=10.0)
+        topics = [e.topic for e in bus.history()]
+        assert topics[-1] == Topics.SERVICE_UNREGISTERED
+
+    def test_mixed_expiry(self):
+        registry = ServiceRegistry()
+        registry.register(describe("short"), lease_s=5.0)
+        registry.register(describe("long"), lease_s=100.0)
+        registry.register(describe("forever"))
+        lapsed = registry.expire_leases(now=50.0)
+        assert lapsed == ["short"]
+        assert "long" in registry and "forever" in registry

@@ -1,0 +1,101 @@
+"""Unit tests for the service registry."""
+
+import pytest
+
+from repro.discovery.registry import ServiceDescription, ServiceRegistry
+from repro.events.bus import EventBus
+from repro.events.types import Topics
+from tests.conftest import make_component
+
+
+def description(provider_id="p1", service_type="player", hosted_on=None):
+    return ServiceDescription(
+        service_type=service_type,
+        provider_id=provider_id,
+        component_template=make_component("tpl", service_type=service_type),
+        hosted_on=hosted_on,
+    )
+
+
+class TestDescription:
+    def test_requires_identifiers(self):
+        with pytest.raises(ValueError):
+            ServiceDescription("", "p", make_component("t"))
+        with pytest.raises(ValueError):
+            ServiceDescription("s", "", make_component("t"))
+
+    def test_platform_support(self):
+        open_description = description()
+        assert open_description.supports_platform("pda")
+        restricted = ServiceDescription(
+            "player", "p2", make_component("t"), platforms=frozenset({"pc"})
+        )
+        assert restricted.supports_platform("pc")
+        assert not restricted.supports_platform("pda")
+
+    def test_instantiate_renames_template(self):
+        component = description().instantiate("fresh-id")
+        assert component.component_id == "fresh-id"
+        assert component.service_type == "player"
+
+    def test_attribute_lookup(self):
+        desc = ServiceDescription(
+            "player", "p3", make_component("t"), attributes=(("codec", "mp3"),)
+        )
+        assert desc.attribute("codec") == "mp3"
+        assert desc.attribute("none", "x") == "x"
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = ServiceRegistry()
+        registry.register(description())
+        assert len(registry) == 1
+        assert "p1" in registry
+        assert len(registry.lookup("player")) == 1
+        assert registry.lookup("unknown") == []
+
+    def test_duplicate_provider_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(description())
+        with pytest.raises(ValueError):
+            registry.register(description())
+
+    def test_unregister(self):
+        registry = ServiceRegistry()
+        registry.register(description())
+        registry.unregister("p1")
+        assert len(registry) == 0
+        assert registry.lookup("player") == []
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ServiceRegistry().unregister("ghost")
+
+    def test_unregister_device_withdraws_hosted_only(self):
+        registry = ServiceRegistry()
+        registry.register(description("hosted", hosted_on="pc1"))
+        registry.register(description("repo"))
+        withdrawn = registry.unregister_device("pc1")
+        assert withdrawn == ["hosted"]
+        assert "repo" in registry
+
+    def test_events_published(self):
+        bus = EventBus()
+        registry = ServiceRegistry(bus=bus)
+        registry.register(description())
+        registry.unregister("p1")
+        topics = [e.topic for e in bus.history()]
+        assert topics == [Topics.SERVICE_REGISTERED, Topics.SERVICE_UNREGISTERED]
+
+    def test_service_types_sorted(self):
+        registry = ServiceRegistry()
+        registry.register(description("p1", "zeta"))
+        registry.register(description("p2", "alpha"))
+        assert registry.service_types() == ["alpha", "zeta"]
+
+    def test_next_provider_id_unique(self):
+        registry = ServiceRegistry()
+        first = registry.next_provider_id("player")
+        second = registry.next_provider_id("player")
+        assert first != second

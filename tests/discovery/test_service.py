@@ -1,0 +1,76 @@
+"""Unit tests for the discovery service facade."""
+
+import pytest
+
+from repro.discovery.registry import ServiceDescription, ServiceRegistry
+from repro.discovery.service import DiscoveryService
+from repro.graph.abstract import AbstractComponentSpec
+from repro.qos.vectors import QoSVector
+from repro.graph.service_graph import ServiceComponent
+
+
+def register_player(registry, provider_id, frame_rate):
+    registry.register(
+        ServiceDescription(
+            service_type="player",
+            provider_id=provider_id,
+            component_template=ServiceComponent(
+                component_id="tpl",
+                service_type="player",
+                qos_output=QoSVector(frame_rate=frame_rate),
+            ),
+        )
+    )
+
+
+class TestDiscover:
+    def test_returns_best_candidate(self):
+        registry = ServiceRegistry()
+        register_player(registry, "fast", 30)
+        register_player(registry, "slow", 5)
+        service = DiscoveryService(registry)
+        spec = AbstractComponentSpec(
+            "s", "player", required_output=QoSVector(frame_rate=(20.0, 40.0))
+        )
+        best = service.discover(spec)
+        assert best is not None and best.provider_id == "fast"
+
+    def test_returns_none_when_nothing_matches(self):
+        service = DiscoveryService(ServiceRegistry())
+        spec = AbstractComponentSpec("s", "player")
+        assert service.discover(spec) is None
+
+    def test_minimum_score_filters(self):
+        registry = ServiceRegistry()
+        register_player(registry, "slow", 5)
+        service = DiscoveryService(registry, minimum_score=0.9)
+        spec = AbstractComponentSpec(
+            "s", "player", required_output=QoSVector(frame_rate=(20.0, 40.0))
+        )
+        assert service.discover(spec) is None
+
+    def test_invalid_minimum_score(self):
+        with pytest.raises(ValueError):
+            DiscoveryService(ServiceRegistry(), minimum_score=1.5)
+
+    def test_discover_all_ranked_and_deterministic(self):
+        registry = ServiceRegistry()
+        register_player(registry, "b", 30)
+        register_player(registry, "a", 30)
+        register_player(registry, "slow", 5)
+        service = DiscoveryService(registry)
+        spec = AbstractComponentSpec(
+            "s", "player", required_output=QoSVector(frame_rate=(20.0, 40.0))
+        )
+        ranked = service.discover_all(spec)
+        assert [r.description.provider_id for r in ranked] == ["a", "b", "slow"]
+        assert ranked[0].score >= ranked[-1].score
+
+    def test_query_count_increments(self):
+        registry = ServiceRegistry()
+        register_player(registry, "p", 30)
+        service = DiscoveryService(registry)
+        spec = AbstractComponentSpec("s", "player")
+        service.discover(spec)
+        service.discover_all(spec)
+        assert service.query_count == 2

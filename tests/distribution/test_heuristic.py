@@ -1,0 +1,137 @@
+"""Unit tests for the paper's greedy distribution heuristic."""
+
+import random
+
+import pytest
+
+from repro.distribution.cost import CostWeights
+from repro.distribution.fit import CandidateDevice, DistributionEnvironment
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.graph.generators import RandomGraphConfig, random_service_graph
+from repro.graph.service_graph import ServiceEdge, ServiceGraph
+from repro.resources.vectors import CPU, MEMORY, ResourceVector
+from tests.conftest import chain_graph, make_component
+
+
+class TestBasicPlacement:
+    def test_single_device_takes_everything(self):
+        graph = chain_graph("a", "b", "c")
+        env = DistributionEnvironment(
+            [CandidateDevice("only", ResourceVector(memory=100.0, cpu=1.0))]
+        )
+        result = HeuristicDistributor().distribute(graph, env)
+        assert result.feasible
+        assert set(result.assignment.values()) == {"only"}
+
+    def test_respects_pins(self, two_device_env):
+        graph = chain_graph("a", "b")
+        graph.update_component(graph.component("b").with_pin("small"))
+        result = HeuristicDistributor().distribute(graph, two_device_env)
+        assert result.feasible
+        assert result.assignment["b"] == "small"
+
+    def test_overflow_splits_across_devices(self):
+        # Neither device holds both components.
+        graph = ServiceGraph()
+        graph.add_component(make_component("a", memory=60.0))
+        graph.add_component(make_component("b", memory=60.0))
+        graph.connect("a", "b", 0.1)
+        env = DistributionEnvironment(
+            [
+                CandidateDevice("d1", ResourceVector(memory=80.0, cpu=1.0)),
+                CandidateDevice("d2", ResourceVector(memory=80.0, cpu=1.0)),
+            ],
+            bandwidth={("d1", "d2"): 10.0},
+        )
+        result = HeuristicDistributor().distribute(graph, env)
+        assert result.feasible
+        assert result.assignment["a"] != result.assignment["b"]
+
+    def test_reports_infeasible_when_nothing_fits(self):
+        graph = chain_graph("a")
+        env = DistributionEnvironment(
+            [CandidateDevice("tiny", ResourceVector(memory=1.0, cpu=0.01))]
+        )
+        result = HeuristicDistributor().distribute(graph, env)
+        assert not result.feasible
+        assert result.violations
+
+    def test_result_covers_every_component(self, two_device_env):
+        graph = chain_graph("a", "b", "c", "d")
+        result = HeuristicDistributor().distribute(graph, two_device_env)
+        assert result.assignment.covers(graph)
+
+
+class TestNeighborMerging:
+    def test_neighbors_colocated_when_possible(self, two_device_env):
+        # A chain easily fits the big device entirely: the neighbour rule
+        # keeps pulling adjacent components onto it, leaving no cut edges.
+        graph = chain_graph("a", "b", "c", throughput=5.0)
+        result = HeuristicDistributor().distribute(graph, two_device_env)
+        assert result.feasible
+        assert len(result.assignment.cut_edges(graph)) == 0
+
+    def test_neighbor_of_pinned_component_joins_it(self):
+        graph = chain_graph("a", "b", throughput=5.0)
+        graph.update_component(graph.component("a").with_pin("d2"))
+        env = DistributionEnvironment(
+            [
+                CandidateDevice("d1", ResourceVector(memory=100.0, cpu=1.0)),
+                CandidateDevice("d2", ResourceVector(memory=100.0, cpu=1.0)),
+            ],
+            bandwidth={("d1", "d2"): 1.0},  # cutting would be infeasible
+        )
+        result = HeuristicDistributor().distribute(graph, env)
+        # d1 and d2 tie on capacity; after pinning a onto d2, d2 has less
+        # headroom so d1 becomes head. But placing b on d1 would cut the
+        # 5 Mbps edge over a 1 Mbps pair — the paper's heuristic does not
+        # look at bandwidth, so feasibility here depends on the merge rule:
+        # with neighbour preference b lands next to a.
+        if result.feasible:
+            assert result.assignment["b"] == "d2"
+
+    def test_ablation_switch_changes_behavior(self):
+        # Two independent chains: A(40)->B(6) and C(39)->D(5). With
+        # neighbour preference each chain stays whole (zero cut); without
+        # it, the head device greedily takes the globally largest
+        # component and both chains end up cut.
+        graph = ServiceGraph()
+        for cid, memory in (("A", 40.0), ("B", 6.0), ("C", 39.0), ("D", 5.0)):
+            graph.add_component(make_component(cid, memory=memory, cpu=0.0))
+        graph.connect("A", "B", 1.0)
+        graph.connect("C", "D", 1.0)
+        env = DistributionEnvironment(
+            [
+                CandidateDevice("d1", ResourceVector(memory=100.0, cpu=1.0)),
+                CandidateDevice("d2", ResourceVector(memory=100.0, cpu=1.0)),
+            ],
+            bandwidth={("d1", "d2"): 100.0},
+        )
+        with_n = HeuristicDistributor(prefer_neighbors=True).distribute(graph, env)
+        without_n = HeuristicDistributor(prefer_neighbors=False).distribute(graph, env)
+        assert len(with_n.assignment.cut_edges(graph)) == 0
+        assert len(without_n.assignment.cut_edges(graph)) == 2
+        assert with_n.cost < without_n.cost
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, three_device_env):
+        graph = random_service_graph(random.Random(5))
+        first = HeuristicDistributor().distribute(graph, three_device_env)
+        second = HeuristicDistributor().distribute(graph, three_device_env)
+        assert first.assignment == second.assignment
+        assert first.cost == second.cost
+
+
+class TestWeightsDrivePlacement:
+    def test_network_only_weights_still_work(self, two_device_env):
+        graph = chain_graph("a", "b", throughput=2.0)
+        result = HeuristicDistributor().distribute(
+            graph, two_device_env, CostWeights.network_only()
+        )
+        assert result.feasible
+
+    def test_evaluations_counted(self, two_device_env):
+        graph = chain_graph("a", "b", "c")
+        result = HeuristicDistributor().distribute(graph, two_device_env)
+        assert result.evaluations == 3  # one loop iteration per component

@@ -1,0 +1,167 @@
+"""Unit tests for the branch-and-bound optimal distributor."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.distribution.cost import CostWeights, cost_aggregation
+from repro.distribution.fit import (
+    CandidateDevice,
+    DistributionEnvironment,
+    fits_into,
+)
+from repro.distribution.optimal import OptimalDistributor
+from repro.graph.cuts import Assignment
+from repro.graph.generators import RandomGraphConfig, random_service_graph
+from repro.resources.vectors import ResourceVector
+from tests.conftest import chain_graph, make_component
+
+
+def brute_force_best(graph, env, weights):
+    """Reference: enumerate every assignment, keep the cheapest feasible."""
+    ids = graph.component_ids()
+    devices = env.device_ids()
+    best_cost = float("inf")
+    best = None
+    for combo in itertools.product(devices, repeat=len(ids)):
+        assignment = Assignment(dict(zip(ids, combo)))
+        if not assignment.respects_pins(graph):
+            continue
+        if not fits_into(graph, assignment, env):
+            continue
+        cost = cost_aggregation(graph, assignment, env, weights)
+        if cost < best_cost:
+            best_cost = cost
+            best = assignment
+    return best, best_cost
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_on_small_graphs(self, seed, two_device_env):
+        config = RandomGraphConfig(
+            node_count=(4, 7),
+            memory_mb=(5.0, 30.0),
+            cpu_fraction=(0.05, 0.4),
+            throughput_mbps=(0.1, 2.0),
+        )
+        graph = random_service_graph(random.Random(seed), config)
+        weights = CostWeights()
+        reference, reference_cost = brute_force_best(graph, two_device_env, weights)
+        result = OptimalDistributor().distribute(graph, two_device_env, weights)
+        if reference is None:
+            assert not result.feasible
+        else:
+            assert result.feasible
+            assert result.cost == pytest.approx(reference_cost)
+
+    def test_three_devices(self, three_device_env):
+        config = RandomGraphConfig(node_count=(5, 5))
+        graph = random_service_graph(random.Random(3), config)
+        weights = CostWeights()
+        reference, reference_cost = brute_force_best(
+            graph, three_device_env, weights
+        )
+        result = OptimalDistributor().distribute(graph, three_device_env, weights)
+        assert result.feasible == (reference is not None)
+        if reference is not None:
+            assert result.cost == pytest.approx(reference_cost)
+
+
+class TestConstraints:
+    def test_pins_enforced(self, two_device_env):
+        graph = chain_graph("a", "b")
+        graph.update_component(graph.component("a").with_pin("small"))
+        result = OptimalDistributor().distribute(graph, two_device_env)
+        assert result.feasible
+        assert result.assignment["a"] == "small"
+
+    def test_infeasible_instance_detected(self):
+        graph = chain_graph("a")
+        env = DistributionEnvironment(
+            [CandidateDevice("tiny", ResourceVector(memory=1.0, cpu=0.001))]
+        )
+        result = OptimalDistributor().distribute(graph, env)
+        assert not result.feasible
+
+    def test_parallel_edges_to_one_pair_accumulate(self):
+        """Regression: two 3 Mbps edges into a 5 Mbps pair must not both
+        be accepted during a single placement step."""
+        from repro.graph.service_graph import ServiceGraph
+
+        graph = ServiceGraph()
+        graph.add_component(make_component("hub", memory=60.0))
+        graph.add_component(make_component("a", memory=60.0))
+        graph.add_component(make_component("b", memory=60.0))
+        graph.connect("hub", "a", 3.0)
+        graph.connect("hub", "b", 3.0)
+        env = DistributionEnvironment(
+            [
+                CandidateDevice("d1", ResourceVector(memory=100.0, cpu=1.0)),
+                CandidateDevice("d2", ResourceVector(memory=130.0, cpu=1.0)),
+            ],
+            bandwidth={("d1", "d2"): 5.0},
+        )
+        # Memory forces a split (total 180 > each device), and the only
+        # feasible splits keep hub together with at most one child — never
+        # hub alone against both children (cut 6 > 5).
+        result = OptimalDistributor().distribute(graph, env)
+        assert result.feasible
+        traffic = result.assignment.pairwise_throughput(graph)
+        for mbps in traffic.values():
+            assert mbps <= 5.0 + 1e-9
+        hub_device = result.assignment["hub"]
+        children_apart = {result.assignment["a"], result.assignment["b"]} - {
+            hub_device
+        }
+        assert len(children_apart) == 1  # exactly one child cut away
+
+    def test_bandwidth_constraint_forces_colocation(self):
+        graph = chain_graph("a", "b", throughput=100.0)
+        env = DistributionEnvironment(
+            [
+                CandidateDevice("d1", ResourceVector(memory=100.0, cpu=1.0)),
+                CandidateDevice("d2", ResourceVector(memory=100.0, cpu=1.0)),
+            ],
+            bandwidth={("d1", "d2"): 1.0},
+        )
+        result = OptimalDistributor().distribute(graph, env)
+        assert result.feasible
+        assert result.assignment["a"] == result.assignment["b"]
+
+    def test_resource_constraint_forces_split(self):
+        graph = chain_graph("a", "b")
+        for cid in ("a", "b"):
+            graph.update_component(
+                make_component(cid, memory=60.0)
+            )
+        env = DistributionEnvironment(
+            [
+                CandidateDevice("d1", ResourceVector(memory=80.0, cpu=1.0)),
+                CandidateDevice("d2", ResourceVector(memory=80.0, cpu=1.0)),
+            ],
+            bandwidth={("d1", "d2"): 10.0},
+        )
+        result = OptimalDistributor().distribute(graph, env)
+        assert result.feasible
+        assert result.assignment["a"] != result.assignment["b"]
+
+
+class TestBudget:
+    def test_budget_flag_set_when_exhausted(self, two_device_env):
+        graph = random_service_graph(
+            random.Random(1), RandomGraphConfig(node_count=(12, 12))
+        )
+        strategy = OptimalDistributor(max_nodes=3)
+        strategy.distribute(graph, two_device_env)
+        assert strategy.budget_exhausted
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            OptimalDistributor(max_nodes=0)
+
+    def test_evaluations_reported(self, two_device_env):
+        graph = chain_graph("a", "b")
+        result = OptimalDistributor().distribute(graph, two_device_env)
+        assert result.evaluations > 0

@@ -1,0 +1,135 @@
+"""Theorem 1's reduction: OSD with network-only weights is directed multiway cut.
+
+The proof sets every end-system weight to zero, the network weight to one,
+every bandwidth to a constant, and gives devices infinite end-system
+resources — cost aggregation then equals (total cut throughput) / b, so
+minimising it is exactly the minimum directed multiway cut. These tests
+run the exact distributor on instances whose minimum cuts are known by
+hand and check the identity.
+"""
+
+import pytest
+
+from repro.distribution.cost import CostWeights, cost_aggregation
+from repro.distribution.fit import CandidateDevice, DistributionEnvironment
+from repro.distribution.optimal import OptimalDistributor
+from repro.graph.service_graph import ServiceComponent, ServiceGraph
+from repro.resources.vectors import ResourceVector
+
+BANDWIDTH = 1000.0  # "1 (Gbps)" in the proof; constant across pairs
+
+
+def free_component(cid: str, pinned_to=None) -> ServiceComponent:
+    """A component with zero resource demand (infinite-resource devices)."""
+    return ServiceComponent(
+        component_id=cid, service_type="t", pinned_to=pinned_to
+    )
+
+
+def environment(device_count: int) -> DistributionEnvironment:
+    devices = [
+        CandidateDevice(f"d{i}", ResourceVector(memory=1e9, cpu=1e9))
+        for i in range(device_count)
+    ]
+    bandwidth = {
+        (f"d{i}", f"d{j}"): BANDWIDTH
+        for i in range(device_count)
+        for j in range(i + 1, device_count)
+    }
+    return DistributionEnvironment(devices, bandwidth=bandwidth)
+
+
+class TestMultiwayCutIdentity:
+    def test_two_terminal_min_cut(self):
+        """s pinned to d0, t pinned to d1, parallel paths of weight 3 and 5.
+
+        The minimum s-t cut severs the cheaper parallel path structure:
+        graph  s -> a -> t (3 each), s -> b -> t (5 each). Min directed cut
+        = 3 + 5 = 8 by taking a with s and b with t (cut a->t 3, s->b 5) —
+        or any assignment; exhaustive search must find cut weight 8.
+        """
+        graph = ServiceGraph()
+        graph.add_component(free_component("s", pinned_to="d0"))
+        graph.add_component(free_component("t", pinned_to="d1"))
+        graph.add_component(free_component("a"))
+        graph.add_component(free_component("b"))
+        graph.connect("s", "a", 3.0)
+        graph.connect("a", "t", 3.0)
+        graph.connect("s", "b", 5.0)
+        graph.connect("b", "t", 5.0)
+        env = environment(2)
+        weights = CostWeights.network_only()
+        result = OptimalDistributor().distribute(graph, env, weights)
+        assert result.feasible
+        cut_weight = result.cost * BANDWIDTH
+        assert cut_weight == pytest.approx(8.0)
+
+    def test_asymmetric_paths_cut_the_light_edges(self):
+        """s -> m (1.0), m -> t (9.0): the optimal cut severs s->m.
+
+        m joins t's side so only the 1.0 edge is cut.
+        """
+        graph = ServiceGraph()
+        graph.add_component(free_component("s", pinned_to="d0"))
+        graph.add_component(free_component("t", pinned_to="d1"))
+        graph.add_component(free_component("m"))
+        graph.connect("s", "m", 1.0)
+        graph.connect("m", "t", 9.0)
+        env = environment(2)
+        weights = CostWeights.network_only()
+        result = OptimalDistributor().distribute(graph, env, weights)
+        assert result.cost * BANDWIDTH == pytest.approx(1.0)
+        assert result.assignment["m"] == "d1"
+
+    def test_three_terminals(self):
+        """A star: hub feeding three pinned terminals on three devices.
+
+        Whatever device the hub joins, the other two edges are cut; the
+        optimal hub placement picks the terminal with the heaviest edge.
+        """
+        graph = ServiceGraph()
+        graph.add_component(free_component("hub"))
+        weights_by_terminal = {"t0": 7.0, "t1": 4.0, "t2": 2.0}
+        for i, (terminal, weight) in enumerate(weights_by_terminal.items()):
+            graph.add_component(free_component(terminal, pinned_to=f"d{i}"))
+            graph.connect("hub", terminal, weight)
+        env = environment(3)
+        weights = CostWeights.network_only()
+        result = OptimalDistributor().distribute(graph, env, weights)
+        # Hub joins t0's device; cut = 4 + 2 = 6.
+        assert result.assignment["hub"] == "d0"
+        assert result.cost * BANDWIDTH == pytest.approx(6.0)
+
+    def test_zero_resource_terms_make_resources_irrelevant(self):
+        """With w_i = 0, even huge demand on a device does not cost."""
+        graph = ServiceGraph()
+        graph.add_component(
+            ServiceComponent(
+                component_id="fat",
+                service_type="t",
+                resources=ResourceVector(memory=1e8, cpu=1e8),
+            )
+        )
+        env = environment(2)
+        weights = CostWeights.network_only()
+        result = OptimalDistributor().distribute(graph, env, weights)
+        assert result.feasible
+        assert result.cost == 0.0
+
+    def test_identity_against_cost_aggregation(self):
+        """CA equals cut-throughput / b for any assignment in the reduction."""
+        from repro.graph.cuts import Assignment
+
+        graph = ServiceGraph()
+        for cid in ("a", "b", "c"):
+            graph.add_component(free_component(cid))
+        graph.connect("a", "b", 2.0)
+        graph.connect("b", "c", 3.0)
+        graph.connect("a", "c", 4.0)
+        env = environment(2)
+        weights = CostWeights.network_only()
+        assignment = Assignment({"a": "d0", "b": "d1", "c": "d0"})
+        cut = sum(e.throughput_mbps for e in assignment.cut_edges(graph))
+        assert cost_aggregation(graph, assignment, env, weights) == pytest.approx(
+            cut / BANDWIDTH
+        )

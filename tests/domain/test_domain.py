@@ -1,0 +1,99 @@
+"""Unit tests for domains and the domain server."""
+
+import pytest
+
+from repro.discovery.registry import ServiceDescription
+from repro.domain.device import Device
+from repro.domain.domain import Domain, DomainServer
+from repro.events.types import Topics
+from repro.resources.vectors import ResourceVector
+from tests.conftest import make_component
+
+
+def make_device(device_id="pc1", memory=100.0):
+    return Device(device_id, capacity=ResourceVector(memory=memory, cpu=1.0))
+
+
+@pytest.fixture
+def server():
+    return DomainServer(Domain("office"))
+
+
+class TestMembership:
+    def test_join_publishes_event(self, server):
+        server.join(make_device())
+        assert "pc1" in server.domain
+        topics = [e.topic for e in server.bus.history()]
+        assert Topics.DEVICE_JOINED in topics
+
+    def test_double_join_rejected(self, server):
+        server.join(make_device())
+        with pytest.raises(ValueError):
+            server.join(make_device())
+
+    def test_join_attaches_to_network(self, server):
+        server.join(make_device())
+        assert server.network.has_device("pc1")
+
+    def test_leave_detaches_and_goes_offline(self, server):
+        server.join(make_device())
+        device = server.leave("pc1")
+        assert not device.online
+        assert "pc1" not in server.domain
+        assert Topics.DEVICE_LEFT in [e.topic for e in server.bus.history()]
+
+    def test_leave_withdraws_hosted_services(self, server):
+        server.join(make_device())
+        server.domain.registry.register(
+            ServiceDescription(
+                "player", "p1", make_component("t"), hosted_on="pc1"
+            )
+        )
+        server.leave("pc1")
+        assert server.domain.registry.lookup("player") == []
+
+    def test_crash_keeps_device_in_directory(self, server):
+        server.join(make_device())
+        server.crash("pc1")
+        assert "pc1" in server.domain
+        assert not server.domain.device("pc1").online
+        assert Topics.DEVICE_CRASHED in [e.topic for e in server.bus.history()]
+
+
+class TestSnapshots:
+    def test_available_devices_excludes_offline(self, server):
+        server.join(make_device("pc1"))
+        server.join(make_device("pc2"))
+        server.crash("pc2")
+        ids = [d.device_id for d in server.available_devices()]
+        assert ids == ["pc1"]
+
+    def test_availability_snapshot_reflects_allocations(self, server):
+        server.join(make_device("pc1"))
+        server.domain.device("pc1").allocate(ResourceVector(memory=30))
+        snapshot = server.availability_snapshot()
+        assert snapshot["pc1"]["memory"] == 70
+
+    def test_resource_change_notification(self, server):
+        server.join(make_device("pc1"))
+        server.notify_resources_changed("pc1")
+        events = server.bus.history(Topics.DEVICE_RESOURCES_CHANGED)
+        assert len(events) == 1
+        assert events[0].payload["device_id"] == "pc1"
+
+
+class TestDomainBasics:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Domain("")
+
+    def test_device_lookup(self, server):
+        server.join(make_device("pc1"))
+        assert server.domain.device("pc1").device_id == "pc1"
+        with pytest.raises(KeyError):
+            server.domain.device("ghost")
+
+    def test_len_counts_devices(self, server):
+        server.join(make_device("pc1"))
+        server.join(make_device("pc2"))
+        assert len(server.domain) == 2

@@ -1,0 +1,92 @@
+"""Unit tests for the smart space and user tracking."""
+
+import pytest
+
+from repro.domain.device import Device
+from repro.domain.space import SmartSpace
+from repro.events.types import Topics
+from repro.resources.vectors import ResourceVector
+
+
+def build_space():
+    space = SmartSpace()
+    office = space.create_domain("office")
+    home = space.create_domain("home")
+    office.join(Device("pc1", capacity=ResourceVector(memory=1)))
+    office.join(Device("pda1", capacity=ResourceVector(memory=1)))
+    home.join(Device("tv1", capacity=ResourceVector(memory=1)))
+    return space
+
+
+class TestDomains:
+    def test_duplicate_domain_rejected(self):
+        space = SmartSpace()
+        space.create_domain("office")
+        with pytest.raises(ValueError):
+            space.create_domain("office")
+
+    def test_find_device_across_domains(self):
+        space = build_space()
+        assert space.find_device("tv1") is not None
+        assert space.find_device("ghost") is None
+
+    def test_domain_of_device(self):
+        space = build_space()
+        assert space.domain_of_device("pc1") == "office"
+        assert space.domain_of_device("tv1") == "home"
+        assert space.domain_of_device("ghost") is None
+
+    def test_domains_sorted(self):
+        assert build_space().domains() == ["home", "office"]
+
+
+class TestUsers:
+    def test_register_user(self):
+        space = build_space()
+        user = space.register_user("alice", "office", "pc1")
+        assert user.current_domain == "office"
+        assert user.current_device == "pc1"
+
+    def test_duplicate_user_rejected(self):
+        space = build_space()
+        space.register_user("alice", "office", "pc1")
+        with pytest.raises(ValueError):
+            space.register_user("alice", "office", "pc1")
+
+    def test_register_requires_known_domain_and_device(self):
+        space = build_space()
+        with pytest.raises(KeyError):
+            space.register_user("bob", "nowhere", "pc1")
+        with pytest.raises(KeyError):
+            space.register_user("bob", "office", "tv1")
+
+    def test_switch_device_publishes_event(self):
+        space = build_space()
+        space.register_user("alice", "office", "pc1")
+        space.switch_device("alice", "pda1")
+        events = space.domain("office").bus.history(Topics.USER_DEVICE_SWITCHED)
+        assert len(events) == 1
+        assert events[0].payload["old_device"] == "pc1"
+        assert events[0].payload["new_device"] == "pda1"
+
+    def test_switch_to_unknown_device_rejected(self):
+        space = build_space()
+        space.register_user("alice", "office", "pc1")
+        with pytest.raises(KeyError):
+            space.switch_device("alice", "tv1")  # belongs to another domain
+
+    def test_move_user_publishes_on_both_domains(self):
+        space = build_space()
+        space.register_user("alice", "office", "pc1")
+        space.move_user("alice", "home", "tv1")
+        assert len(space.domain("office").bus.history(Topics.USER_MOVED)) == 1
+        assert len(space.domain("home").bus.history(Topics.USER_MOVED)) == 1
+        user = space.user("alice")
+        assert user.current_domain == "home"
+        assert user.current_device == "tv1"
+
+    def test_move_within_same_domain_publishes_once(self):
+        space = build_space()
+        space.register_user("alice", "office", "pc1")
+        space.move_user("alice", "office", "pda1")
+        assert len(space.domain("office").bus.history(Topics.USER_MOVED)) == 1

@@ -1,0 +1,103 @@
+"""Unit tests for the event bus and topic matching."""
+
+import pytest
+
+from repro.events.bus import EventBus
+from repro.events.types import Event, Topics
+
+
+class TestEventMatching:
+    def test_exact_topic(self):
+        assert Event("device.joined").matches("device.joined")
+        assert not Event("device.joined").matches("device.left")
+
+    def test_prefix_pattern(self):
+        assert Event("device.joined").matches("device.*")
+        assert Event("device.resources_changed").matches("device.*")
+        assert not Event("user.moved").matches("device.*")
+
+    def test_prefix_does_not_match_lookalike(self):
+        assert not Event("devices.joined").matches("device.*")
+
+    def test_star_matches_everything(self):
+        assert Event("anything.at.all").matches("*")
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(ValueError):
+            Event("")
+
+
+class TestBus:
+    def test_publish_delivers_to_matching_subscribers(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("device.*", received.append)
+        bus.subscribe("user.*", received.append)
+        delivered = bus.emit(Topics.DEVICE_JOINED, device_id="pc1")
+        assert delivered == 1
+        assert len(received) == 1
+        assert received[0].payload["device_id"] == "pc1"
+
+    def test_delivery_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("*", lambda e: order.append("first"))
+        bus.subscribe("*", lambda e: order.append("second"))
+        bus.emit("x")
+        assert order == ["first", "second"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        received = []
+        subscription = bus.subscribe("*", received.append)
+        bus.unsubscribe(subscription)
+        bus.emit("x")
+        assert received == []
+
+    def test_unsubscribe_idempotent(self):
+        bus = EventBus()
+        subscription = bus.subscribe("*", lambda e: None)
+        bus.unsubscribe(subscription)
+        bus.unsubscribe(subscription)
+
+    def test_handler_may_subscribe_during_dispatch(self):
+        bus = EventBus()
+        late = []
+
+        def handler(event):
+            bus.subscribe("*", late.append)
+
+        bus.subscribe("*", handler)
+        bus.emit("first")
+        bus.emit("second")
+        assert len(late) == 1  # only the second event reaches the late sub
+
+    def test_history_filtering(self):
+        bus = EventBus()
+        bus.emit(Topics.DEVICE_JOINED)
+        bus.emit(Topics.USER_MOVED)
+        assert len(bus.history()) == 2
+        assert len(bus.history("device.*")) == 1
+
+    def test_history_bounded(self):
+        bus = EventBus(history_limit=3)
+        for i in range(5):
+            bus.emit("t", index=i)
+        history = bus.history()
+        assert len(history) == 3
+        assert history[0].payload["index"] == 2
+
+    def test_published_count_survives_eviction(self):
+        bus = EventBus(history_limit=2)
+        for _ in range(5):
+            bus.emit("t")
+        assert bus.published_count == 5
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus().subscribe("", lambda e: None)
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        bus.subscribe("*", lambda e: None)
+        assert bus.subscriber_count() == 1

@@ -1,0 +1,63 @@
+"""Tests for the Figure 3 prototype scenario (measured QoS)."""
+
+import pytest
+
+from repro.experiments.figure3 import run_prototype_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return run_prototype_scenario(measure_duration_s=20.0, measure_window_s=5.0)
+
+
+class TestEventSequence:
+    def test_all_four_events_succeed(self, scenario):
+        assert len(scenario.events) == 4
+        assert all(event.success for event in scenario.events)
+
+    def test_event1_player_on_desktop2(self, scenario):
+        event = scenario.event("event1")
+        assert "desktop1" in event.devices_used  # audio server host
+        assert "desktop2" in event.devices_used  # the user's portal
+
+    def test_event2_transcoder_inserted_for_pda(self, scenario):
+        event = scenario.event("event2")
+        assert any("MPEG2wav" in c for c in event.components)
+        assert "jornada" in event.devices_used
+
+    def test_event3_back_on_wired_desktop(self, scenario):
+        event = scenario.event("event3")
+        assert "desktop3" in event.devices_used
+        assert "jornada" not in event.devices_used
+        assert not any("MPEG2wav" in c for c in event.components)
+
+    def test_event4_non_linear_graph_deployed(self, scenario):
+        event = scenario.event("event4")
+        assert len(event.components) == 6
+        assert set(event.devices_used) == {
+            "workstation1",
+            "workstation2",
+            "workstation3",
+        }
+
+
+class TestMeasuredQoS:
+    """The paper's Measured QoS column: 40 fps audio; 25/6 fps conferencing."""
+
+    def test_audio_40fps_in_all_three_events(self, scenario):
+        for label in ("event1", "event2", "event3"):
+            fps = scenario.event(label).measured_fps["audio-player"]
+            assert fps == pytest.approx(40.0, abs=1.0)
+
+    def test_conferencing_rates(self, scenario):
+        measured = scenario.event("event4").measured_fps
+        assert measured["video-player"] == pytest.approx(25.0, abs=1.0)
+        assert measured["audio-player"] == pytest.approx(6.0, abs=0.5)
+
+    def test_music_continues_from_interruption_point(self, scenario):
+        assert scenario.event("event2").playback_position_s == pytest.approx(120.0)
+
+    def test_report_renders(self, scenario):
+        text = scenario.format_report()
+        assert "Event 1" in text and "Event 4" in text
+        assert "40.0fps" in text

@@ -1,0 +1,58 @@
+"""Tests for the Figure 4 overhead breakdown."""
+
+import pytest
+
+from repro.experiments.figure3 import run_prototype_scenario
+from repro.experiments.figure4 import run_figure4
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    return run_figure4(run_prototype_scenario(measure_duration_s=5.0))
+
+
+class TestShape:
+    def test_four_rows(self, breakdown):
+        assert len(breakdown.rows) == 4
+        assert breakdown.labels[0].startswith("event1")
+
+    def test_audio_events_have_no_download(self, breakdown):
+        for label in ("event1", "event2", "event3"):
+            row = breakdown.row(_match(breakdown, label))
+            assert row["download_ms"] == 0.0
+
+    def test_event4_download_dominates(self, breakdown):
+        row = breakdown.row(_match(breakdown, "event4"))
+        assert row["download_ms"] > row["composition_ms"]
+        assert row["download_ms"] > row["distribution_ms"]
+        assert row["download_ms"] > row["init_or_handoff_ms"]
+        assert row["download_ms"] >= 0.5 * row["total_ms"]
+
+    def test_pc_to_pda_handoff_slower_than_back(self, breakdown):
+        to_pda = breakdown.row(_match(breakdown, "event2"))
+        to_pc = breakdown.row(_match(breakdown, "event3"))
+        assert to_pda["init_or_handoff_ms"] > to_pc["init_or_handoff_ms"]
+
+    def test_overhead_small_relative_to_execution(self, breakdown):
+        # "relatively small compared to the entire execution time":
+        # every event configures in under 5 seconds; apps run for minutes.
+        for row in breakdown.rows:
+            assert row["total_ms"] < 5000.0
+
+    def test_totals_consistent(self, breakdown):
+        for row in breakdown.rows:
+            parts = (
+                row["composition_ms"]
+                + row["distribution_ms"]
+                + row["download_ms"]
+                + row["init_or_handoff_ms"]
+            )
+            assert row["total_ms"] == pytest.approx(parts)
+
+    def test_table_renders(self, breakdown):
+        text = breakdown.format_table()
+        assert "composition" in text and "event4" in text
+
+
+def _match(breakdown, prefix):
+    return next(label for label in breakdown.labels if label.startswith(prefix))

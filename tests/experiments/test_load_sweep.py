@@ -1,0 +1,38 @@
+"""Tests for the load-sensitivity extension experiment."""
+
+import pytest
+
+from repro.experiments.load_sweep import run_load_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_load_sweep(
+        multipliers=(0.5, 1.0, 2.0), base_requests=150, horizon_h=30.0
+    )
+
+
+class TestLoadSweep:
+    def test_all_algorithms_present(self, sweep):
+        assert set(sweep.rates) == {"heuristic", "random", "fixed"}
+        for values in sweep.rates.values():
+            assert len(values) == 3
+
+    def test_heuristic_dominates_at_every_load(self, sweep):
+        for i in range(len(sweep.multipliers)):
+            assert sweep.rates["heuristic"][i] >= sweep.rates["random"][i]
+            assert sweep.rates["heuristic"][i] >= sweep.rates["fixed"][i]
+
+    def test_heuristic_degrades_monotonically(self, sweep):
+        assert sweep.monotone_nonincreasing("heuristic")
+
+    def test_light_load_is_easy(self, sweep):
+        assert sweep.rates["heuristic"][0] >= 0.9
+
+    def test_rates_are_fractions(self, sweep):
+        for values in sweep.rates.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_render(self, sweep):
+        text = sweep.format_table()
+        assert "load x" in text and "heuristic" in text

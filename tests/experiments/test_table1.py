@@ -1,0 +1,49 @@
+"""Tests for the Table 1 experiment driver (reduced case budget)."""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.workloads.generator import Table1Workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table1(Table1Workload(case_count=30))
+
+
+class TestTable1:
+    def test_optimal_row_is_perfect(self, result):
+        optimal = result.rows["optimal"]
+        assert optimal.average_ratio == pytest.approx(1.0)
+        assert optimal.optimal_fraction == pytest.approx(1.0)
+
+    def test_paper_ordering_heuristic_beats_random(self, result):
+        heuristic = result.rows["heuristic"]
+        random_row = result.rows["random"]
+        assert heuristic.average_ratio > random_row.average_ratio
+        assert heuristic.optimal_fraction > random_row.optimal_fraction
+
+    def test_heuristic_in_paper_band(self, result):
+        """Paper: 91% average, 60% exact-optimal."""
+        heuristic = result.rows["heuristic"]
+        assert 0.75 <= heuristic.average_ratio <= 1.0
+        assert heuristic.optimal_fraction >= 0.4
+
+    def test_random_in_paper_band(self, result):
+        """Paper: 25% average, 0% exact-optimal."""
+        random_row = result.rows["random"]
+        assert random_row.average_ratio <= 0.5
+        assert random_row.optimal_fraction <= 0.15
+
+    def test_ratios_are_valid_fractions(self, result):
+        for row in result.rows.values():
+            assert all(0.0 <= r <= 1.0 for r in row.ratios)
+
+    def test_formatted_table_mentions_all_algorithms(self, result):
+        text = result.format_table()
+        assert "Random" in text
+        assert "Our Heuristic" in text
+        assert "Optimal" in text
+
+    def test_case_accounting(self, result):
+        assert result.case_count + result.skipped_infeasible == 30

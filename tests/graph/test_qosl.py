@@ -1,0 +1,164 @@
+"""Unit tests for the QoSL XML dialect."""
+
+import pytest
+
+from repro.graph.abstract import AbstractComponentSpec, AbstractServiceGraph, PinConstraint
+from repro.graph.qosl import QoSLError, parse, serialize
+from repro.qos.parameters import RangeValue, SetValue, SingleValue
+from repro.qos.vectors import QoSVector
+
+MUSIC_APP = """
+<application name="music-on-demand">
+  <service id="server" type="audio_server">
+    <attribute name="media" value="audio"/>
+  </service>
+  <service id="equalizer" type="equalizer" optional="true"/>
+  <service id="player" type="audio_player" pin="client">
+    <output param="format" value="WAV"/>
+    <output param="frame_rate" range="20 48"/>
+    <output param="codec" set="mp3 aac"/>
+  </service>
+  <connection from="server" to="equalizer" throughput="1.4"/>
+  <connection from="equalizer" to="player" throughput="1.4"/>
+</application>
+"""
+
+
+class TestParse:
+    def test_parses_services_and_edges(self):
+        graph = parse(MUSIC_APP)
+        assert graph.name == "music-on-demand"
+        assert len(graph) == 3
+        assert len(graph.edges()) == 2
+
+    def test_optional_flag(self):
+        graph = parse(MUSIC_APP)
+        assert graph.spec("equalizer").optional
+        assert not graph.spec("server").optional
+
+    def test_client_pin(self):
+        graph = parse(MUSIC_APP)
+        pin = graph.spec("player").pin
+        assert pin is not None and pin.role == "client"
+
+    def test_output_value_kinds(self):
+        player = parse(MUSIC_APP).spec("player")
+        assert player.required_output["format"] == SingleValue("WAV")
+        assert player.required_output["frame_rate"] == RangeValue(20.0, 48.0)
+        assert player.required_output["codec"] == SetValue({"mp3", "aac"})
+
+    def test_numeric_coercion(self):
+        graph = parse(
+            '<application><service id="s" type="t">'
+            '<output param="bits" value="16"/></service></application>'
+        )
+        assert graph.spec("s").required_output["bits"] == SingleValue(16)
+
+    def test_device_and_role_pins(self):
+        graph = parse(
+            '<application>'
+            '<service id="a" type="t" pin="device:pc7"/>'
+            '<service id="b" type="t" pin="role:presenter"/>'
+            "</application>"
+        )
+        assert graph.spec("a").pin.device_id == "pc7"
+        assert graph.spec("b").pin.role == "presenter"
+
+    def test_attributes_parsed(self):
+        graph = parse(MUSIC_APP)
+        assert graph.spec("server").attribute("media") == "audio"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "not xml at all <",
+            "<wrongroot/>",
+            '<application><service type="t"/></application>',  # no id
+            '<application><mystery/></application>',
+            '<application><service id="s" type="t" pin="weird"/></application>',
+            '<application><service id="s" type="t">'
+            '<output param="x" value="1" range="1 2"/></service></application>',
+            '<application><service id="s" type="t">'
+            '<output param="x" range="only-one"/></service></application>',
+            '<application><service id="s" type="t" optional="maybe"/></application>',
+            '<application><connection from="a" to="b"/></application>',  # unknown ids
+        ],
+    )
+    def test_malformed_documents_rejected(self, document):
+        with pytest.raises((QoSLError, Exception)):
+            parse(document)
+
+    def test_cycle_rejected(self):
+        document = (
+            "<application>"
+            '<service id="a" type="t"/><service id="b" type="t"/>'
+            '<connection from="a" to="b"/><connection from="b" to="a"/>'
+            "</application>"
+        )
+        with pytest.raises(Exception):
+            parse(document)
+
+
+class TestRoundTrip:
+    def test_parse_serialize_parse(self):
+        first = parse(MUSIC_APP)
+        text = serialize(first)
+        second = parse(text)
+        assert second.name == first.name
+        assert [s.spec_id for s in second.specs()] == [
+            s.spec_id for s in first.specs()
+        ]
+        for spec in first.specs():
+            other = second.spec(spec.spec_id)
+            assert other.service_type == spec.service_type
+            assert other.optional == spec.optional
+            assert other.required_output == spec.required_output
+            assert other.attributes == spec.attributes
+        assert [(e.source, e.target, e.throughput_mbps) for e in second.edges()] == [
+            (e.source, e.target, e.throughput_mbps) for e in first.edges()
+        ]
+
+    def test_programmatic_graph_serialises(self):
+        graph = AbstractServiceGraph(name="built")
+        graph.add_spec(
+            AbstractComponentSpec(
+                "x",
+                "thing",
+                required_output=QoSVector(frame_rate=(10.0, 30.0)),
+                pin=PinConstraint(device_id="pc1"),
+            )
+        )
+        text = serialize(graph)
+        assert 'pin="device:pc1"' in text
+        restored = parse(text)
+        assert restored.spec("x").pin.device_id == "pc1"
+
+
+class TestEndToEndComposition:
+    def test_xml_authored_app_composes(self):
+        """The full paper workflow: XML description -> composed graph."""
+        from repro.apps.audio_on_demand import build_audio_testbed
+        from repro.composition.composer import CompositionRequest
+
+        document = """
+        <application name="xml-audio">
+          <service id="audio-server" type="audio_server">
+            <attribute name="media" value="audio"/>
+          </service>
+          <service id="audio-player" type="audio_player" pin="client">
+            <output param="frame_rate" range="20 48"/>
+          </service>
+          <connection from="audio-server" to="audio-player" throughput="1.4"/>
+        </application>
+        """
+        testbed = build_audio_testbed()
+        request = CompositionRequest(
+            abstract_graph=parse(document),
+            client_device_id="jornada",
+            client_device_class="pda",
+        )
+        result = testbed.configurator.composer.compose(request)
+        assert result.success
+        assert any("MPEG2wav" in cid for cid in result.graph.component_ids())

@@ -1,0 +1,127 @@
+"""Round-trip tests for graph serialisation."""
+
+import json
+import random
+
+import pytest
+
+from repro.graph.cuts import Assignment
+from repro.graph.generators import random_service_graph
+from repro.graph.serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    component_from_dict,
+    component_to_dict,
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    loads,
+    qos_value_from_dict,
+    qos_value_to_dict,
+    qos_vector_from_dict,
+    qos_vector_to_dict,
+)
+from repro.graph.service_graph import ServiceComponent
+from repro.qos.parameters import RangeValue, SetValue, SingleValue
+from repro.qos.vectors import QoSVector
+from repro.resources.vectors import ResourceVector
+
+
+class TestQoSValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            SingleValue("MPEG"),
+            SingleValue(42),
+            SingleValue((1600, 1200)),
+            RangeValue(10.0, 30.0),
+            SetValue({"MPEG", "WAV"}),
+            SetValue({1, 2, 3}),
+        ],
+    )
+    def test_round_trip(self, value):
+        assert qos_value_from_dict(qos_value_to_dict(value)) == value
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            qos_value_from_dict({"kind": "mystery"})
+
+    def test_json_compatible(self):
+        encoded = qos_value_to_dict(SingleValue((640, 480)))
+        json.dumps(encoded)  # no TypeError
+
+
+class TestVectorRoundTrip:
+    def test_qos_vector(self):
+        vector = QoSVector(
+            format="MPEG", frame_rate=(10.0, 30.0), codecs={"a", "b"}
+        )
+        assert qos_vector_from_dict(qos_vector_to_dict(vector)) == vector
+
+    def test_empty_vector(self):
+        assert qos_vector_from_dict(qos_vector_to_dict(QoSVector())) == QoSVector()
+
+
+class TestComponentRoundTrip:
+    def test_full_component(self):
+        component = ServiceComponent(
+            component_id="c1",
+            service_type="player",
+            qos_input=QoSVector(format="WAV"),
+            qos_output=QoSVector(frame_rate=40),
+            resources=ResourceVector(memory=16, cpu=0.2),
+            adjustable_outputs=frozenset({"frame_rate"}),
+            output_capabilities=QoSVector(frame_rate=(5.0, 60.0)),
+            passthrough=frozenset({"frame_rate"}),
+            pinned_to="pda1",
+            optional=True,
+            code_size_kb=400.0,
+            state_size_kb=24.0,
+            attributes=(("media", "audio"),),
+        )
+        restored = component_from_dict(component_to_dict(component))
+        assert restored == component
+
+    def test_minimal_component(self):
+        component = ServiceComponent(component_id="c", service_type="t")
+        assert component_from_dict(component_to_dict(component)) == component
+
+
+class TestGraphRoundTrip:
+    def test_random_graphs_round_trip(self):
+        for seed in range(5):
+            graph = random_service_graph(random.Random(seed))
+            restored = graph_from_dict(graph_to_dict(graph))
+            assert restored.name == graph.name
+            assert restored.component_ids() == graph.component_ids()
+            assert [e.key for e in restored.edges()] == [
+                e.key for e in graph.edges()
+            ]
+            for cid in graph.component_ids():
+                assert restored.component(cid) == graph.component(cid)
+
+    def test_version_check(self):
+        graph = random_service_graph(random.Random(0))
+        data = graph_to_dict(graph)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            graph_from_dict(data)
+
+    def test_dumps_loads_with_assignment(self):
+        graph = random_service_graph(random.Random(1))
+        assignment = Assignment(
+            {cid: "dev" for cid in graph.component_ids()}
+        )
+        text = dumps(graph, assignment)
+        restored_graph, restored_assignment = loads(text)
+        assert restored_assignment == assignment
+        assert restored_graph.component_ids() == graph.component_ids()
+
+    def test_dumps_without_assignment(self):
+        graph = random_service_graph(random.Random(2))
+        _restored, assignment = loads(dumps(graph))
+        assert assignment is None
+
+    def test_assignment_helpers(self):
+        assignment = Assignment({"a": "d1"})
+        assert assignment_from_dict(assignment_to_dict(assignment)) == assignment

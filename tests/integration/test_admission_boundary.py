@@ -1,0 +1,89 @@
+"""Admission at the capacity boundary: fill, reject, release, re-admit."""
+
+import pytest
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.runtime.session import SessionState
+
+
+class TestAdmissionBoundary:
+    def test_fill_until_rejection_then_recover(self):
+        testbed = build_audio_testbed()
+        sessions = []
+        # Keep starting sessions at the same portal until one is refused.
+        for _attempt in range(200):
+            session = testbed.configurator.create_session(
+                audio_request(testbed, "desktop2")
+            )
+            record = session.start()
+            if not record.success:
+                break
+            sessions.append(session)
+        else:
+            pytest.fail("capacity never exhausted after 200 sessions")
+
+        admitted = len(sessions)
+        assert admitted >= 2  # the testbed holds several concurrent streams
+
+        # The refused session did not leak anything.
+        failed = testbed.configurator.sessions
+        assert any(
+            s.state is SessionState.FAILED for s in failed.values()
+        )
+
+        # Releasing one admitted session makes room again.
+        sessions[0].stop()
+        retry = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        assert retry.start().success
+
+        for session in sessions[1:]:
+            session.stop()
+        retry.stop()
+        for device in testbed.devices.values():
+            assert device.allocated.is_zero()
+
+    def test_rejection_reason_is_resource_exhaustion(self):
+        testbed = build_audio_testbed()
+        running = []
+        while True:
+            session = testbed.configurator.create_session(
+                audio_request(testbed, "desktop2")
+            )
+            record = session.start()
+            if not record.success:
+                break
+            running.append(session)
+        # The failing step was distribution (composition always succeeds:
+        # services remain advertised), with resource violations.
+        assert record.composition is not None and record.composition.success
+        assert record.distribution is not None
+        assert not record.distribution.feasible
+        kinds = {v.kind for v in record.distribution.violations}
+        assert "resource" in kinds
+        for session in running:
+            session.stop()
+
+    def test_admitted_sessions_all_functional(self):
+        """Every admitted concurrent session has a deployed, valid cut."""
+        from repro.distribution.fit import (
+            CandidateDevice,
+            DistributionEnvironment,
+        )
+
+        testbed = build_audio_testbed()
+        sessions = []
+        for _ in range(3):
+            session = testbed.configurator.create_session(
+                audio_request(testbed, "desktop2")
+            )
+            if session.start().success:
+                sessions.append(session)
+        assert len(sessions) >= 2
+        for session in sessions:
+            assignment = session.deployment.assignment
+            assert assignment.covers(session.graph)
+            assert assignment.respects_pins(session.graph)
+        for session in sessions:
+            session.stop()

@@ -1,0 +1,105 @@
+"""End-to-end integration: the full two-tier pipeline on live substrates."""
+
+import pytest
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.apps.media import MediaPipeline
+from repro.apps.video_conferencing import (
+    build_conferencing_testbed,
+    conferencing_request,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestAudioEndToEnd:
+    def test_full_lifecycle_with_media_measurement(self):
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        record = session.start()
+        assert record.success
+
+        sim = Simulator()
+        pipeline = MediaPipeline(
+            sim,
+            session.graph,
+            assignment=session.deployment.assignment,
+            topology=testbed.server.network,
+        )
+        pipeline.run_for(20.0)
+        assert pipeline.measured_qos(5.0)["audio-player"] == pytest.approx(
+            40.0, abs=1.0
+        )
+        session.stop()
+        for device in testbed.devices.values():
+            assert device.allocated.is_zero()
+
+    def test_bandwidth_reserved_while_running(self):
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        session.start()
+        assignment = session.deployment.assignment
+        server_dev = assignment["audio-server"]
+        player_dev = assignment["audio-player"]
+        if server_dev != player_dev:
+            available = testbed.server.network.available_bandwidth(
+                server_dev, player_dev
+            )
+            capacity = testbed.server.network.pair_capacity(server_dev, player_dev)
+            assert available < capacity
+        session.stop()
+
+    def test_two_concurrent_sessions_share_devices(self):
+        testbed = build_audio_testbed()
+        first = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        second = testbed.configurator.create_session(
+            audio_request(testbed, "desktop3")
+        )
+        assert first.start().success
+        assert second.start().success
+        assert first.deployment.assignment != second.deployment.assignment
+        first.stop()
+        second.stop()
+        assert testbed.server.network.active_reservations() == []
+
+
+class TestConferencingEndToEnd:
+    def test_full_pipeline_delivers_both_streams(self):
+        testbed = build_conferencing_testbed()
+        session = testbed.configurator.create_session(
+            conferencing_request(testbed)
+        )
+        record = session.start()
+        assert record.success
+
+        sim = Simulator()
+        pipeline = MediaPipeline(
+            sim,
+            session.graph,
+            assignment=session.deployment.assignment,
+            topology=testbed.server.network,
+        )
+        pipeline.run_for(20.0)
+        qos = pipeline.measured_qos(5.0)
+        assert qos["video-player"] == pytest.approx(25.0, abs=1.0)
+        assert qos["audio-player"] == pytest.approx(6.0, abs=0.5)
+        session.stop()
+
+    def test_code_downloaded_exactly_once_per_device(self):
+        testbed = build_conferencing_testbed()
+        session = testbed.configurator.create_session(
+            conferencing_request(testbed)
+        )
+        session.start()
+        downloads = session.deployment.downloads
+        downloaded_pairs = [
+            (d.service_type, d.target_device) for d in downloads if d.downloaded
+        ]
+        assert len(downloaded_pairs) == len(set(downloaded_pairs))
+        assert len(downloaded_pairs) == 6
+        session.stop()

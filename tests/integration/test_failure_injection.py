@@ -1,0 +1,115 @@
+"""Integration: failures injected into the running system."""
+
+import pytest
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.profiling.monitor import ResourceMonitor
+from repro.resources.vectors import ResourceVector
+from repro.runtime.session import SessionState
+
+
+@pytest.fixture
+def testbed():
+    return build_audio_testbed()
+
+
+class TestDeviceCrash:
+    def test_crash_of_used_device_triggers_redistribution(self, testbed):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        testbed.configurator.enable_auto_reconfiguration(session)
+        used = set(session.devices_in_use())
+        # Crash a middle device if one is in use (not the pinned endpoints).
+        victims = used - {"desktop1", "desktop2"}
+        if not victims:
+            pytest.skip("distribution used only pinned devices")
+        testbed.server.crash(victims.pop())
+        assert session.state is SessionState.RUNNING
+        assert len(session.timeline) == 2
+
+    def test_crash_of_client_device_cannot_be_redistributed_around(self, testbed):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        testbed.configurator.enable_auto_reconfiguration(session)
+        # The player is pinned to the crashed client: redistribution of the
+        # same graph must fail (the user has to switch devices instead).
+        testbed.server.crash("desktop2")
+        assert session.state is SessionState.FAILED
+
+    def test_session_recovers_by_switching_after_client_crash(self, testbed):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        testbed.server.crash("desktop2")
+        # Manual recovery path: recompose for a new portal. The session
+        # object is already FAILED-free (no auto wiring), so switch works.
+        record = session.switch_device("desktop3", "pc")
+        assert record.success
+        assert session.graph.component("audio-player").pinned_to == "desktop3"
+
+
+class TestResourceExhaustion:
+    def test_background_load_blocks_new_sessions(self, testbed):
+        for device in testbed.devices.values():
+            ResourceMonitor(device).inject_background_load(
+                device.available()
+            )
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        record = session.start()
+        assert not record.success
+        assert session.state is SessionState.FAILED
+
+    def test_partial_load_shifts_placement(self, testbed):
+        # Saturate desktop2's spare capacity so only the pinned player fits
+        # elsewhere... then the distributor must avoid desktop2 for free
+        # components.
+        # Leave just enough headroom for the pinned player (16MB / 0.15cpu)
+        # but not for anything else.
+        monitor = ResourceMonitor(testbed.devices["desktop2"])
+        available = testbed.devices["desktop2"].available()
+        monitor.inject_background_load(
+            ResourceVector(
+                memory=max(0.0, available["memory"] - 20.0),
+                cpu=max(0.0, available["cpu"] - 0.18),
+            )
+        )
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        record = session.start()
+        assert record.success
+        # Only the pinned player may sit on the saturated device.
+        on_desktop2 = session.deployment.assignment.components_on("desktop2")
+        assert on_desktop2 == ["audio-player"]
+
+    def test_failed_start_leaves_no_residue(self, testbed):
+        for device in testbed.devices.values():
+            ResourceMonitor(device).inject_background_load(device.available())
+        before = {
+            d: testbed.devices[d].available() for d in testbed.devices
+        }
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        session.start()
+        after = {d: testbed.devices[d].available() for d in testbed.devices}
+        assert before == after
+        assert testbed.server.network.active_reservations() == []
+
+
+class TestMonitorIntegration:
+    def test_fluctuation_event_reaches_bus(self, testbed):
+        device = testbed.devices["desktop3"]
+        monitor = ResourceMonitor(device, server=testbed.server, threshold=0.1)
+        monitor.inject_background_load(ResourceVector(memory=100.0))
+        assert monitor.poll()
+        from repro.events.types import Topics
+
+        assert testbed.server.bus.history(Topics.DEVICE_RESOURCES_CHANGED)

@@ -1,0 +1,104 @@
+"""The complete narrative, end to end, on one simulated timeline.
+
+A user starts music at their desk, the monitoring daemon notices a
+resource fluctuation and the session redistributes, the user walks off
+with the PDA (transcoder appears, state survives), background load clears,
+the user comes back to a desktop, and finally roams to a different domain
+— with the delivered QoS measured at every stage.
+"""
+
+import pytest
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.apps.media import MediaPipeline
+from repro.events.types import Topics
+from repro.profiling.daemon import MonitorDaemon
+from repro.profiling.monitor import ResourceMonitor
+from repro.resources.vectors import ResourceVector
+from repro.runtime.session import SessionState
+from repro.sim.kernel import Simulator
+
+
+def measured_fps(testbed, session):
+    sim = Simulator()
+    pipeline = MediaPipeline(
+        sim,
+        session.graph,
+        assignment=session.deployment.assignment,
+        topology=testbed.server.network,
+    )
+    pipeline.run_for(15.0)
+    return pipeline.measured_qos(5.0)["audio-player"]
+
+
+class TestFullStory:
+    def test_the_whole_day(self):
+        testbed = build_audio_testbed()
+        configurator = testbed.configurator
+
+        # 09:00 — start music at the desk.
+        session = configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        assert session.start().success
+        assert measured_fps(testbed, session) == pytest.approx(40.0, abs=1.0)
+
+        # Monitoring watches a middle-tier desktop.
+        sim = Simulator()
+        monitor = ResourceMonitor(
+            testbed.devices["desktop3"], server=testbed.server, threshold=0.1
+        )
+        daemon = MonitorDaemon(sim, [monitor], period_s=2.0)
+        daemon.start()
+        configurator.bus.subscribe(
+            Topics.DEVICE_RESOURCES_CHANGED,
+            lambda event: session.redistribute(label="fluctuation")
+            if session.running
+            else None,
+        )
+
+        # 09:10 — someone loads desktop3 heavily; the daemon catches it
+        # on its next poll and the session redistributes.
+        timeline_before = len(session.timeline)
+        sim.schedule(
+            3.0,
+            lambda: monitor.inject_background_load(
+                ResourceVector(memory=220.0, cpu=2.5)
+            ),
+        )
+        sim.run_until(6.0)
+        assert len(session.timeline) == timeline_before + 1
+        assert session.running
+        assert measured_fps(testbed, session) == pytest.approx(40.0, abs=1.0)
+
+        # 09:30 — off to a meeting with the PDA.
+        session.record_progress(1800.0)
+        record = session.switch_device("jornada", "pda")
+        assert record.success
+        assert any("MPEG2wav" in c for c in session.graph.component_ids())
+        assert session.playback_position() == pytest.approx(1800.0)
+        assert measured_fps(testbed, session) == pytest.approx(40.0, abs=1.0)
+
+        # 11:00 — back at a different desk.
+        session.record_progress(7200.0)
+        record = session.switch_device("desktop3", "pc")
+        assert record.success
+        assert not any("MPEG2wav" in c for c in session.graph.component_ids())
+        assert measured_fps(testbed, session) == pytest.approx(40.0, abs=1.0)
+
+        # 17:00 — done.
+        session.stop()
+        assert session.state is SessionState.STOPPED
+        for device in testbed.devices.values():
+            background_only = all(
+                allocation.owner == "background"
+                for allocation in device.active_allocations()
+            )
+            assert background_only
+        assert testbed.server.network.active_reservations() == []
+
+        # The event stream recorded the whole story.
+        topics = [e.topic for e in configurator.bus.history()]
+        assert Topics.SESSION_CONFIGURED in topics
+        assert Topics.DEVICE_RESOURCES_CHANGED in topics
+        assert Topics.APPLICATION_STOPPED in topics

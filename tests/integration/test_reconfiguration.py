@@ -1,0 +1,95 @@
+"""Integration: the paper's dynamic reconfiguration scenarios."""
+
+import pytest
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.apps.media import MediaPipeline
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def testbed():
+    return build_audio_testbed()
+
+
+def measure_fps(testbed, session):
+    sim = Simulator()
+    pipeline = MediaPipeline(
+        sim,
+        session.graph,
+        assignment=session.deployment.assignment,
+        topology=testbed.server.network,
+    )
+    pipeline.run_for(15.0)
+    return pipeline.measured_qos(5.0)["audio-player"]
+
+
+class TestDeviceSwitchScenario:
+    """Events 1-3 of the prototype experiment as one continuous session."""
+
+    def test_qos_preserved_across_both_handoffs(self, testbed):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        assert measure_fps(testbed, session) == pytest.approx(40.0, abs=1.0)
+
+        session.record_progress(120.0)
+        session.switch_device("jornada", "pda")
+        assert measure_fps(testbed, session) == pytest.approx(40.0, abs=1.0)
+        assert session.playback_position() == pytest.approx(120.0)
+
+        session.record_progress(300.0)
+        session.switch_device("desktop3", "pc")
+        assert measure_fps(testbed, session) == pytest.approx(40.0, abs=1.0)
+        assert session.playback_position() == pytest.approx(300.0)
+
+    def test_transcoder_comes_and_goes(self, testbed):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        session.start()
+
+        def transcoders():
+            return [c for c in session.graph.component_ids() if "MPEG2wav" in c]
+
+        assert transcoders() == []
+        session.switch_device("jornada", "pda")
+        assert len(transcoders()) == 1
+        session.switch_device("desktop3", "pc")
+        assert transcoders() == []
+
+    def test_wireless_stream_fits_wlan_budget(self, testbed):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        session.start()
+        session.switch_device("jornada", "pda")
+        # Whatever crosses to the PDA must be within the 5 Mbps WLAN.
+        traffic = session.deployment.assignment.pairwise_throughput(session.graph)
+        to_pda = sum(
+            mbps for (src, dst), mbps in traffic.items() if "jornada" in (src, dst)
+        )
+        assert to_pda <= 5.0
+
+    def test_timeline_records_every_transition(self, testbed):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        session.start()
+        session.switch_device("jornada", "pda")
+        session.switch_device("desktop3", "pc")
+        labels = [record.label for record in session.timeline]
+        assert len(labels) == 3
+        assert labels[0] == "start"
+        assert "jornada" in labels[1]
+        assert "desktop3" in labels[2]
+
+    def test_handoff_overheads_follow_link_asymmetry(self, testbed):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        session.start()
+        to_pda = session.switch_device("jornada", "pda")
+        to_pc = session.switch_device("desktop3", "pc")
+        assert to_pda.timing.handoff_ms > to_pc.timing.handoff_ms

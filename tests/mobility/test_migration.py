@@ -1,0 +1,110 @@
+"""Unit tests for migration and the state handoff protocol."""
+
+import pytest
+
+from repro.mobility.checkpoint import ComponentState
+from repro.mobility.migration import MigrationService, StateHandoffProtocol
+from repro.network.links import LinkClass
+from repro.network.topology import NetworkTopology
+
+
+@pytest.fixture
+def topology():
+    net = NetworkTopology()
+    net.connect("pc", "switch", LinkClass.FAST_ETHERNET)
+    net.connect("pc2", "switch", LinkClass.FAST_ETHERNET)
+    net.connect("ap", "switch", LinkClass.FAST_ETHERNET)
+    net.connect("pda", "ap", LinkClass.WLAN)
+    return net
+
+
+class TestMigration:
+    def test_migrate_returns_state_and_report(self, topology):
+        service = MigrationService(topology)
+        state = ComponentState("player", {"position_s": 42.0}, size_kb=64.0)
+        restored, report = service.migrate(state, "pc", "pda")
+        assert restored.payload["position_s"] == 42.0
+        assert report.transfer_s > 0
+        assert report.total_s == pytest.approx(
+            report.checkpoint_s + report.transfer_s + report.restore_s
+        )
+
+    def test_same_device_migration_is_free_of_transfer(self, topology):
+        service = MigrationService(topology)
+        state = ComponentState("player", size_kb=64.0)
+        _restored, report = service.migrate(state, "pc", "pc")
+        assert report.transfer_s == 0.0
+
+    def test_wireless_transfer_slower_than_wired(self, topology):
+        service = MigrationService(topology)
+        state = ComponentState("player", size_kb=64.0)
+        _r1, to_pda = service.migrate(state, "pc", "pda")
+        _r2, to_pc2 = service.migrate(state, "pc", "pc2")
+        assert to_pda.transfer_s > to_pc2.transfer_s
+
+    def test_disconnected_migration_raises(self, topology):
+        topology.add_device("island")
+        service = MigrationService(topology)
+        with pytest.raises(RuntimeError):
+            service.migrate(ComponentState("c"), "pc", "island")
+
+    def test_checkpoints_recorded_in_store(self, topology):
+        service = MigrationService(topology)
+        service.migrate(ComponentState("player", {"v": 1}), "pc", "pda")
+        assert service.store.latest("player") is not None
+
+
+class TestHandoff:
+    def make_protocol(self, topology):
+        return StateHandoffProtocol(MigrationService(topology))
+
+    def test_handoff_moves_only_changed_components(self, topology):
+        protocol = self.make_protocol(topology)
+        states = {
+            "player": ComponentState("player", size_kb=32.0),
+            "server": ComponentState("server", size_kb=32.0),
+        }
+        moves = {
+            "player": ("pc", "pda"),
+            "server": ("pc2", "pc2"),  # stays put
+        }
+        report = protocol.handoff(states, moves, "pc", "pda")
+        assert [m.component_id for m in report.migrations] == ["player"]
+
+    def test_handoff_includes_protocol_and_buffering(self, topology):
+        protocol = self.make_protocol(topology)
+        report = protocol.handoff(
+            {}, {}, "pc", "pda", first_frame_period_s=0.025
+        )
+        assert report.protocol_s > 0
+        assert report.buffering_s == pytest.approx(0.025)
+        assert report.total_s == pytest.approx(
+            report.protocol_s + report.buffering_s
+        )
+
+    def test_wireless_handoff_slower(self, topology):
+        protocol = self.make_protocol(topology)
+        states = {"player": ComponentState("player", size_kb=64.0)}
+        to_pda = protocol.handoff(
+            states, {"player": ("pc", "pda")}, "pc", "pda",
+            first_frame_period_s=0.025,
+        )
+        to_pc = protocol.handoff(
+            states, {"player": ("pda", "pc2")}, "pda", "pc2",
+            first_frame_period_s=0.025,
+        )
+        # Both cross the wireless link for state transfer, but the paper's
+        # asymmetry comes from where the stream must be primed; at protocol
+        # level the reports are comparable and positive.
+        assert to_pda.total_s > 0 and to_pc.total_s > 0
+
+    def test_stateless_components_skipped(self, topology):
+        protocol = self.make_protocol(topology)
+        report = protocol.handoff(
+            {}, {"ghost": ("pc", "pda")}, "pc", "pda"
+        )
+        assert report.migrations == ()
+
+    def test_invalid_round_trips(self, topology):
+        with pytest.raises(ValueError):
+            StateHandoffProtocol(MigrationService(topology), control_round_trips=0)

@@ -1,0 +1,61 @@
+"""Unit tests for typed links and transfer-time arithmetic."""
+
+import pytest
+
+from repro.network.links import Link, LinkClass, transfer_time_s
+
+
+class TestLinkClass:
+    def test_wireless_slower_than_ethernet(self):
+        assert (
+            LinkClass.WLAN.default_bandwidth_mbps
+            < LinkClass.FAST_ETHERNET.default_bandwidth_mbps
+        )
+        assert LinkClass.WLAN.default_latency_ms > LinkClass.FAST_ETHERNET.default_latency_ms
+
+
+class TestLink:
+    def test_defaults_from_class(self):
+        link = Link("a", "b", LinkClass.WLAN)
+        assert link.bandwidth_mbps == 5.0
+        assert link.latency_ms == 5.0
+
+    def test_explicit_figures_override(self):
+        link = Link("a", "b", LinkClass.WLAN, bandwidth_mbps=2.0, latency_ms=9.0)
+        assert link.bandwidth_mbps == 2.0
+        assert link.latency_ms == 9.0
+
+    def test_endpoints_normalised(self):
+        assert Link("b", "a").endpoints == ("a", "b")
+        assert Link("a", "b").endpoints == ("a", "b")
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "a")
+
+    def test_other_end(self):
+        link = Link("a", "b")
+        assert link.other_end("a") == "b"
+        assert link.other_end("b") == "a"
+        with pytest.raises(KeyError):
+            link.other_end("c")
+
+
+class TestTransferTime:
+    def test_pure_serialization(self):
+        # 1000 KB over 8 Mbps = 1 second.
+        assert transfer_time_s(1000.0, 8.0) == pytest.approx(1.0)
+
+    def test_latency_added_once(self):
+        assert transfer_time_s(0.0, 8.0, latency_ms=100.0) == pytest.approx(0.1)
+
+    def test_faster_link_is_faster(self):
+        slow = transfer_time_s(500.0, 5.0)
+        fast = transfer_time_s(500.0, 100.0)
+        assert fast < slow
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            transfer_time_s(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            transfer_time_s(1.0, 0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the network topology and bandwidth accounting."""
+
+import pytest
+
+from repro.network.links import Link, LinkClass
+from repro.network.topology import NetworkTopology
+
+
+@pytest.fixture
+def lan():
+    """Three desktops behind a switch, a PDA behind a wireless AP."""
+    net = NetworkTopology()
+    for name in ("pc1", "pc2", "pc3"):
+        net.connect(name, "switch", LinkClass.FAST_ETHERNET)
+    net.connect("ap", "switch", LinkClass.FAST_ETHERNET)
+    net.connect("pda", "ap", LinkClass.WLAN)
+    return net
+
+
+class TestPathComputation:
+    def test_direct_pair(self, lan):
+        assert lan.pair_capacity("pc1", "pc2") == 100.0
+
+    def test_wireless_bottleneck(self, lan):
+        assert lan.pair_capacity("pc1", "pda") == 5.0
+
+    def test_latency_sums_over_path(self, lan):
+        # pc1 -> switch -> ap -> pda: 0.5 + 0.5 + 5.0 ms.
+        assert lan.path_latency_ms("pc1", "pda") == pytest.approx(6.0)
+
+    def test_same_device_is_loopback(self, lan):
+        assert lan.pair_capacity("pc1", "pc1") >= 1000.0
+        assert lan.path_latency_ms("pc1", "pc1") < 0.1
+
+    def test_disconnected_pair_has_zero_capacity(self, lan):
+        lan.add_device("island")
+        assert lan.pair_capacity("pc1", "island") == 0.0
+
+    def test_widest_path_prefers_bandwidth(self):
+        net = NetworkTopology()
+        # Two routes a->b: direct 5 Mbps, via r 100 Mbps.
+        net.connect("a", "b", LinkClass.WLAN)
+        net.connect("a", "r", LinkClass.FAST_ETHERNET)
+        net.connect("r", "b", LinkClass.FAST_ETHERNET)
+        assert net.pair_capacity("a", "b") == 100.0
+
+    def test_cache_invalidated_on_change(self, lan):
+        assert lan.pair_capacity("pc1", "pda") == 5.0
+        lan.add_link(Link("pc1", "pda", LinkClass.GIGABIT_ETHERNET))
+        assert lan.pair_capacity("pc1", "pda") == 1000.0
+
+    def test_remove_device_drops_links(self, lan):
+        lan.remove_device("ap")
+        assert lan.pair_capacity("pc1", "pda") == 0.0
+
+    def test_remove_device_drops_overrides_and_reservations(self, lan):
+        lan.set_pair_capacity("pc1", "pc2", 42.0)
+        lan.reserve("pc1", "pc3", 10.0)
+        lan.remove_device("pc1")
+        # Re-attach: no stale override or reservation survives.
+        lan.connect("pc1", "switch")
+        assert lan.pair_capacity("pc1", "pc2") == 100.0
+        assert lan.reserved_bandwidth("pc1", "pc3") == 0.0
+        assert lan.active_reservations() == []
+
+    def test_pair_capacity_override(self, lan):
+        lan.set_pair_capacity("pc1", "pc2", 42.0)
+        assert lan.pair_capacity("pc1", "pc2") == 42.0
+        assert lan.pair_capacity("pc2", "pc1") == 42.0
+
+
+class TestReservations:
+    def test_reserve_reduces_availability(self, lan):
+        lan.reserve("pc1", "pc2", 30.0)
+        assert lan.available_bandwidth("pc1", "pc2") == 70.0
+
+    def test_release_restores(self, lan):
+        reservation = lan.reserve("pc1", "pc2", 30.0)
+        lan.release(reservation)
+        assert lan.available_bandwidth("pc1", "pc2") == 100.0
+
+    def test_release_idempotent(self, lan):
+        reservation = lan.reserve("pc1", "pc2", 30.0)
+        lan.release(reservation)
+        lan.release(reservation)
+        assert lan.available_bandwidth("pc1", "pc2") == 100.0
+
+    def test_over_reservation_rejected(self, lan):
+        with pytest.raises(ValueError):
+            lan.reserve("pc1", "pda", 6.0)
+
+    def test_reservations_accumulate(self, lan):
+        lan.reserve("pc1", "pda", 3.0)
+        with pytest.raises(ValueError):
+            lan.reserve("pc1", "pda", 3.0)
+
+    def test_direction_agnostic_accounting(self, lan):
+        lan.reserve("pc1", "pc2", 60.0)
+        assert lan.available_bandwidth("pc2", "pc1") == 40.0
+
+    def test_loopback_reservation_is_free(self, lan):
+        reservation = lan.reserve("pc1", "pc1", 10_000.0)
+        assert lan.available_bandwidth("pc1", "pc1") > 0
+        lan.release(reservation)
+
+    def test_active_reservations_listed(self, lan):
+        lan.reserve("pc1", "pc2", 1.0)
+        lan.reserve("pc1", "pc3", 2.0)
+        assert len(lan.active_reservations()) == 2
+
+    def test_negative_reservation_rejected(self, lan):
+        with pytest.raises(ValueError):
+            lan.reserve("pc1", "pc2", -1.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the monitor daemon under simulated time."""
+
+import pytest
+
+from repro.domain.device import Device
+from repro.domain.domain import Domain, DomainServer
+from repro.events.types import Topics
+from repro.profiling.daemon import MonitorDaemon
+from repro.profiling.monitor import ResourceMonitor
+from repro.resources.vectors import ResourceVector
+from repro.sim.kernel import Simulator
+
+
+def make_setup():
+    server = DomainServer(Domain("office"))
+    device = Device("pc1", capacity=ResourceVector(memory=100.0, cpu=1.0))
+    server.join(device)
+    monitor = ResourceMonitor(device, server=server, threshold=0.1)
+    return server, device, monitor
+
+
+class TestDaemon:
+    def test_polls_on_schedule(self):
+        sim = Simulator()
+        _server, _device, monitor = make_setup()
+        daemon = MonitorDaemon(sim, [monitor], period_s=5.0)
+        daemon.start()
+        sim.run_until(21.0)
+        assert daemon.polls == 4  # t = 5, 10, 15, 20
+
+    def test_detects_fluctuation_at_next_poll(self):
+        sim = Simulator()
+        server, device, monitor = make_setup()
+        daemon = MonitorDaemon(sim, [monitor], period_s=5.0)
+        daemon.start()
+        # Inject background load at t=7; the t=10 poll must catch it.
+        sim.schedule(
+            7.0, lambda: monitor.inject_background_load(ResourceVector(memory=40.0))
+        )
+        sim.run_until(9.0)
+        assert daemon.notifications == 0
+        sim.run_until(11.0)
+        assert daemon.notifications == 1
+        events = server.bus.history(Topics.DEVICE_RESOURCES_CHANGED)
+        assert len(events) == 1
+        assert events[0].timestamp == 0.0  # domain clock (not wired to sim)
+
+    def test_stop_halts_polling(self):
+        sim = Simulator()
+        _server, _device, monitor = make_setup()
+        daemon = MonitorDaemon(sim, [monitor], period_s=5.0)
+        daemon.start()
+        sim.run_until(6.0)
+        daemon.stop()
+        sim.run_until(60.0)
+        assert daemon.polls == 1
+        assert not daemon.running
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        daemon = MonitorDaemon(sim, [], period_s=1.0)
+        daemon.start()
+        with pytest.raises(RuntimeError):
+            daemon.start()
+
+    def test_add_monitor_later(self):
+        sim = Simulator()
+        server, device, monitor = make_setup()
+        daemon = MonitorDaemon(sim, [], period_s=5.0)
+        daemon.start()
+        sim.run_until(6.0)
+        daemon.add_monitor(monitor)
+        monitor.inject_background_load(ResourceVector(memory=40.0))
+        sim.run_until(11.0)
+        assert daemon.notifications == 1
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            MonitorDaemon(Simulator(), [], period_s=0.0)
+
+    def test_redistribution_loop_end_to_end(self):
+        """Fluctuation -> event -> session redistribution, on the clock."""
+        from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+
+        redistributions = []
+        testbed.server.bus.subscribe(
+            Topics.DEVICE_RESOURCES_CHANGED,
+            lambda event: redistributions.append(
+                session.redistribute(label="fluctuation")
+            ),
+        )
+        sim = Simulator()
+        monitor = ResourceMonitor(
+            testbed.devices["desktop3"], server=testbed.server, threshold=0.1
+        )
+        daemon = MonitorDaemon(sim, [monitor], period_s=2.0)
+        daemon.start()
+        sim.schedule(
+            3.0,
+            lambda: monitor.inject_background_load(
+                ResourceVector(memory=200.0, cpu=2.0)
+            ),
+        )
+        sim.run_until(10.0)
+        assert len(redistributions) == 1
+        assert redistributions[0].success
+        assert session.running

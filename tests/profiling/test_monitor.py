@@ -1,0 +1,85 @@
+"""Unit tests for the device resource monitor."""
+
+import pytest
+
+from repro.domain.device import Device
+from repro.domain.domain import Domain, DomainServer
+from repro.events.types import Topics
+from repro.profiling.monitor import ResourceMonitor
+from repro.resources.vectors import ResourceVector
+
+
+def make_device():
+    return Device("pc1", capacity=ResourceVector(memory=100.0, cpu=1.0))
+
+
+class TestChangeDetection:
+    def test_no_notification_without_change(self):
+        monitor = ResourceMonitor(make_device(), threshold=0.1)
+        assert not monitor.poll()
+        assert monitor.notifications == 0
+
+    def test_small_change_below_threshold_ignored(self):
+        device = make_device()
+        monitor = ResourceMonitor(device, threshold=0.1)
+        device.allocate(ResourceVector(memory=5.0))  # 5% of capacity
+        assert not monitor.poll()
+
+    def test_significant_change_notifies(self):
+        device = make_device()
+        monitor = ResourceMonitor(device, threshold=0.1)
+        device.allocate(ResourceVector(memory=20.0))  # 20% of capacity
+        assert monitor.poll()
+        assert monitor.notifications == 1
+
+    def test_rebaselined_after_notification(self):
+        device = make_device()
+        monitor = ResourceMonitor(device, threshold=0.1)
+        device.allocate(ResourceVector(memory=20.0))
+        assert monitor.poll()
+        # No further change since the last report.
+        assert not monitor.poll()
+
+    def test_release_also_triggers(self):
+        device = make_device()
+        monitor = ResourceMonitor(device, threshold=0.1)
+        allocation = device.allocate(ResourceVector(memory=50.0))
+        monitor.poll()
+        device.release(allocation)
+        assert monitor.poll()
+
+    def test_notification_published_through_domain_server(self):
+        server = DomainServer(Domain("office"))
+        device = make_device()
+        server.join(device)
+        monitor = ResourceMonitor(device, server=server, threshold=0.1)
+        device.allocate(ResourceVector(memory=30.0))
+        monitor.poll()
+        events = server.bus.history(Topics.DEVICE_RESOURCES_CHANGED)
+        assert len(events) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ResourceMonitor(make_device(), threshold=0.0)
+
+
+class TestBackgroundLoad:
+    def test_injection_consumes_resources(self):
+        device = make_device()
+        monitor = ResourceMonitor(device)
+        monitor.inject_background_load(ResourceVector(memory=40.0))
+        assert device.available()["memory"] == 60.0
+
+    def test_clear_restores(self):
+        device = make_device()
+        monitor = ResourceMonitor(device)
+        monitor.inject_background_load(ResourceVector(memory=40.0))
+        monitor.inject_background_load(ResourceVector(memory=10.0))
+        monitor.clear_background_load()
+        assert device.available()["memory"] == 100.0
+
+    def test_utilization_report_passthrough(self):
+        device = make_device()
+        monitor = ResourceMonitor(device)
+        monitor.inject_background_load(ResourceVector(memory=25.0))
+        assert monitor.utilization_report()["memory"] == pytest.approx(0.25)

@@ -1,0 +1,69 @@
+"""Unit tests for the online resource profiler."""
+
+import pytest
+
+from repro.profiling.profiler import OnlineProfiler
+from repro.resources.normalization import BenchmarkNormalizer, DeviceProfile
+from repro.resources.vectors import ResourceVector
+
+
+class TestProfiler:
+    def test_first_observation_becomes_estimate(self):
+        profiler = OnlineProfiler()
+        estimate = profiler.observe("player", ResourceVector(memory=10, cpu=0.2))
+        assert estimate.requirements["memory"] == 10
+        assert estimate.sample_count == 1
+        assert not estimate.confident
+
+    def test_ewma_smoothing(self):
+        profiler = OnlineProfiler(alpha=0.5)
+        profiler.observe("player", ResourceVector(memory=10))
+        estimate = profiler.observe("player", ResourceVector(memory=20))
+        assert estimate.requirements["memory"] == pytest.approx(15.0)
+
+    def test_confidence_after_three_samples(self):
+        profiler = OnlineProfiler()
+        for _ in range(3):
+            estimate = profiler.observe("player", ResourceVector(memory=10))
+        assert estimate.confident
+
+    def test_prime_seeds_estimate(self):
+        profiler = OnlineProfiler()
+        profiler.prime("server", ResourceVector(memory=48, cpu=0.25))
+        estimate = profiler.estimate("server")
+        assert estimate is not None
+        assert estimate.requirements["memory"] == 48
+        assert estimate.sample_count == 1
+
+    def test_unknown_type_estimates_none(self):
+        assert OnlineProfiler().estimate("ghost") is None
+
+    def test_observation_normalised_by_device_class(self):
+        normalizer = BenchmarkNormalizer()
+        normalizer.register(DeviceProfile("pda", {"cpu": 0.4}))
+        profiler = OnlineProfiler(normalizer=normalizer)
+        estimate = profiler.observe(
+            "player", ResourceVector(memory=8, cpu=0.5), device_class="pda"
+        )
+        # 50% of a 0.4x CPU is 0.2 benchmark-CPUs.
+        assert estimate.requirements["cpu"] == pytest.approx(0.2)
+        assert estimate.requirements["memory"] == 8
+
+    def test_new_resource_names_merge_into_estimate(self):
+        profiler = OnlineProfiler(alpha=0.5)
+        profiler.observe("player", ResourceVector(memory=10))
+        estimate = profiler.observe("player", ResourceVector(cpu=0.4))
+        assert estimate.requirements["memory"] == pytest.approx(5.0)
+        assert estimate.requirements["cpu"] == pytest.approx(0.2)
+
+    def test_known_types_sorted(self):
+        profiler = OnlineProfiler()
+        profiler.prime("zeta", ResourceVector())
+        profiler.prime("alpha", ResourceVector())
+        assert profiler.known_types() == ("alpha", "zeta")
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            OnlineProfiler(alpha=0.0)
+        with pytest.raises(ValueError):
+            OnlineProfiler(alpha=1.5)

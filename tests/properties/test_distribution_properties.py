@@ -1,0 +1,111 @@
+"""Property-based tests for the distribution tier's guarantees."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distribution.baselines import RandomDistributor
+from repro.distribution.cost import CostWeights, cost_aggregation
+from repro.distribution.fit import (
+    CandidateDevice,
+    DistributionEnvironment,
+    fits_into,
+)
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.distribution.optimal import OptimalDistributor
+from repro.graph.generators import RandomGraphConfig, random_service_graph
+from repro.resources.vectors import ResourceVector
+
+seeds = st.integers(min_value=0, max_value=10_000)
+config = RandomGraphConfig(
+    node_count=(3, 9),
+    out_degree=(1, 3),
+    memory_mb=(2.0, 20.0),
+    cpu_fraction=(0.02, 0.2),
+    throughput_mbps=(0.05, 0.8),
+)
+
+
+def environment():
+    return DistributionEnvironment(
+        [
+            CandidateDevice("big", ResourceVector(memory=120.0, cpu=1.5)),
+            CandidateDevice("small", ResourceVector(memory=40.0, cpu=0.8)),
+        ],
+        bandwidth={("big", "small"): 8.0},
+    )
+
+
+class TestFeasibilityContract:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_feasible_results_actually_fit(self, seed):
+        graph = random_service_graph(random.Random(seed), config)
+        env = environment()
+        for strategy in (
+            HeuristicDistributor(),
+            OptimalDistributor(),
+            RandomDistributor(rng=random.Random(seed), attempts=10),
+        ):
+            result = strategy.distribute(graph, env, CostWeights())
+            if result.feasible:
+                assert fits_into(graph, result.assignment, env)
+                assert result.assignment.covers(graph)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_reported_cost_matches_assignment(self, seed):
+        graph = random_service_graph(random.Random(seed), config)
+        env = environment()
+        weights = CostWeights()
+        result = HeuristicDistributor().distribute(graph, env, weights)
+        if result.feasible:
+            assert result.cost == pytest.approx(
+                cost_aggregation(graph, result.assignment, env, weights)
+            )
+
+
+class TestOptimalityContract:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_optimal_never_worse_than_heuristic(self, seed):
+        graph = random_service_graph(random.Random(seed), config)
+        env = environment()
+        weights = CostWeights()
+        best = OptimalDistributor().distribute(graph, env, weights)
+        found = HeuristicDistributor().distribute(graph, env, weights)
+        if found.feasible:
+            assert best.feasible
+            assert best.cost <= found.cost + 1e-9
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_optimal_never_worse_than_random(self, seed):
+        graph = random_service_graph(random.Random(seed), config)
+        env = environment()
+        weights = CostWeights()
+        best = OptimalDistributor().distribute(graph, env, weights)
+        sampled = RandomDistributor(
+            rng=random.Random(seed + 1), attempts=10
+        ).distribute(graph, env, weights)
+        if sampled.feasible:
+            assert best.feasible
+            assert best.cost <= sampled.cost + 1e-9
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_feasibility_is_monotone_in_capacity(self, seed):
+        graph = random_service_graph(random.Random(seed), config)
+        tight = environment()
+        roomy = DistributionEnvironment(
+            [
+                CandidateDevice("big", ResourceVector(memory=1e5, cpu=1e3)),
+                CandidateDevice("small", ResourceVector(memory=1e5, cpu=1e3)),
+            ],
+            bandwidth={("big", "small"): 1e6},
+        )
+        tight_result = OptimalDistributor().distribute(graph, tight)
+        roomy_result = OptimalDistributor().distribute(graph, roomy)
+        if tight_result.feasible:
+            assert roomy_result.feasible

@@ -1,0 +1,106 @@
+"""Property-based tests for service graphs and cuts."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.cuts import Assignment
+from repro.graph.generators import RandomGraphConfig, random_service_graph
+from repro.resources.vectors import ResourceVector
+
+seeds = st.integers(min_value=0, max_value=10_000)
+small_config = RandomGraphConfig(node_count=(2, 12), out_degree=(0, 4))
+
+
+def graph_from(seed: int):
+    return random_service_graph(random.Random(seed), small_config)
+
+
+class TestGraphInvariants:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_generated_graphs_are_dags(self, seed):
+        assert graph_from(seed).is_dag()
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order_respects_edges(self, seed):
+        graph = graph_from(seed)
+        position = {cid: i for i, cid in enumerate(graph.topological_order())}
+        for edge in graph.edges():
+            assert position[edge.source] < position[edge.target]
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sums_equal_edge_count(self, seed):
+        graph = graph_from(seed)
+        out_total = sum(graph.out_degree(c) for c in graph.component_ids())
+        in_total = sum(graph.in_degree(c) for c in graph.component_ids())
+        assert out_total == in_total == len(graph.edges())
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_total_resources_sum_components(self, seed):
+        graph = graph_from(seed)
+        explicit = ResourceVector.sum(c.resources for c in graph)
+        assert graph.total_resources() == explicit
+
+
+class TestCutInvariants:
+    @given(seeds, st.integers(min_value=1, max_value=4), st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_edges_partition_total_throughput(self, seed, k, assign_seed):
+        graph = graph_from(seed)
+        rng = random.Random(assign_seed)
+        devices = [f"dev{i}" for i in range(k)]
+        assignment = Assignment(
+            {cid: rng.choice(devices) for cid in graph.component_ids()}
+        )
+        cut_throughput = sum(
+            e.throughput_mbps for e in assignment.cut_edges(graph)
+        )
+        internal_throughput = sum(
+            e.throughput_mbps
+            for e in graph.edges()
+            if e not in assignment.cut_edges(graph)
+        )
+        assert cut_throughput + internal_throughput == pytest.approx(
+            graph.total_throughput()
+        )
+
+    @given(seeds, st.integers(min_value=1, max_value=4), st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_device_loads_partition_total_resources(self, seed, k, assign_seed):
+        graph = graph_from(seed)
+        rng = random.Random(assign_seed)
+        devices = [f"dev{i}" for i in range(k)]
+        assignment = Assignment(
+            {cid: rng.choice(devices) for cid in graph.component_ids()}
+        )
+        summed = ResourceVector.sum(assignment.device_loads(graph).values())
+        total = graph.total_resources()
+        for name in total.names():
+            assert summed.get(name, 0.0) == pytest.approx(total[name])
+
+    @given(seeds, st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_throughput_matches_cut_edges(self, seed, assign_seed):
+        graph = graph_from(seed)
+        rng = random.Random(assign_seed)
+        assignment = Assignment(
+            {cid: rng.choice(["a", "b"]) for cid in graph.component_ids()}
+        )
+        traffic = sum(assignment.pairwise_throughput(graph).values())
+        cut = sum(e.throughput_mbps for e in assignment.cut_edges(graph))
+        assert traffic == pytest.approx(cut)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_single_device_assignment_has_empty_cut(self, seed):
+        graph = graph_from(seed)
+        assignment = Assignment(
+            {cid: "solo" for cid in graph.component_ids()}
+        )
+        assert assignment.cut_edges(graph) == []
+        assert assignment.pairwise_throughput(graph) == {}

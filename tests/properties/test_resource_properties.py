@@ -1,0 +1,70 @@
+"""Property-based tests for resource-vector algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.resources.vectors import ResourceVector, weighted_magnitude
+
+amounts = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+names = st.sampled_from(["memory", "cpu", "disk", "gpu"])
+vectors = st.dictionaries(names, amounts, max_size=4).map(ResourceVector)
+
+
+class TestAdditionAlgebra:
+    @given(vectors, vectors)
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors, vectors, vectors)
+    def test_addition_associative_approximately(self, a, b, c):
+        left = (a + b) + c
+        right = a + (b + c)
+        for name in set(left.names()) | set(right.names()):
+            assert left.get(name, 0.0) == pytest.approx(right.get(name, 0.0))
+
+    @given(vectors)
+    def test_zero_is_identity(self, a):
+        assert a + ResourceVector() == a
+
+    @given(vectors, vectors)
+    def test_sum_dominates_parts(self, a, b):
+        total = a + b
+        assert a.fits_within(total)
+        assert b.fits_within(total)
+
+
+class TestFitsWithinOrder:
+    @given(vectors)
+    def test_reflexive(self, a):
+        assert a.fits_within(a)
+
+    @given(vectors, vectors, vectors)
+    def test_transitive(self, a, b, c):
+        if a.fits_within(b) and b.fits_within(c):
+            assert a.fits_within(c)
+
+    @given(vectors, vectors)
+    def test_addition_monotone(self, a, b):
+        # Adding demand never makes a vector fit where it did not.
+        combined = a + b
+        big = ResourceVector({name: 1e7 for name in combined.names()})
+        assert combined.fits_within(big)
+        if not a.fits_within(b + a):
+            raise AssertionError("a must fit within a + b")
+
+    @given(vectors, vectors)
+    def test_subtraction_result_fits_original(self, a, b):
+        assert (a - b).fits_within(a)
+
+
+class TestWeightedMagnitude:
+    @given(vectors, vectors)
+    def test_additive_over_vectors(self, a, b):
+        weights = {"memory": 0.5, "cpu": 0.3, "disk": 0.1, "gpu": 0.1}
+        assert weighted_magnitude(a + b, weights) == pytest.approx(
+            weighted_magnitude(a, weights) + weighted_magnitude(b, weights)
+        )
+
+    @given(vectors)
+    def test_non_negative(self, a):
+        assert weighted_magnitude(a) >= 0.0

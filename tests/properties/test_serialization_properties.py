@@ -1,0 +1,111 @@
+"""Property-based round-trip tests for the persistence formats."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import RandomGraphConfig, random_service_graph
+from repro.graph.qosl import parse, serialize
+from repro.graph.serialization import dumps, loads
+from repro.graph.abstract import (
+    AbstractComponentSpec,
+    AbstractServiceGraph,
+    PinConstraint,
+)
+from repro.graph.cuts import Assignment
+from repro.qos.parameters import RangeValue, SetValue, SingleValue
+from repro.qos.vectors import QoSVector
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+class TestJsonRoundTrip:
+    @given(seeds, st.integers(min_value=1, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_any_random_graph_survives(self, seed, nodes):
+        config = RandomGraphConfig(node_count=(nodes, nodes), out_degree=(0, 4))
+        graph = random_service_graph(random.Random(seed), config)
+        assignment = Assignment(
+            {cid: f"dev{i % 3}" for i, cid in enumerate(graph.component_ids())}
+        )
+        restored_graph, restored_assignment = loads(dumps(graph, assignment))
+        assert restored_assignment == assignment
+        assert restored_graph.component_ids() == graph.component_ids()
+        for cid in graph.component_ids():
+            assert restored_graph.component(cid) == graph.component(cid)
+        assert [(e.source, e.target, e.throughput_mbps) for e in graph.edges()] == [
+            (e.source, e.target, e.throughput_mbps)
+            for e in restored_graph.edges()
+        ]
+
+
+@st.composite
+def abstract_graphs(draw):
+    """Small random abstract graphs with varied specs."""
+    rng = random.Random(draw(seeds))
+    count = draw(st.integers(min_value=1, max_value=6))
+    graph = AbstractServiceGraph(name=f"app{rng.randrange(1000)}")
+    ids = []
+    for i in range(count):
+        spec_id = f"s{i}"
+        outputs = {}
+        if rng.random() < 0.5:
+            outputs["frame_rate"] = RangeValue(
+                float(rng.randint(1, 10)), float(rng.randint(11, 60))
+            )
+        if rng.random() < 0.5:
+            outputs["format"] = SingleValue(rng.choice(["MPEG", "WAV"]))
+        if rng.random() < 0.3:
+            outputs["codec"] = SetValue({"a", "b"})
+        pin = None
+        roll = rng.random()
+        if roll < 0.25:
+            pin = PinConstraint(role="client")
+        elif roll < 0.4:
+            pin = PinConstraint(device_id=f"dev{rng.randrange(3)}")
+        graph.add_spec(
+            AbstractComponentSpec(
+                spec_id=spec_id,
+                service_type=rng.choice(["player", "server", "filter"]),
+                attributes=(
+                    (("media", rng.choice(["audio", "video"])),)
+                    if rng.random() < 0.5
+                    else ()
+                ),
+                required_output=QoSVector(outputs),
+                optional=rng.random() < 0.3,
+                pin=pin,
+            )
+        )
+        ids.append(spec_id)
+    for i in range(1, count):
+        if rng.random() < 0.8:
+            graph.connect(
+                ids[rng.randrange(i)], ids[i], round(rng.uniform(0.1, 5.0), 3)
+            )
+    return graph
+
+
+class TestQoSLRoundTrip:
+    @given(abstract_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_any_abstract_graph_survives(self, graph):
+        restored = parse(serialize(graph))
+        assert restored.name == graph.name
+        assert [s.spec_id for s in restored.specs()] == [
+            s.spec_id for s in graph.specs()
+        ]
+        for spec in graph.specs():
+            other = restored.spec(spec.spec_id)
+            assert other.service_type == spec.service_type
+            assert other.optional == spec.optional
+            assert other.attributes == spec.attributes
+            assert other.required_output == spec.required_output
+            if spec.pin is None:
+                assert other.pin is None
+            else:
+                assert other.pin == spec.pin
+        assert [(e.source, e.target) for e in restored.edges()] == [
+            (e.source, e.target) for e in graph.edges()
+        ]

@@ -1,0 +1,160 @@
+"""Unit tests for QoS parameter values and their operations."""
+
+import pytest
+
+from repro.qos.parameters import (
+    Preference,
+    RangeValue,
+    SetValue,
+    SingleValue,
+    as_qos_value,
+    intersection,
+    pick_best,
+)
+
+
+class TestSingleValue:
+    def test_contains_equal_value(self):
+        assert SingleValue("MPEG").contains(SingleValue("MPEG"))
+
+    def test_rejects_different_value(self):
+        assert not SingleValue("MPEG").contains(SingleValue("WAV"))
+
+    def test_rejects_range_offer(self):
+        assert not SingleValue(25).contains(RangeValue(25, 25))
+
+    def test_tuple_values_compare_structurally(self):
+        assert SingleValue((1600, 1200)).contains(SingleValue((1600, 1200)))
+        assert not SingleValue((1600, 1200)).contains(SingleValue((640, 480)))
+
+    def test_is_concrete(self):
+        assert SingleValue(5).is_concrete()
+
+
+class TestRangeValue:
+    def test_contains_inner_single(self):
+        assert RangeValue(10, 30).contains(SingleValue(25))
+
+    def test_contains_boundary_values(self):
+        requirement = RangeValue(10, 30)
+        assert requirement.contains(SingleValue(10))
+        assert requirement.contains(SingleValue(30))
+
+    def test_rejects_outside_single(self):
+        assert not RangeValue(10, 30).contains(SingleValue(31))
+
+    def test_contains_subrange(self):
+        assert RangeValue(10, 30).contains(RangeValue(15, 25))
+
+    def test_rejects_overlapping_but_not_contained_range(self):
+        assert not RangeValue(10, 30).contains(RangeValue(5, 20))
+
+    def test_rejects_non_numeric_single(self):
+        assert not RangeValue(10, 30).contains(SingleValue("MPEG"))
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            RangeValue(30, 10)
+
+    def test_degenerate_range_is_concrete(self):
+        assert RangeValue(5, 5).is_concrete()
+        assert not RangeValue(5, 6).is_concrete()
+
+    def test_width(self):
+        assert RangeValue(10, 30).width() == 20
+
+
+class TestSetValue:
+    def test_contains_member(self):
+        assert SetValue({"MPEG", "WAV"}).contains(SingleValue("WAV"))
+
+    def test_rejects_non_member(self):
+        assert not SetValue({"MPEG", "WAV"}).contains(SingleValue("MP3"))
+
+    def test_contains_subset(self):
+        assert SetValue({"a", "b", "c"}).contains(SetValue({"a", "b"}))
+
+    def test_rejects_superset(self):
+        assert not SetValue({"a"}).contains(SetValue({"a", "b"}))
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            SetValue([])
+
+    def test_singleton_is_concrete(self):
+        assert SetValue({"x"}).is_concrete()
+        assert not SetValue({"x", "y"}).is_concrete()
+
+
+class TestCoercion:
+    def test_qos_value_passthrough(self):
+        value = RangeValue(1, 2)
+        assert as_qos_value(value) is value
+
+    def test_numeric_pair_becomes_range(self):
+        value = as_qos_value((10, 30))
+        assert isinstance(value, RangeValue)
+        assert value.low == 10 and value.high == 30
+
+    def test_set_becomes_set_value(self):
+        value = as_qos_value({"MPEG", "WAV"})
+        assert isinstance(value, SetValue)
+
+    def test_string_becomes_single(self):
+        assert as_qos_value("MPEG") == SingleValue("MPEG")
+
+    def test_number_becomes_single(self):
+        assert as_qos_value(25) == SingleValue(25)
+
+
+class TestIntersection:
+    def test_range_range(self):
+        assert intersection(RangeValue(10, 30), RangeValue(20, 40)) == RangeValue(20, 30)
+
+    def test_disjoint_ranges(self):
+        assert intersection(RangeValue(1, 2), RangeValue(3, 4)) is None
+
+    def test_single_inside_range(self):
+        assert intersection(SingleValue(15), RangeValue(10, 30)) == SingleValue(15)
+
+    def test_single_outside_range(self):
+        assert intersection(SingleValue(5), RangeValue(10, 30)) is None
+
+    def test_sets(self):
+        result = intersection(SetValue({"a", "b"}), SetValue({"b", "c"}))
+        assert result == SetValue({"b"})
+
+    def test_disjoint_sets(self):
+        assert intersection(SetValue({"a"}), SetValue({"b"})) is None
+
+    def test_set_and_range(self):
+        result = intersection(SetValue({5, 15, 25}), RangeValue(10, 30))
+        assert result == SetValue({15, 25})
+
+    def test_range_and_set_symmetric(self):
+        assert intersection(RangeValue(10, 30), SetValue({15})) == SetValue({15})
+
+    def test_singles_equal(self):
+        assert intersection(SingleValue("x"), SingleValue("x")) == SingleValue("x")
+
+    def test_singles_different(self):
+        assert intersection(SingleValue("x"), SingleValue("y")) is None
+
+
+class TestPickBest:
+    def test_single_passthrough(self):
+        assert pick_best(SingleValue(7)) == SingleValue(7)
+
+    def test_range_prefers_high(self):
+        assert pick_best(RangeValue(10, 30)) == SingleValue(30)
+
+    def test_range_prefers_low_when_lower_is_better(self):
+        assert pick_best(RangeValue(10, 30), Preference.LOWER) == SingleValue(10)
+
+    def test_numeric_set_prefers_max(self):
+        assert pick_best(SetValue({3, 9, 5})) == SingleValue(9)
+
+    def test_non_numeric_set_is_deterministic(self):
+        first = pick_best(SetValue({"b", "a"}))
+        second = pick_best(SetValue({"a", "b"}))
+        assert first == second

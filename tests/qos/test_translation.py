@@ -1,0 +1,89 @@
+"""Unit tests for the transcoder catalog."""
+
+import pytest
+
+from repro.qos.translation import Transcoding, TranscoderCatalog, default_catalog
+
+
+class TestTranscoding:
+    def test_display_name_defaults_to_pair(self):
+        assert Transcoding("MPEG", "WAV").display_name == "MPEG2WAV"
+
+    def test_explicit_name_wins(self):
+        assert Transcoding("MPEG", "WAV", name="MPEG2wav").display_name == "MPEG2wav"
+
+    def test_identity_transcoding_rejected(self):
+        with pytest.raises(ValueError):
+            Transcoding("WAV", "WAV")
+
+    def test_fidelity_bounds(self):
+        with pytest.raises(ValueError):
+            Transcoding("A", "B", fidelity=0.0)
+        with pytest.raises(ValueError):
+            Transcoding("A", "B", fidelity=1.5)
+
+
+class TestCatalog:
+    def test_direct_lookup(self):
+        catalog = TranscoderCatalog([Transcoding("A", "B")])
+        assert catalog.find("A", "B") is not None
+        assert catalog.find("B", "A") is None
+
+    def test_register_replaces_same_pair(self):
+        catalog = TranscoderCatalog([Transcoding("A", "B", fidelity=0.5)])
+        catalog.register(Transcoding("A", "B", fidelity=0.9))
+        assert len(catalog) == 1
+        assert catalog.find("A", "B").fidelity == 0.9
+
+    def test_chain_single_hop(self):
+        catalog = TranscoderCatalog([Transcoding("A", "B")])
+        chain = catalog.find_chain("A", "B")
+        assert chain is not None and len(chain) == 1
+
+    def test_chain_multi_hop(self):
+        catalog = TranscoderCatalog(
+            [Transcoding("A", "B"), Transcoding("B", "C")]
+        )
+        chain = catalog.find_chain("A", "C")
+        assert [t.target_format for t in chain] == ["B", "C"]
+
+    def test_chain_prefers_shortest(self):
+        catalog = TranscoderCatalog(
+            [
+                Transcoding("A", "B"),
+                Transcoding("B", "C"),
+                Transcoding("A", "C"),
+            ]
+        )
+        chain = catalog.find_chain("A", "C")
+        assert len(chain) == 1
+
+    def test_chain_respects_hop_limit(self):
+        catalog = TranscoderCatalog(
+            [Transcoding("A", "B"), Transcoding("B", "C"), Transcoding("C", "D")]
+        )
+        assert catalog.find_chain("A", "D", max_hops=2) is None
+        assert catalog.find_chain("A", "D", max_hops=3) is not None
+
+    def test_same_format_chain_is_empty(self):
+        assert TranscoderCatalog().find_chain("A", "A") == []
+
+    def test_unreachable_returns_none(self):
+        catalog = TranscoderCatalog([Transcoding("A", "B")])
+        assert catalog.find_chain("B", "Z") is None
+
+    def test_formats_sorted(self):
+        catalog = TranscoderCatalog([Transcoding("Z", "A")])
+        assert catalog.formats() == ["A", "Z"]
+
+
+class TestDefaultCatalog:
+    def test_contains_the_prototype_mpeg2wav(self):
+        catalog = default_catalog()
+        transcoding = catalog.find("MPEG", "WAV")
+        assert transcoding is not None
+        assert transcoding.display_name == "MPEG2wav"
+
+    def test_audio_chain_to_pcm(self):
+        chain = default_catalog().find_chain("MPEG", "PCM")
+        assert chain is not None and len(chain) == 2

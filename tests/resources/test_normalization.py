@@ -1,0 +1,66 @@
+"""Unit tests for benchmark-machine normalisation (Section 3.3)."""
+
+import pytest
+
+from repro.resources.normalization import (
+    BenchmarkNormalizer,
+    DeviceProfile,
+    paper_normalizer,
+)
+from repro.resources.vectors import ResourceVector
+
+
+class TestDeviceProfile:
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", {"cpu": 0.0})
+
+
+class TestPaperExample:
+    """The running example: laptop benchmark, PDA 0.4x, PC 5x."""
+
+    def test_pda_availability(self):
+        normalizer = paper_normalizer()
+        raw = ResourceVector(memory=32, cpu=1.0)  # [32MB, 100%]
+        normalized = normalizer.normalize_availability(raw, "pda")
+        assert normalized == ResourceVector(memory=32, cpu=0.4)
+
+    def test_pc_availability(self):
+        normalizer = paper_normalizer()
+        raw = ResourceVector(memory=256, cpu=1.0)  # [256MB, 100%]
+        normalized = normalizer.normalize_availability(raw, "pc")
+        assert normalized == ResourceVector(memory=256, cpu=5.0)
+
+    def test_memory_unaffected_by_heterogeneity(self):
+        normalizer = paper_normalizer()
+        raw = ResourceVector(memory=64, cpu=0.5)
+        assert normalizer.normalize_availability(raw, "pda")["memory"] == 64
+
+    def test_benchmark_class_is_identity(self):
+        normalizer = paper_normalizer()
+        raw = ResourceVector(memory=128, cpu=1.0)
+        assert normalizer.normalize_availability(raw, "laptop") == raw
+
+
+class TestRequirements:
+    def test_requirement_roundtrip(self):
+        normalizer = BenchmarkNormalizer()
+        normalizer.register(DeviceProfile("pda", {"cpu": 0.4}))
+        raw = ResourceVector(memory=8, cpu=0.5)
+        benchmark_units = normalizer.normalize_requirement(raw, "pda")
+        assert benchmark_units["cpu"] == pytest.approx(0.2)
+        back = normalizer.denormalize_requirement(benchmark_units, "pda")
+        assert back["cpu"] == pytest.approx(0.5)
+        assert back["memory"] == 8
+
+    def test_unregistered_class_is_identity(self):
+        normalizer = BenchmarkNormalizer()
+        raw = ResourceVector(memory=8, cpu=0.5)
+        assert normalizer.normalize_requirement(raw, "mystery") == raw
+
+    def test_profile_lookup(self):
+        normalizer = BenchmarkNormalizer()
+        profile = DeviceProfile("pda", {"cpu": 0.4})
+        normalizer.register(profile)
+        assert normalizer.profile("pda") is profile
+        assert normalizer.profile("unknown") is None

@@ -1,0 +1,125 @@
+"""Unit tests for resource vectors (Definitions 3.1 and 3.2)."""
+
+import pytest
+
+from repro.resources.vectors import ResourceVector, weighted_magnitude
+
+
+class TestConstruction:
+    def test_amounts_coerced_to_float(self):
+        vector = ResourceVector(memory=64)
+        assert vector["memory"] == 64.0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(memory=-1)
+
+    def test_empty_vector_is_zero(self):
+        assert ResourceVector().is_zero()
+
+    def test_mapping_protocol(self):
+        vector = ResourceVector(cpu=0.5)
+        assert "cpu" in vector
+        assert vector.get("memory", 0.0) == 0.0
+
+
+class TestAddition:
+    def test_definition_3_1(self):
+        a = ResourceVector(memory=10, cpu=0.1)
+        b = ResourceVector(memory=5, cpu=0.2)
+        total = a + b
+        assert total["memory"] == 15
+        assert total["cpu"] == pytest.approx(0.3)
+
+    def test_addition_over_union_of_names(self):
+        a = ResourceVector(memory=10)
+        b = ResourceVector(cpu=0.5)
+        total = a + b
+        assert total["memory"] == 10 and total["cpu"] == 0.5
+
+    def test_sum_of_many(self):
+        vectors = [ResourceVector(memory=1) for _ in range(5)]
+        assert ResourceVector.sum(vectors) == ResourceVector(memory=5)
+
+    def test_sum_of_none(self):
+        assert ResourceVector.sum([]) == ResourceVector()
+
+
+class TestSubtraction:
+    def test_plain_difference(self):
+        result = ResourceVector(memory=10) - ResourceVector(memory=4)
+        assert result["memory"] == 6
+
+    def test_clamped_at_zero(self):
+        result = ResourceVector(memory=4) - ResourceVector(memory=10)
+        assert result["memory"] == 0.0
+
+    def test_add_sub_roundtrip_without_clamping(self):
+        base = ResourceVector(memory=10, cpu=1.0)
+        load = ResourceVector(memory=3, cpu=0.4)
+        assert (base - load) + load == base
+
+
+class TestScaling:
+    def test_scalar_multiplication(self):
+        assert 2 * ResourceVector(memory=3) == ResourceVector(memory=6)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(memory=1) * -1
+
+    def test_scaled_by_named_factors(self):
+        vector = ResourceVector(memory=32, cpu=1.0)
+        scaled = vector.scaled({"cpu": 0.4})
+        assert scaled["memory"] == 32 and scaled["cpu"] == 0.4
+
+
+class TestFitsWithin:
+    def test_definition_3_2(self):
+        requirement = ResourceVector(memory=16, cpu=0.2)
+        availability = ResourceVector(memory=32, cpu=0.5)
+        assert requirement.fits_within(availability)
+
+    def test_any_violated_component_fails(self):
+        requirement = ResourceVector(memory=16, cpu=0.9)
+        availability = ResourceVector(memory=32, cpu=0.5)
+        assert not requirement.fits_within(availability)
+
+    def test_missing_availability_name_fails_positive_requirement(self):
+        assert not ResourceVector(gpu=1.0).fits_within(ResourceVector(memory=32))
+
+    def test_zero_requirement_fits_anything(self):
+        assert ResourceVector().fits_within(ResourceVector())
+
+    def test_equality_boundary_fits(self):
+        assert ResourceVector(memory=32).fits_within(ResourceVector(memory=32))
+
+    def test_dominates_is_inverse(self):
+        big = ResourceVector(memory=32, cpu=1.0)
+        small = ResourceVector(memory=16)
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+
+class TestEquality:
+    def test_zero_components_do_not_distinguish(self):
+        assert ResourceVector(memory=10, cpu=0) == ResourceVector(memory=10)
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(ResourceVector(memory=10, cpu=0)) == hash(
+            ResourceVector(memory=10)
+        )
+
+
+class TestWeightedMagnitude:
+    def test_unweighted_sums_all(self):
+        assert weighted_magnitude(ResourceVector(memory=3, cpu=2)) == 5
+
+    def test_weighted_sum(self):
+        value = weighted_magnitude(
+            ResourceVector(memory=10, cpu=2), {"memory": 0.5, "cpu": 1.0}
+        )
+        assert value == pytest.approx(7.0)
+
+    def test_unknown_names_count_zero_when_weighted(self):
+        assert weighted_magnitude(ResourceVector(gpu=5), {"memory": 1.0}) == 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for the integrated service configurator."""
+
+import pytest
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.apps.video_conferencing import (
+    build_conferencing_testbed,
+    conferencing_request,
+)
+from repro.events.types import Topics
+from repro.runtime.session import SessionState
+
+
+class TestConfigure:
+    def test_timing_breakdown_populated(self):
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        record = session.start()
+        assert record.timing.composition_ms > 0
+        assert record.timing.distribution_ms > 0
+        assert record.timing.download_ms == 0.0  # pre-installed
+        assert record.timing.initialization_ms > 0
+
+    def test_download_overhead_when_not_preinstalled(self):
+        testbed = build_conferencing_testbed()
+        session = testbed.configurator.create_session(
+            conferencing_request(testbed)
+        )
+        record = session.start()
+        assert record.success
+        assert record.timing.download_ms > record.timing.composition_ms
+
+    def test_session_ids_unique(self):
+        testbed = build_audio_testbed()
+        first = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        second = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        assert first.session_id != second.session_id
+        assert testbed.configurator.sessions[first.session_id] is first
+
+    def test_failed_composition_reports_failure(self):
+        testbed = build_audio_testbed()
+        request = audio_request(testbed, "desktop2")
+        # Remove every player advertisement: composition must fail.
+        for provider_id in ("player/desktop", "player/pda"):
+            testbed.server.domain.registry.unregister(provider_id)
+        session = testbed.configurator.create_session(request)
+        record = session.start()
+        assert not record.success
+        assert session.state is SessionState.FAILED
+        assert testbed.server.bus.history(Topics.SESSION_FAILED)
+
+    def test_infeasible_distribution_reports_failure(self):
+        testbed = build_audio_testbed()
+        # Saturate every device so nothing fits.
+        for device in testbed.devices.values():
+            device.allocate(device.available())
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        record = session.start()
+        assert not record.success
+        assert session.state is SessionState.FAILED
+
+
+class TestAutoReconfiguration:
+    def test_device_switch_event_triggers_handoff(self):
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        testbed.configurator.enable_auto_reconfiguration(session)
+        testbed.space.register_user("alice", "lab", "desktop2")
+        testbed.space.switch_device("alice", "jornada")
+        assert session.client_device == "jornada"
+        assert any("switch" in r.label for r in session.timeline)
+
+    def test_switch_event_for_other_user_ignored(self):
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        testbed.configurator.enable_auto_reconfiguration(session)
+        testbed.space.register_user("bob", "lab", "desktop3")
+        testbed.space.switch_device("bob", "jornada")
+        assert session.client_device == "desktop2"
+
+    def test_device_crash_triggers_redistribution(self):
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        testbed.configurator.enable_auto_reconfiguration(session)
+        # Crash a device the session does not strictly need (a spare), then
+        # one it uses: only the latter triggers redistribution.
+        used_before = set(session.devices_in_use())
+        spare = next(
+            d for d in testbed.devices if d not in used_before
+        )
+        testbed.server.crash(spare)
+        assert len(session.timeline) == 1  # no reaction
+        victim = next(iter(used_before - {"desktop2"}), None)
+        if victim is not None and victim != "desktop1":
+            testbed.server.crash(victim)
+            assert len(session.timeline) == 2

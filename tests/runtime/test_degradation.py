@@ -1,0 +1,115 @@
+"""Unit tests for graceful QoS degradation."""
+
+import pytest
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.qos.vectors import QoSVector
+from repro.resources.vectors import ResourceVector
+from repro.runtime.degradation import (
+    DegradationLadder,
+    DegradingConfigurator,
+    QoSLevel,
+    scale_graph_demand,
+)
+from repro.runtime.session import SessionState
+from tests.conftest import chain_graph
+
+
+class TestLadder:
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            DegradationLadder(())
+
+    def test_rate_ladder_ordered_best_first(self):
+        ladder = DegradationLadder.rate_ladder("frame_rate", [10, 40, 20])
+        labels = [level.label for level in ladder.levels]
+        assert labels == ["frame_rate=40", "frame_rate=20", "frame_rate=10"]
+        scales = [level.demand_scale for level in ladder.levels]
+        assert scales == [1.0, 0.5, 0.25]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            QoSLevel("x", QoSVector(), demand_scale=0.0)
+        with pytest.raises(ValueError):
+            QoSLevel("x", QoSVector(), demand_scale=1.5)
+
+
+class TestScaleGraphDemand:
+    def test_scales_resources_and_throughput(self):
+        graph = chain_graph("a", "b", throughput=4.0)
+        scaled = scale_graph_demand(graph, 0.5)
+        assert scaled.component("a").resources["memory"] == 5.0
+        assert scaled.edge("a", "b").throughput_mbps == 2.0
+
+    def test_identity_at_factor_one(self):
+        graph = chain_graph("a", "b")
+        assert scale_graph_demand(graph, 1.0) is graph
+
+    def test_original_untouched(self):
+        graph = chain_graph("a", "b", throughput=4.0)
+        scale_graph_demand(graph, 0.5)
+        assert graph.edge("a", "b").throughput_mbps == 4.0
+
+
+class TestDegradingAdmission:
+    def ladder(self):
+        return DegradationLadder.rate_ladder("frame_rate", [40.0, 20.0, 10.0])
+
+    def test_admits_at_top_level_when_space_is_free(self):
+        testbed = build_audio_testbed()
+        degrading = DegradingConfigurator(testbed.configurator, self.ladder())
+        outcome = degrading.start_with_degradation(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        assert outcome.success
+        assert outcome.admitted_level == "frame_rate=40"
+        assert not outcome.degraded
+        assert len(outcome.attempts) == 1
+
+    def test_degrades_under_load(self):
+        testbed = build_audio_testbed()
+        # Eat most of every device: full-rate demand no longer fits, but
+        # quarter-rate demand does.
+        for device in testbed.devices.values():
+            available = device.available()
+            headroom = ResourceVector(
+                memory=available["memory"] * 0.12,
+                cpu=available["cpu"] * 0.12,
+            )
+            device.allocate(available - headroom, owner="background")
+        degrading = DegradingConfigurator(testbed.configurator, self.ladder())
+        outcome = degrading.start_with_degradation(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        assert outcome.success
+        assert outcome.admitted_level != "frame_rate=40"
+        assert outcome.degraded
+        assert outcome.session.state is SessionState.RUNNING
+
+    def test_total_exhaustion_fails_every_level(self):
+        testbed = build_audio_testbed()
+        for device in testbed.devices.values():
+            device.allocate(device.available(), owner="background")
+        degrading = DegradingConfigurator(testbed.configurator, self.ladder())
+        outcome = degrading.start_with_degradation(
+            audio_request(testbed, "desktop2")
+        )
+        assert not outcome.success
+        assert outcome.admitted_level is None
+        assert len(outcome.attempts) == 3
+        assert outcome.session.state is SessionState.FAILED
+
+    def test_timeline_records_every_attempt(self):
+        testbed = build_audio_testbed()
+        for device in testbed.devices.values():
+            device.allocate(device.available(), owner="background")
+        degrading = DegradingConfigurator(testbed.configurator, self.ladder())
+        outcome = degrading.start_with_degradation(
+            audio_request(testbed, "desktop2")
+        )
+        labels = [record.label for record in outcome.session.timeline]
+        assert labels == [
+            "admit@frame_rate=40",
+            "admit@frame_rate=20",
+            "admit@frame_rate=10",
+        ]

@@ -1,0 +1,103 @@
+"""Unit tests for the component repository and dynamic downloading."""
+
+import pytest
+
+from repro.domain.device import Device
+from repro.network.links import LinkClass
+from repro.network.topology import NetworkTopology
+from repro.resources.vectors import ResourceVector
+from repro.runtime.repository import ComponentRepository
+
+
+@pytest.fixture
+def topology():
+    net = NetworkTopology()
+    net.connect("repo", "switch", LinkClass.FAST_ETHERNET)
+    net.connect("pc", "switch", LinkClass.FAST_ETHERNET)
+    net.connect("ap", "switch", LinkClass.FAST_ETHERNET)
+    net.connect("pda", "ap", LinkClass.WLAN)
+    return net
+
+
+def make_device(device_id="pc", installed=()):
+    return Device(
+        device_id,
+        capacity=ResourceVector(memory=100.0, cpu=1.0),
+        installed_components=installed,
+    )
+
+
+class TestRepository:
+    def test_register_and_query_packages(self):
+        repo = ComponentRepository("repo")
+        repo.register_package("player", 500.0)
+        assert repo.has_package("player")
+        assert repo.package_size_kb("player") == 500.0
+        assert repo.package_size_kb("ghost", default=7.0) == 7.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ComponentRepository("")
+        with pytest.raises(ValueError):
+            ComponentRepository("repo", install_cost_s=-1.0)
+
+    def test_download_time_scales_with_size(self, topology):
+        repo = ComponentRepository("repo")
+        repo.register_package("small", 100.0)
+        repo.register_package("large", 1000.0)
+        small = repo.download_time_s("small", "pc", topology)
+        large = repo.download_time_s("large", "pc", topology)
+        assert large > small
+
+    def test_wireless_download_slower(self, topology):
+        repo = ComponentRepository("repo")
+        repo.register_package("player", 500.0)
+        wired = repo.download_time_s("player", "pc", topology)
+        wireless = repo.download_time_s("player", "pda", topology)
+        assert wireless > wired
+
+    def test_local_install_costs_only_install(self, topology):
+        repo = ComponentRepository("repo", install_cost_s=0.02)
+        repo.register_package("player", 500.0)
+        assert repo.download_time_s("player", "repo", topology) == 0.02
+
+    def test_disconnected_device_raises(self, topology):
+        topology.add_device("island")
+        repo = ComponentRepository("repo")
+        with pytest.raises(RuntimeError):
+            repo.download_time_s("player", "island", topology)
+
+
+class TestEnsureInstalled:
+    def test_downloads_when_absent(self, topology):
+        repo = ComponentRepository("repo")
+        repo.register_package("player", 500.0)
+        device = make_device()
+        record = repo.ensure_installed(device, "player", topology)
+        assert record.downloaded
+        assert record.duration_s > 0
+        assert device.has_component("player")
+
+    def test_skips_when_preinstalled(self, topology):
+        repo = ComponentRepository("repo")
+        device = make_device(installed=["player"])
+        record = repo.ensure_installed(device, "player", topology)
+        assert not record.downloaded
+        assert record.duration_s == 0.0
+
+    def test_second_install_is_free(self, topology):
+        repo = ComponentRepository("repo")
+        repo.register_package("player", 500.0)
+        device = make_device()
+        repo.ensure_installed(device, "player", topology)
+        record = repo.ensure_installed(device, "player", topology)
+        assert not record.downloaded
+
+    def test_fallback_size_used_for_unregistered_package(self, topology):
+        repo = ComponentRepository("repo")
+        device = make_device()
+        record = repo.ensure_installed(
+            device, "mystery", topology, fallback_size_kb=800.0
+        )
+        assert record.downloaded
+        assert record.duration_s > repo.install_cost_s

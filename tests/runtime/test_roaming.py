@@ -1,0 +1,154 @@
+"""Unit tests for cross-domain session roaming."""
+
+import pytest
+
+from repro.apps.audio_on_demand import (
+    _desktop_player_template,
+    _pda_player_template,
+    _server_template,
+    audio_request,
+    build_audio_testbed,
+)
+from repro.composition.composer import ServiceComposer
+from repro.composition.corrections import CorrectionPolicy
+from repro.discovery.registry import ServiceDescription
+from repro.distribution.distributor import ServiceDistributor
+from repro.distribution.heuristic import HeuristicDistributor
+from repro.domain.device import Device, DeviceClass
+from repro.domain.space import SmartSpace
+from repro.network.links import LinkClass
+from repro.qos.translation import default_catalog
+from repro.resources.vectors import ResourceVector
+from repro.runtime.configurator import ServiceConfigurator
+from repro.runtime.roaming import SessionRoamer
+from repro.runtime.session import SessionState
+
+
+def build_hotel_domain():
+    """A second domain: one hotel PC and a proxy server, own registry."""
+    space = SmartSpace()
+    server = space.create_domain("hotel")
+    devices = {
+        "hotel-pc": Device(
+            "hotel-pc",
+            DeviceClass.PC,
+            capacity=ResourceVector(memory=128.0, cpu=2.0),
+            installed_components=["audio_server", "audio_player", "MPEG2wav"],
+        ),
+        "hotel-proxy": Device(
+            "hotel-proxy",
+            DeviceClass.SERVER,
+            capacity=ResourceVector(memory=512.0, cpu=4.0),
+            installed_components=["audio_server", "audio_player", "MPEG2wav"],
+        ),
+    }
+    for device in devices.values():
+        server.join(device)
+    server.network.connect("hotel-pc", "hotel-proxy", LinkClass.FAST_ETHERNET)
+
+    registry = server.domain.registry
+    registry.register(
+        ServiceDescription(
+            service_type="audio_server",
+            provider_id="audio-server@hotel-proxy",
+            component_template=_server_template(),
+            attributes=(("media", "audio"), ("format", "MPEG")),
+            hosted_on="hotel-proxy",
+        )
+    )
+    registry.register(
+        ServiceDescription(
+            service_type="audio_player",
+            provider_id="player@hotel",
+            component_template=_desktop_player_template(),
+            attributes=(("media", "audio"),),
+            platforms=frozenset({DeviceClass.PC, DeviceClass.WORKSTATION}),
+        )
+    )
+    composer = ServiceComposer(
+        server.discovery, CorrectionPolicy(catalog=default_catalog())
+    )
+    configurator = ServiceConfigurator(
+        server, composer, ServiceDistributor(HeuristicDistributor())
+    )
+    return configurator, devices
+
+
+@pytest.fixture
+def lab_session():
+    testbed = build_audio_testbed()
+    session = testbed.configurator.create_session(
+        audio_request(testbed, "desktop2"), user_id="alice"
+    )
+    session.start()
+    session.record_progress(240.0)
+    return testbed, session
+
+
+class TestRoaming:
+    def test_successful_roam(self, lab_session):
+        testbed, session = lab_session
+        hotel, _devices = build_hotel_domain()
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assert report.success
+        assert report.old_domain == "lab"
+        assert report.new_domain == "hotel"
+        assert report.new_session.state is SessionState.RUNNING
+        assert report.new_session.client_device == "hotel-pc"
+
+    def test_old_resources_released(self, lab_session):
+        testbed, session = lab_session
+        hotel, _devices = build_hotel_domain()
+        SessionRoamer().roam(session, hotel, "hotel-pc")
+        for device in testbed.devices.values():
+            assert device.allocated.is_zero()
+        assert session.state is SessionState.STOPPED
+
+    def test_state_carried_across_wan(self, lab_session):
+        testbed, session = lab_session
+        hotel, _devices = build_hotel_domain()
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assert report.new_session.playback_position() == pytest.approx(240.0)
+        assert report.state_transfer_s > 0.0
+
+    def test_slower_wan_costs_more(self, lab_session):
+        testbed, session = lab_session
+        hotel, _devices = build_hotel_domain()
+        report_fast = SessionRoamer(wan_bandwidth_mbps=100.0).roam(
+            session, hotel, "hotel-pc"
+        )
+        # Second roam needs a fresh origin session.
+        testbed2 = build_audio_testbed()
+        session2 = testbed2.configurator.create_session(
+            audio_request(testbed2, "desktop2"), user_id="alice"
+        )
+        session2.start()
+        hotel2, _ = build_hotel_domain()
+        report_slow = SessionRoamer(wan_bandwidth_mbps=1.0).roam(
+            session2, hotel2, "hotel-pc"
+        )
+        assert report_slow.state_transfer_s > report_fast.state_transfer_s
+
+    def test_new_domain_uses_its_own_services(self, lab_session):
+        testbed, session = lab_session
+        hotel, _devices = build_hotel_domain()
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assignment = report.new_session.deployment.assignment
+        assert assignment["audio-server"] == "hotel-proxy"
+        assert assignment["audio-player"] == "hotel-pc"
+
+    def test_failed_roam_reported(self, lab_session):
+        testbed, session = lab_session
+        hotel, devices = build_hotel_domain()
+        # Saturate the destination so nothing fits.
+        for device in devices.values():
+            device.allocate(device.available())
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assert not report.success
+        assert report.new_session.state is SessionState.FAILED
+
+    def test_invalid_wan_parameters(self):
+        with pytest.raises(ValueError):
+            SessionRoamer(wan_bandwidth_mbps=0.0)
+        with pytest.raises(ValueError):
+            SessionRoamer(wan_latency_ms=-1.0)

@@ -1,0 +1,58 @@
+"""Unit tests for the seeded workload distributions."""
+
+import random
+
+import pytest
+
+from repro.sim.distributions import (
+    bounded_exponential,
+    exponential,
+    poisson_arrival_times,
+)
+
+
+class TestExponential:
+    def test_mean_approximately_correct(self):
+        rng = random.Random(1)
+        samples = [exponential(rng, 10.0) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.05)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            exponential(random.Random(1), 0.0)
+
+
+class TestBoundedExponential:
+    def test_all_samples_in_bounds(self):
+        rng = random.Random(2)
+        for _ in range(1000):
+            value = bounded_exponential(rng, mean=0.5, low=5 / 60, high=1.0)
+            assert 5 / 60 <= value <= 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            bounded_exponential(random.Random(1), 1.0, low=2.0, high=1.0)
+
+    def test_deterministic_given_seed(self):
+        a = bounded_exponential(random.Random(3), 0.5, 0.1, 1.0)
+        b = bounded_exponential(random.Random(3), 0.5, 0.1, 1.0)
+        assert a == b
+
+
+class TestPoissonArrivals:
+    def test_exact_count_and_sorted(self):
+        times = poisson_arrival_times(random.Random(4), 500, 1000.0)
+        assert len(times) == 500
+        assert times == sorted(times)
+        assert all(0.0 <= t < 1000.0 for t in times)
+
+    def test_roughly_uniform_over_horizon(self):
+        times = poisson_arrival_times(random.Random(5), 10000, 100.0)
+        first_half = sum(1 for t in times if t < 50.0)
+        assert first_half == pytest.approx(5000, rel=0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(random.Random(1), -1, 10.0)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(random.Random(1), 10, 0.0)

@@ -1,0 +1,87 @@
+"""Unit tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+
+class TestProcess:
+    def test_periodic_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def beat():
+            while True:
+                ticks.append(sim.now)
+                yield 1.0
+
+        Process(sim, beat())
+        sim.run_until(3.5)
+        assert ticks == [0.0, 1.0, 2.0, 3.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        ticks = []
+
+        def once():
+            ticks.append(sim.now)
+            return
+            yield  # pragma: no cover
+
+        Process(sim, once(), start_delay=2.0)
+        sim.run_until(5.0)
+        assert ticks == [2.0]
+
+    def test_finished_flag(self):
+        sim = Simulator()
+
+        def short():
+            yield 1.0
+
+        process = Process(sim, short())
+        assert not process.finished
+        sim.run_until(2.0)
+        assert process.finished
+        assert not process.alive
+
+    def test_stop_cancels_future_work(self):
+        sim = Simulator()
+        ticks = []
+
+        def beat():
+            while True:
+                ticks.append(sim.now)
+                yield 1.0
+
+        process = Process(sim, beat())
+        sim.run_until(1.5)
+        process.stop()
+        sim.run_until(5.0)
+        assert ticks == [0.0, 1.0]
+        assert not process.alive
+
+    def test_negative_yield_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield -1.0
+
+        Process(sim, bad())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_variable_delays(self):
+        sim = Simulator()
+        ticks = []
+
+        def burst():
+            ticks.append(sim.now)
+            yield 0.5
+            ticks.append(sim.now)
+            yield 2.0
+            ticks.append(sim.now)
+
+        Process(sim, burst())
+        sim.run()
+        assert ticks == [0.0, 0.5, 2.5]

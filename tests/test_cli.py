@@ -1,0 +1,52 @@
+"""Unit tests for the CLI (reduced workloads)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.cases == 150
+        args = build_parser().parse_args(["figure5"])
+        assert args.requests == 5000
+        assert args.horizon == 1000.0
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--cases", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Our Heuristic" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "Event 1" in out and "fps" in out
+
+    def test_figure4(self, capsys):
+        assert main(["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "composition" in out
+        assert "legend" in out
+
+    def test_figure5(self, capsys):
+        assert main(["figure5", "--requests", "120", "--horizon", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out.lower()
+        assert "heuristic=H" in out
+
+    def test_ablations(self, capsys):
+        assert main(["ablations", "--cases", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation:" in out
+
+    def test_load_sweep(self, capsys):
+        assert main(["load-sweep", "--requests", "60", "--horizon", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Load sensitivity" in out

@@ -1,0 +1,33 @@
+"""Every shipped example must run cleanly against the current API."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(example, capsys, monkeypatch):
+    # Examples guard with `if __name__ == "__main__"`; run them as main.
+    monkeypatch.setattr(sys, "argv", [str(example)])
+    runpy.run_path(str(example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example.name} produced no output"
+
+
+def test_all_six_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert names == {
+        "quickstart",
+        "mobile_audio_handoff",
+        "video_conference",
+        "smart_space_simulation",
+        "capacity_planning",
+        "multi_domain_roaming",
+    }

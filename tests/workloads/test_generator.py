@@ -1,0 +1,51 @@
+"""Unit tests for the Table 1 workload generator."""
+
+import pytest
+
+from repro.workloads.generator import Table1Workload
+
+
+class TestTable1Workload:
+    def test_default_matches_paper_setup(self):
+        workload = Table1Workload()
+        assert workload.case_count == 150
+        env = workload.environment()
+        pc = env.device("pc")
+        pda = env.device("pda")
+        assert pc.available["memory"] == 256.0
+        assert pc.available["cpu"] == 3.0
+        assert pda.available["memory"] == 32.0
+        assert pda.available["cpu"] == 1.0
+
+    def test_case_graphs_in_paper_size_range(self):
+        workload = Table1Workload(case_count=10)
+        for case in workload.cases():
+            assert 10 <= len(case.graph) <= 20
+            case.graph.validate()
+
+    def test_weights_sum_to_one(self):
+        workload = Table1Workload(case_count=5)
+        for case in workload.cases():
+            total = (
+                sum(case.weights.resource_weights.values())
+                + case.weights.network_weight
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        first = [c.graph.component_ids() for c in Table1Workload(case_count=3).cases()]
+        second = [c.graph.component_ids() for c in Table1Workload(case_count=3).cases()]
+        assert first == second
+
+    def test_different_seed_differs(self):
+        first = list(Table1Workload(seed=1, case_count=3).cases())
+        second = list(Table1Workload(seed=2, case_count=3).cases())
+        assert any(
+            len(a.graph) != len(b.graph)
+            or a.graph.total_resources() != b.graph.total_resources()
+            for a, b in zip(first, second)
+        )
+
+    def test_case_indices_sequential(self):
+        indices = [c.index for c in Table1Workload(case_count=4).cases()]
+        assert indices == [0, 1, 2, 3]

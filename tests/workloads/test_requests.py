@@ -1,0 +1,46 @@
+"""Unit tests for the Figure 5 request trace."""
+
+import pytest
+
+from repro.workloads.requests import figure5_trace
+
+
+class TestFigure5Trace:
+    def test_default_matches_paper(self):
+        trace = figure5_trace()
+        assert len(trace) == 5000
+        assert trace.horizon_h == 1000.0
+
+    def test_durations_bounded_5min_to_1h(self):
+        for request in figure5_trace(request_count=500):
+            assert 5 / 60 <= request.duration_h <= 1.0
+
+    def test_arrivals_sorted_within_horizon(self):
+        trace = figure5_trace(request_count=500, horizon_h=100.0)
+        arrivals = [r.arrival_h for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 100.0 for a in arrivals)
+
+    def test_graph_indices_cover_all_five(self):
+        trace = figure5_trace(request_count=500)
+        assert {r.graph_index for r in trace} == {0, 1, 2, 3, 4}
+
+    def test_departure_is_arrival_plus_duration(self):
+        request = next(iter(figure5_trace(request_count=1)))
+        assert request.departure_h == pytest.approx(
+            request.arrival_h + request.duration_h
+        )
+
+    def test_deterministic_given_seed(self):
+        a = figure5_trace(seed=9, request_count=10)
+        b = figure5_trace(seed=9, request_count=10)
+        assert [r.arrival_h for r in a] == [r.arrival_h for r in b]
+
+    def test_arrivals_in_window(self):
+        trace = figure5_trace(request_count=200, horizon_h=100.0)
+        inside = trace.arrivals_in(10.0, 20.0)
+        assert all(10.0 <= r.arrival_h < 20.0 for r in inside)
+
+    def test_invalid_graph_count(self):
+        with pytest.raises(ValueError):
+            figure5_trace(graph_count=0)
