@@ -11,6 +11,8 @@
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -94,7 +96,16 @@ class ServiceComposer:
 
     The composer is re-invoked "whenever some significant changes are
     detected during runtime" — it is stateless across calls except for the
-    decomposition registry and correction policy it is configured with.
+    decomposition registry and correction policy it is configured with,
+    plus a composition cache: composition is deterministic given the
+    request and the registry contents, so identical requests against an
+    unchanged registry (the common case in a load sweep, where many
+    sessions open the same application) reuse the previous result instead
+    of re-running discovery and the OC algorithm.
+
+    ``cache_size`` bounds the LRU composition cache (0 disables it). The
+    cache is bypassed when a profiler is attached — measured estimates may
+    change between calls without touching the registry.
     """
 
     def __init__(
@@ -104,9 +115,12 @@ class ServiceComposer:
         decompositions: Optional[DecompositionRegistry] = None,
         recursion_limit: int = DEFAULT_RECURSION_LIMIT,
         profiler=None,
+        cache_size: int = 64,
     ) -> None:
         if recursion_limit < 0:
             raise ValueError("recursion limit cannot be negative")
+        if cache_size < 0:
+            raise ValueError("cache size cannot be negative")
         self.discovery = discovery
         self.policy = policy or CorrectionPolicy()
         self.decompositions = decompositions or DecompositionRegistry()
@@ -115,11 +129,57 @@ class ServiceComposer:
         # confident measured estimate overrides a template's declared R
         # vector, so distribution plans with observed demand.
         self.profiler = profiler
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- protocol --------------------------------------------------------------
 
     def compose(self, request: CompositionRequest) -> CompositionResult:
         """Run the four-step protocol for one request."""
+        key = self._cache_key(request)
+        if key is not None:
+            entry = self._cache.get(key)
+            if entry is not None:
+                graph_ref, cached = entry
+                # The key contains id(abstract_graph); confirm the weakly
+                # referenced graph is still that exact object, so a recycled
+                # id can never resurrect a dead graph's composition.
+                if graph_ref() is request.abstract_graph:
+                    self._cache.move_to_end(key)
+                    self.cache_hits += 1
+                    return _clone_result(cached)
+                del self._cache[key]
+            self.cache_misses += 1
+        result = self._compose_uncached(request)
+        if key is not None:
+            self._cache[key] = (weakref.ref(request.abstract_graph), _clone_result(result))
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return result
+
+    def _cache_key(self, request: CompositionRequest) -> Optional[tuple]:
+        """Cache key for a request, or None when caching does not apply."""
+        if self.cache_size == 0 or self.profiler is not None:
+            return None
+        registry_version = getattr(self.discovery, "registry_version", None)
+        if registry_version is None:
+            # A discovery backend without a content-version token cannot be
+            # invalidated safely; always compose cold.
+            return None
+        return (
+            id(request.abstract_graph),
+            request.abstract_graph.version,
+            request.user_qos,
+            request.client_device_id,
+            request.client_device_class,
+            request.preferred_devices,
+            tuple(sorted(request.resolved_roles().items())),
+            registry_version,
+        )
+
+    def _compose_uncached(self, request: CompositionRequest) -> CompositionResult:
         # Step 1: acquire (and validate) the abstract service graph.
         request.abstract_graph.validate()
         context = request.discovery_context()
@@ -225,6 +285,26 @@ class ServiceComposer:
         import dataclasses
 
         return dataclasses.replace(component, resources=estimate.requirements)
+
+
+def _clone_result(result: CompositionResult) -> CompositionResult:
+    """Copy a composition result so cached state never leaks to callers.
+
+    The graph and the mutable containers are copied (sessions mutate their
+    graphs — e.g. QoS-degradation transforms); the ``oc_report`` is shared
+    as a read-only record. ``discovery_queries`` is preserved as the cold
+    run's count so the modeled composition overhead stays deterministic
+    whether or not a request hit the cache.
+    """
+    return CompositionResult(
+        graph=result.graph.copy() if result.graph is not None else None,
+        success=result.success,
+        dropped_optional=list(result.dropped_optional),
+        missing=list(result.missing),
+        expanded={k: list(v) for k, v in result.expanded.items()},
+        oc_report=result.oc_report,
+        discovery_queries=result.discovery_queries,
+    )
 
 
 def _without_spec(graph: AbstractServiceGraph, spec_id: str) -> AbstractServiceGraph:

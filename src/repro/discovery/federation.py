@@ -48,6 +48,11 @@ class FederatedDiscoveryService:
         """How many lookups had to leave the local tier."""
         return self._escalations
 
+    @property
+    def registry_version(self):
+        """Combined content token across all tiers (see DiscoveryService)."""
+        return tuple(tier.registry_version for tier in self.tiers)
+
     def discover(
         self,
         spec: AbstractComponentSpec,

@@ -78,6 +78,17 @@ class ServiceRegistry:
         self._leases: Dict[str, float] = {}
         self._bus = bus
         self._auto_ids = itertools.count(1)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Change counter: increases on every (un)registration.
+
+        Discovery over an unchanged registry is deterministic, so caches of
+        discovery-derived results (the composer's composition cache) stay
+        valid exactly while this number holds still.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._by_provider)
@@ -111,6 +122,7 @@ class ServiceRegistry:
             if lease_s <= 0:
                 raise ValueError("lease must be positive")
             self._leases[description.provider_id] = timestamp + lease_s
+        self._version += 1
         if self._bus is not None:
             self._bus.emit(
                 Topics.SERVICE_REGISTERED,
@@ -127,6 +139,7 @@ class ServiceRegistry:
         if not self._by_type[description.service_type]:
             del self._by_type[description.service_type]
         self._leases.pop(provider_id, None)
+        self._version += 1
         if self._bus is not None:
             self._bus.emit(
                 Topics.SERVICE_UNREGISTERED,

@@ -47,6 +47,16 @@ class DiscoveryService:
         """Number of discover/discover_all calls served (for overhead stats)."""
         return self._query_count
 
+    @property
+    def registry_version(self):
+        """Hashable token identifying the discoverable-content state.
+
+        Discovery is deterministic given this token and the query, which is
+        what lets the composer cache composition results. Part of the
+        duck-typed discovery interface (see also the federation service).
+        """
+        return self.registry.version
+
     def discover(
         self,
         spec: AbstractComponentSpec,

@@ -18,6 +18,7 @@ from repro.distribution.fit import (
     fits_into,
 )
 from repro.distribution.cost import CostWeights, cost_aggregation
+from repro.distribution.incremental import DeltaEvaluator, SearchState
 from repro.distribution.heuristic import HeuristicDistributor
 from repro.distribution.optimal import OptimalDistributor
 from repro.distribution.baselines import FixedDistributor, RandomDistributor
@@ -39,6 +40,8 @@ __all__ = [
     "fits_into",
     "CostWeights",
     "cost_aggregation",
+    "DeltaEvaluator",
+    "SearchState",
     "HeuristicDistributor",
     "OptimalDistributor",
     "FixedDistributor",

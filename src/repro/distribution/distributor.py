@@ -26,6 +26,8 @@ class DistributionResult:
     produce (useful for diagnostics) together with its violations.
     ``evaluations`` counts candidate (partial) assignments examined, the
     search-effort metric reported by the benchmark harness.
+    ``budget_exhausted`` is set by bounded searches (currently only the
+    optimal distributor) when they stopped before proving optimality.
     """
 
     strategy: str
@@ -34,6 +36,7 @@ class DistributionResult:
     cost: float
     evaluations: int = 0
     violations: Tuple[FitViolation, ...] = ()
+    budget_exhausted: bool = False
 
     def __post_init__(self) -> None:
         if self.feasible and self.assignment is None:
@@ -65,8 +68,16 @@ class DistributionStrategy(ABC):
         environment: DistributionEnvironment,
         weights: CostWeights,
         evaluations: int,
+        evaluator=None,
     ) -> DistributionResult:
-        """Package a placement dict into a checked result."""
+        """Package a placement dict into a checked result.
+
+        When the strategy hands over its :class:`DeltaEvaluator` and that
+        evaluator reports a clean state, its incrementally maintained cost
+        is used directly, skipping the O(V+E) final re-walk. Any reported
+        violation falls back to the full path so the result carries the
+        canonical ``fit_violations`` diagnostics.
+        """
         if placements is None or len(placements) != len(graph):
             return DistributionResult(
                 strategy=self.name,
@@ -77,6 +88,19 @@ class DistributionStrategy(ABC):
                 violations=(FitViolation("placement", "*", "incomplete"),),
             )
         assignment = Assignment(placements)
+        if (
+            evaluator is not None
+            and evaluator.placements == placements
+            and not evaluator.has_violations()
+        ):
+            return DistributionResult(
+                strategy=self.name,
+                assignment=assignment,
+                feasible=True,
+                cost=evaluator.cost,
+                evaluations=evaluations,
+                violations=(),
+            )
         violations = tuple(fit_violations(graph, assignment, environment))
         cost = cost_aggregation(graph, assignment, environment, weights)
         return DistributionResult(

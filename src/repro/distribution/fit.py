@@ -47,7 +47,13 @@ class DistributionEnvironment:
 
     ``bandwidth`` is either a mapping from unordered device-id pairs to
     Mbps or a callable ``(i, j) -> Mbps``; same-device pairs are treated as
-    unconstrained. Built from live substrates with :meth:`from_topology`.
+    unconstrained. Pairs absent from a mapping fall back to
+    ``default_bandwidth``, which defaults to ``0.0`` — an omitted pair
+    means *no link*, so any cut traffic across it is a violation. Pass
+    ``default_bandwidth=float("inf")`` to make omissions unconstrained
+    instead (the behaviour of passing no bandwidth at all). The default
+    does not apply to the callable form, which is consulted for every
+    pair. Built from live substrates with :meth:`from_topology`.
     """
 
     def __init__(
@@ -56,16 +62,20 @@ class DistributionEnvironment:
         bandwidth: Optional[
             Mapping[Tuple[str, str], float] | BandwidthFn
         ] = None,
+        default_bandwidth: float = 0.0,
     ) -> None:
         self.devices: List[CandidateDevice] = list(devices)
         if not self.devices:
             raise ValueError("a distribution environment needs at least one device")
+        if default_bandwidth < 0:
+            raise ValueError("default_bandwidth must be non-negative")
         ids = [d.device_id for d in self.devices]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate device ids in environment")
         self._by_id: Dict[str, CandidateDevice] = {
             d.device_id: d for d in self.devices
         }
+        self.default_bandwidth = default_bandwidth
         if bandwidth is None:
             self._bandwidth_fn: BandwidthFn = lambda i, j: float("inf")
         elif callable(bandwidth):
@@ -74,7 +84,7 @@ class DistributionEnvironment:
             table = {self._norm_pair(i, j): mbps for (i, j), mbps in bandwidth.items()}
 
             def lookup(i: str, j: str) -> float:
-                return table.get(self._norm_pair(i, j), 0.0)
+                return table.get(self._norm_pair(i, j), default_bandwidth)
 
             self._bandwidth_fn = lookup
 

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Set
 from repro.distribution.cost import CostWeights
 from repro.distribution.distributor import DistributionResult, DistributionStrategy
 from repro.distribution.fit import DistributionEnvironment
+from repro.distribution.incremental import DeltaEvaluator
 from repro.graph.service_graph import ServiceGraph
 from repro.resources.vectors import ResourceVector, weighted_magnitude
 
@@ -99,7 +100,13 @@ class HeuristicDistributor(DistributionStrategy):
             remaining[target] = remaining[target] - graph.component(chosen).resources
             unplaced.discard(chosen)
 
-        return self._finalize(graph, placements, environment, weights, evaluations)
+        # The greedy decisions above keep their own clamped `remaining`
+        # bookkeeping (the paper's sketch); the evaluator only replaces the
+        # final O(V+E) fit + cost double walk with one incremental pass.
+        evaluator = DeltaEvaluator(graph, environment, weights, placements=placements)
+        return self._finalize(
+            graph, placements, environment, weights, evaluations, evaluator=evaluator
+        )
 
     # -- internals --------------------------------------------------------------
 

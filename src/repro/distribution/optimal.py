@@ -19,13 +19,20 @@ all exact (they never discard an optimal solution):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import dataclasses
+import warnings
+from typing import Dict, List, Optional
 
-from repro.distribution.cost import CostWeights, marginal_cost
+from repro.distribution.cost import CostWeights
 from repro.distribution.distributor import DistributionResult, DistributionStrategy
 from repro.distribution.fit import DistributionEnvironment
+from repro.distribution.incremental import SearchState
 from repro.graph.service_graph import ServiceGraph
-from repro.resources.vectors import ResourceVector, weighted_magnitude
+from repro.resources.vectors import weighted_magnitude
+
+# Backwards-compatible alias: the search state now lives in
+# repro.distribution.incremental so the other distributors can share it.
+_SearchState = SearchState
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -37,9 +44,9 @@ class OptimalDistributor(DistributionStrategy):
 
     ``max_nodes`` bounds the number of search nodes expanded; ``None`` means
     unbounded (exact). When the budget is exhausted the incumbent (if any)
-    is returned, flagged via ``budget_exhausted`` for callers that need to
-    distinguish proven optima; by default the budget is generous enough for
-    the paper's Table 1 workloads to complete exactly.
+    is returned, flagged via ``DistributionResult.budget_exhausted`` for
+    callers that need to distinguish proven optima; by default the budget is
+    generous enough for the paper's Table 1 workloads to complete exactly.
     """
 
     name = "optimal"
@@ -48,7 +55,23 @@ class OptimalDistributor(DistributionStrategy):
         if max_nodes is not None and max_nodes <= 0:
             raise ValueError("max_nodes must be positive or None")
         self.max_nodes = max_nodes
-        self.budget_exhausted = False
+        self._last_budget_exhausted = False
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Deprecated: read ``DistributionResult.budget_exhausted`` instead.
+
+        Kept for compatibility; reflects only the *most recent* distribute
+        call on this instance, which made shared instances non-reentrant —
+        the reason the flag moved onto the result.
+        """
+        warnings.warn(
+            "OptimalDistributor.budget_exhausted is deprecated; read "
+            "budget_exhausted from the returned DistributionResult instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_budget_exhausted
 
     def distribute(
         self,
@@ -57,18 +80,18 @@ class OptimalDistributor(DistributionStrategy):
         weights: Optional[CostWeights] = None,
     ) -> DistributionResult:
         weights = weights or CostWeights()
-        self.budget_exhausted = False
         order = self._component_order(graph, weights)
         devices = environment.device_ids()
-        state = _SearchState(graph, environment, weights, devices)
+        state = SearchState(graph, environment, weights, devices)
 
         best_cost = [float("inf")]
         best_placements: List[Optional[Dict[str, str]]] = [None]
         nodes = [0]
+        exhausted = [False]
 
         def recurse(index: int, partial_cost: float) -> None:
             if self.max_nodes is not None and nodes[0] >= self.max_nodes:
-                self.budget_exhausted = True
+                exhausted[0] = True
                 return
             if index == len(order):
                 if partial_cost < best_cost[0]:
@@ -88,13 +111,17 @@ class OptimalDistributor(DistributionStrategy):
                 if new_cost < best_cost[0]:
                     recurse(index + 1, new_cost)
                 state.unplace(component.component_id, device_id)
-                if self.budget_exhausted:
+                if exhausted[0]:
                     return
 
         recurse(0, 0.0)
-        return self._finalize(
+        self._last_budget_exhausted = exhausted[0]
+        result = self._finalize(
             graph, best_placements[0], environment, weights, nodes[0]
         )
+        if exhausted[0]:
+            result = dataclasses.replace(result, budget_exhausted=True)
+        return result
 
     @staticmethod
     def _component_order(graph: ServiceGraph, weights: CostWeights) -> List[str]:
@@ -117,101 +144,3 @@ class OptimalDistributor(DistributionStrategy):
             key=lambda cid: (-size(cid), cid),
         )
         return pinned + free
-
-
-class _SearchState:
-    """Mutable search state with O(degree) incremental place/unplace."""
-
-    def __init__(
-        self,
-        graph: ServiceGraph,
-        environment: DistributionEnvironment,
-        weights: CostWeights,
-        devices: List[str],
-    ) -> None:
-        self.graph = graph
-        self.environment = environment
-        self.weights = weights
-        self.placements: Dict[str, str] = {}
-        self.remaining: Dict[str, ResourceVector] = {
-            d.device_id: d.available for d in environment.devices
-        }
-        self.pair_usage: Dict[Tuple[str, str], float] = {}
-
-    def try_place(self, component_id: str, device_id: str) -> Optional[float]:
-        """Attempt a placement; returns the cost increment or None when pruned.
-
-        On success the state is mutated; on pruning it is left unchanged.
-        """
-        component = self.graph.component(component_id)
-        if not component.resources.fits_within(self.remaining[device_id]):
-            return None
-        # Bandwidth check against placed neighbours. Several incident edges
-        # may hit the same device pair, so additions accumulate within this
-        # placement too — not just against previously committed usage.
-        pending: Dict[Tuple[str, str], float] = {}
-        feasible = True
-        for neighbor_id, throughput, outgoing in self._incident(component_id):
-            neighbor_device = self.placements.get(neighbor_id)
-            if neighbor_device is None or neighbor_device == device_id:
-                continue
-            pair = (
-                (device_id, neighbor_device)
-                if outgoing
-                else (neighbor_device, device_id)
-            )
-            addition = pending.get(pair, 0.0) + throughput
-            if (
-                self.pair_usage.get(pair, 0.0) + addition
-                > self.environment.bandwidth(*pair) + 1e-9
-            ):
-                feasible = False
-                break
-            pending[pair] = addition
-        if not feasible:
-            return None
-        touched = list(pending.items())
-        increment = marginal_cost(
-            self.graph,
-            self.placements,  # Mapping protocol: .get suffices
-            self.environment,
-            self.weights,
-            component_id,
-            device_id,
-        )
-        if increment == float("inf"):
-            return None
-        for pair, throughput in touched:
-            self.pair_usage[pair] = self.pair_usage.get(pair, 0.0) + throughput
-        self.placements[component_id] = device_id
-        self.remaining[device_id] = self.remaining[device_id] - component.resources
-        return increment
-
-    def unplace(self, component_id: str, device_id: str) -> None:
-        """Undo a successful :meth:`try_place` (no-op when it was pruned)."""
-        if self.placements.get(component_id) != device_id:
-            return
-        component = self.graph.component(component_id)
-        del self.placements[component_id]
-        self.remaining[device_id] = self.remaining[device_id] + component.resources
-        for neighbor_id, throughput, outgoing in self._incident(component_id):
-            neighbor_device = self.placements.get(neighbor_id)
-            if neighbor_device is None or neighbor_device == device_id:
-                continue
-            pair = (
-                (device_id, neighbor_device)
-                if outgoing
-                else (neighbor_device, device_id)
-            )
-            usage = self.pair_usage.get(pair, 0.0) - throughput
-            if usage <= 1e-12:
-                self.pair_usage.pop(pair, None)
-            else:
-                self.pair_usage[pair] = usage
-
-    def _incident(self, component_id: str):
-        graph = self.graph
-        for succ in graph.successors(component_id):
-            yield succ, graph.edge(component_id, succ).throughput_mbps, True
-        for pred in graph.predecessors(component_id):
-            yield pred, graph.edge(pred, component_id).throughput_mbps, False

@@ -84,8 +84,18 @@ class Device:
         self._allocations: Dict[int, ResourceAllocation] = {}
         self._ids = itertools.count(1)
         self._online = True
+        self._state_version = 0
 
     # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def state_version(self) -> int:
+        """Change counter: increases whenever availability may have changed.
+
+        Lets snapshot consumers (the configurator's environment cache) test
+        staleness in O(1) instead of re-reading the allocation table.
+        """
+        return self._state_version
 
     @property
     def online(self) -> bool:
@@ -96,10 +106,12 @@ class Device:
         self._online = False
         self._allocations.clear()
         self._allocated = ResourceVector()
+        self._state_version += 1
 
     def go_online(self) -> None:
         """Re-attach the device with a clean allocation table."""
         self._online = True
+        self._state_version += 1
 
     # -- resource accounting -----------------------------------------------------
 
@@ -132,6 +144,7 @@ class Device:
         )
         self._allocations[allocation.allocation_id] = allocation
         self._allocated = self._allocated + resources
+        self._state_version += 1
         return allocation
 
     def release(self, allocation: ResourceAllocation) -> None:
@@ -140,6 +153,7 @@ class Device:
         if stored is None:
             return
         self._allocated = self._allocated - stored.resources
+        self._state_version += 1
 
     def active_allocations(self) -> List[ResourceAllocation]:
         """Return all live allocations."""

@@ -32,6 +32,12 @@ class Domain:
         self.network = NetworkTopology()
         self.registry = ServiceRegistry(bus=self.bus)
         self._devices: Dict[str, Device] = {}
+        self._membership_version = 0
+
+    @property
+    def membership_version(self) -> int:
+        """Change counter: increases when a device joins or leaves."""
+        return self._membership_version
 
     def __contains__(self, device_id: str) -> bool:
         return device_id in self._devices
@@ -53,11 +59,13 @@ class Domain:
     def _attach(self, device: Device) -> None:
         self._devices[device.device_id] = device
         self.network.add_device(device.device_id)
+        self._membership_version += 1
 
     def _detach(self, device_id: str) -> Device:
         device = self._devices.pop(device_id)
         if self.network.has_device(device_id):
             self.network.remove_device(device_id)
+        self._membership_version += 1
         return device
 
 
@@ -141,6 +149,24 @@ class DomainServer:
     def available_devices(self) -> List[Device]:
         """Online devices, the candidate set for service distribution."""
         return self.domain.devices(online_only=True)
+
+    def snapshot_version(self):
+        """Hashable token identifying the current candidate-device state.
+
+        Combines domain membership with each online device's state version;
+        two equal tokens guarantee :meth:`available_devices` (ids *and*
+        availabilities) is unchanged, so derived snapshots — notably the
+        configurator's ``DistributionEnvironment`` — can be reused. Network
+        bandwidth is deliberately excluded: environments read it live
+        through the topology callable.
+        """
+        return (
+            self.domain.membership_version,
+            tuple(
+                (d.device_id, d.state_version)
+                for d in self.domain.devices(online_only=True)
+            ),
+        )
 
     def availability_snapshot(self) -> Dict[str, ResourceVector]:
         """Current per-device availability vectors (normalised units)."""

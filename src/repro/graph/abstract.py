@@ -103,16 +103,28 @@ class AbstractServiceGraph:
         self.name = name
         self._specs: Dict[str, AbstractComponentSpec] = {}
         self._edges: Dict[Tuple[str, str], ServiceEdge] = {}
+        self._version = 0
         for spec in specs:
             self.add_spec(spec)
         for edge in edges:
             self.add_edge(edge)
+
+    @property
+    def version(self) -> int:
+        """Change counter: increases when a spec or edge is added.
+
+        Together with the graph's identity this keys the composer's
+        composition cache (specs and edges are immutable dataclasses, so
+        structural additions are the only possible mutations).
+        """
+        return self._version
 
     def add_spec(self, spec: AbstractComponentSpec) -> None:
         """Add an abstract service spec; raises on duplicate ids."""
         if spec.spec_id in self._specs:
             raise GraphValidationError(f"duplicate spec id {spec.spec_id!r}")
         self._specs[spec.spec_id] = spec
+        self._version += 1
 
     def add_edge(self, edge: ServiceEdge) -> None:
         """Connect two specs; raises on unknown endpoints or duplicates."""
@@ -124,6 +136,7 @@ class AbstractServiceGraph:
                 f"duplicate edge {edge.source!r} -> {edge.target!r}"
             )
         self._edges[edge.key] = edge
+        self._version += 1
 
     def connect(self, source: str, target: str, throughput_mbps: float = 0.0) -> None:
         """Convenience wrapper around :meth:`add_edge`."""

@@ -9,7 +9,8 @@ bandwidth between the two devices.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Tuple
+import weakref
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.graph.service_graph import ServiceEdge, ServiceGraph
 from repro.resources.vectors import ResourceVector
@@ -21,12 +22,44 @@ class Assignment(Mapping[str, str]):
     Provides the cut-derived quantities the distribution tier needs:
     per-device resource loads, cut edges, and the pairwise inter-device
     throughput matrix ``T(i, j)`` from Definition 3.5.
+
+    The cut-derived quantities are cached per (graph identity, graph
+    version), so repeated fit/cost queries against the same graph are O(1)
+    after the first. Mutating the graph bumps its version and invalidates
+    the cache; :meth:`with_placement` copies start with a fresh cache.
     """
 
-    __slots__ = ("_placements",)
+    __slots__ = (
+        "_placements",
+        "_cache_graph",
+        "_cache_version",
+        "_cut_edges",
+        "_device_loads",
+        "_pairwise",
+    )
 
     def __init__(self, placements: Mapping[str, str]) -> None:
         self._placements: Dict[str, str] = dict(placements)
+        self._cache_graph: Optional["weakref.ref[ServiceGraph]"] = None
+        self._cache_version: int = -1
+        self._cut_edges: Optional[List[ServiceEdge]] = None
+        self._device_loads: Optional[Dict[str, ResourceVector]] = None
+        self._pairwise: Optional[Dict[Tuple[str, str], float]] = None
+
+    def _sync_cache(self, graph: ServiceGraph) -> None:
+        """Bind the derived-quantity cache to a graph snapshot.
+
+        A weak reference (not the id) identifies the graph, so a recycled
+        object address can never alias a dead graph's cache.
+        """
+        cached = self._cache_graph() if self._cache_graph is not None else None
+        if cached is graph and self._cache_version == graph.version:
+            return
+        self._cache_graph = weakref.ref(graph)
+        self._cache_version = graph.version
+        self._cut_edges = None
+        self._device_loads = None
+        self._pairwise = None
 
     def __getitem__(self, component_id: str) -> str:
         return self._placements[component_id]
@@ -85,28 +118,33 @@ class Assignment(Mapping[str, str]):
 
     def cut_edges(self, graph: ServiceGraph) -> List[ServiceEdge]:
         """Edges whose endpoints lie on different devices (Definition 3.3)."""
-        return [
-            edge
-            for edge in graph.edges()
-            if self._placements.get(edge.source) != self._placements.get(edge.target)
-        ]
+        self._sync_cache(graph)
+        if self._cut_edges is None:
+            self._cut_edges = [
+                edge
+                for edge in graph.edges()
+                if self._placements.get(edge.source)
+                != self._placements.get(edge.target)
+            ]
+        return list(self._cut_edges)
 
     def device_load(self, graph: ServiceGraph, device_id: str) -> ResourceVector:
         """Sum of requirement vectors of the components on one device."""
-        return ResourceVector.sum(
-            graph.component(cid).resources for cid in self.components_on(device_id)
-        )
+        return self.device_loads(graph).get(device_id, ResourceVector())
 
     def device_loads(self, graph: ServiceGraph) -> Dict[str, ResourceVector]:
         """Per-device summed requirement vectors for all used devices."""
-        loads: Dict[str, ResourceVector] = {}
-        for component in graph:
-            device_id = self._placements.get(component.component_id)
-            if device_id is None:
-                continue
-            current = loads.get(device_id, ResourceVector())
-            loads[device_id] = current + component.resources
-        return loads
+        self._sync_cache(graph)
+        if self._device_loads is None:
+            loads: Dict[str, ResourceVector] = {}
+            for component in graph:
+                device_id = self._placements.get(component.component_id)
+                if device_id is None:
+                    continue
+                current = loads.get(device_id, ResourceVector())
+                loads[device_id] = current + component.resources
+            self._device_loads = loads
+        return dict(self._device_loads)
 
     def pairwise_throughput(self, graph: ServiceGraph) -> Dict[Tuple[str, str], float]:
         """Definition 3.5's ``T(i, j)``: summed cut throughput per device pair.
@@ -114,15 +152,22 @@ class Assignment(Mapping[str, str]):
         Keys are ordered pairs ``(device_of(u), device_of(v))`` following
         edge direction; only pairs with non-zero traffic appear.
         """
-        traffic: Dict[Tuple[str, str], float] = {}
-        for edge in graph.edges():
-            source_dev = self._placements.get(edge.source)
-            target_dev = self._placements.get(edge.target)
-            if source_dev is None or target_dev is None or source_dev == target_dev:
-                continue
-            key = (source_dev, target_dev)
-            traffic[key] = traffic.get(key, 0.0) + edge.throughput_mbps
-        return traffic
+        self._sync_cache(graph)
+        if self._pairwise is None:
+            traffic: Dict[Tuple[str, str], float] = {}
+            for edge in graph.edges():
+                source_dev = self._placements.get(edge.source)
+                target_dev = self._placements.get(edge.target)
+                if (
+                    source_dev is None
+                    or target_dev is None
+                    or source_dev == target_dev
+                ):
+                    continue
+                key = (source_dev, target_dev)
+                traffic[key] = traffic.get(key, 0.0) + edge.throughput_mbps
+            self._pairwise = traffic
+        return dict(self._pairwise)
 
     def respects_pins(self, graph: ServiceGraph) -> bool:
         """True when every pinned component sits on its pinned device."""

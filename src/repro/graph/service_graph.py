@@ -165,10 +165,32 @@ class ServiceGraph:
         self._edges: Dict[Tuple[str, str], ServiceEdge] = {}
         self._succ: Dict[str, Set[str]] = {}
         self._pred: Dict[str, Set[str]] = {}
+        # Monotonic change counter: bumped on every mutation, including
+        # payload replacement. External caches (Assignment's cut-derived
+        # quantities, the composer's memoized snapshots) key on it.
+        self._version = 0
+        # Memoized structure snapshots, invalidated on structural mutation
+        # only — payload swaps keep them, so repeated OC passes that merely
+        # adjust QoS reuse the same topological order and adjacency.
+        self._topo_cache: Optional[List[str]] = None
+        self._succ_cache: Optional[Dict[str, List[str]]] = None
+        self._pred_cache: Optional[Dict[str, List[str]]] = None
         for component in components:
             self.add_component(component)
         for edge in edges:
             self.add_edge(edge)
+
+    @property
+    def version(self) -> int:
+        """Change counter: increases on any mutation of the graph."""
+        return self._version
+
+    def _touch(self, structural: bool = True) -> None:
+        self._version += 1
+        if structural:
+            self._topo_cache = None
+            self._succ_cache = None
+            self._pred_cache = None
 
     # -- construction --------------------------------------------------------
 
@@ -178,6 +200,7 @@ class ServiceGraph:
             raise GraphValidationError(
                 f"duplicate component id {component.component_id!r}"
             )
+        self._touch()
         self._components[component.component_id] = component
         self._succ[component.component_id] = set()
         self._pred[component.component_id] = set()
@@ -191,6 +214,7 @@ class ServiceGraph:
             raise GraphValidationError(
                 f"duplicate edge {edge.source!r} -> {edge.target!r}"
             )
+        self._touch()
         self._edges[edge.key] = edge
         self._succ[edge.source].add(edge.target)
         self._pred[edge.target].add(edge.source)
@@ -203,6 +227,7 @@ class ServiceGraph:
         """Remove a node and all incident edges."""
         if component_id not in self._components:
             raise KeyError(component_id)
+        self._touch()
         for other in list(self._succ[component_id]):
             del self._edges[(component_id, other)]
             self._pred[other].discard(component_id)
@@ -217,14 +242,20 @@ class ServiceGraph:
         """Remove one edge."""
         if (source, target) not in self._edges:
             raise KeyError((source, target))
+        self._touch()
         del self._edges[(source, target)]
         self._succ[source].discard(target)
         self._pred[target].discard(source)
 
     def update_component(self, component: ServiceComponent) -> None:
-        """Replace the payload of an existing node (same id)."""
+        """Replace the payload of an existing node (same id).
+
+        Bumps :attr:`version` (the payload feeds resource caches) but keeps
+        the memoized structure snapshots — the topology is unchanged.
+        """
         if component.component_id not in self._components:
             raise KeyError(component.component_id)
+        self._touch(structural=False)
         self._components[component.component_id] = component
 
     def insert_between(
@@ -295,12 +326,28 @@ class ServiceGraph:
         return (source, target) in self._edges
 
     def successors(self, component_id: str) -> List[str]:
-        """Return ids of direct successors, sorted for determinism."""
-        return sorted(self._succ[component_id])
+        """Return ids of direct successors, sorted for determinism.
+
+        The returned list is a memoized snapshot shared between calls —
+        treat it as read-only.
+        """
+        if self._succ_cache is None:
+            self._succ_cache = {
+                cid: sorted(targets) for cid, targets in self._succ.items()
+            }
+        return self._succ_cache[component_id]
 
     def predecessors(self, component_id: str) -> List[str]:
-        """Return ids of direct predecessors, sorted for determinism."""
-        return sorted(self._pred[component_id])
+        """Return ids of direct predecessors, sorted for determinism.
+
+        The returned list is a memoized snapshot shared between calls —
+        treat it as read-only.
+        """
+        if self._pred_cache is None:
+            self._pred_cache = {
+                cid: sorted(sources) for cid, sources in self._pred.items()
+            }
+        return self._pred_cache[component_id]
 
     def out_degree(self, component_id: str) -> int:
         return len(self._succ[component_id])
@@ -330,8 +377,11 @@ class ServiceGraph:
         """Kahn's algorithm; raises :class:`CycleError` on cycles.
 
         Ties are broken by insertion order, so the result is deterministic
-        for a deterministically-built graph.
+        for a deterministically-built graph. The order is memoized until
+        the next structural mutation; callers receive a fresh copy.
         """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
         in_degree = {cid: len(self._pred[cid]) for cid in self._components}
         ready = [cid for cid in self._components if in_degree[cid] == 0]
         order: List[str] = []
@@ -345,7 +395,8 @@ class ServiceGraph:
         if len(order) != len(self._components):
             stuck = sorted(set(self._components) - set(order))
             raise CycleError(f"service graph has a cycle involving {stuck}")
-        return order
+        self._topo_cache = order
+        return list(order)
 
     def is_dag(self) -> bool:
         """True when the graph is acyclic."""

@@ -74,6 +74,10 @@ class ServiceConfigurator:
         self.playout_buffer_kb = playout_buffer_kb
         self._session_ids = itertools.count(1)
         self.sessions: Dict[str, ApplicationSession] = {}
+        self._env_token: Optional[object] = None
+        self._env_cache: Optional[
+            Tuple[DistributionEnvironment, Dict[str, object]]
+        ] = None
 
     # -- conveniences ---------------------------------------------------------------
 
@@ -99,6 +103,18 @@ class ServiceConfigurator:
         return session
 
     def _environment(self) -> Tuple[DistributionEnvironment, Dict[str, object]]:
+        """Snapshot the candidate devices, memoized on the domain state.
+
+        The snapshot is rebuilt only when the server's
+        :meth:`~repro.domain.domain.DomainServer.snapshot_version` moves —
+        i.e. a device joined, left, crashed, or changed its allocations.
+        Bandwidth needs no key: environments built with ``from_topology``
+        read it live through the topology callable.
+        """
+        token = self.server.snapshot_version()
+        if self._env_cache is not None and token == self._env_token:
+            environment, devices = self._env_cache
+            return environment, dict(devices)
         devices = {d.device_id: d for d in self.server.available_devices()}
         candidates = [
             CandidateDevice(d.device_id, d.available()) for d in devices.values()
@@ -106,7 +122,9 @@ class ServiceConfigurator:
         environment = DistributionEnvironment.from_topology(
             candidates, self.server.network
         )
-        return environment, devices
+        self._env_token = token
+        self._env_cache = (environment, devices)
+        return environment, dict(devices)
 
     # -- the two-tier pipeline ---------------------------------------------------------
 

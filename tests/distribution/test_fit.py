@@ -40,6 +40,38 @@ class TestEnvironment:
         )
         assert env.bandwidth("a", "b") == 0.0
 
+    def test_missing_pair_uses_explicit_default(self):
+        env = DistributionEnvironment(
+            [
+                CandidateDevice("a", ResourceVector(memory=1)),
+                CandidateDevice("b", ResourceVector(memory=1)),
+                CandidateDevice("c", ResourceVector(memory=1)),
+            ],
+            bandwidth={("a", "b"): 10.0},
+            default_bandwidth=3.0,
+        )
+        assert env.bandwidth("a", "b") == 10.0
+        assert env.bandwidth("a", "c") == 3.0
+        assert env.bandwidth("c", "b") == 3.0
+
+    def test_missing_pair_default_can_be_unconstrained(self):
+        env = DistributionEnvironment(
+            [
+                CandidateDevice("a", ResourceVector(memory=1)),
+                CandidateDevice("b", ResourceVector(memory=1)),
+            ],
+            bandwidth={},
+            default_bandwidth=float("inf"),
+        )
+        assert env.bandwidth("a", "b") == float("inf")
+
+    def test_negative_default_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            DistributionEnvironment(
+                [CandidateDevice("a", ResourceVector(memory=1))],
+                default_bandwidth=-1.0,
+            )
+
     def test_default_bandwidth_unconstrained(self):
         env = DistributionEnvironment(
             [

@@ -154,8 +154,22 @@ class TestBudget:
             random.Random(1), RandomGraphConfig(node_count=(12, 12))
         )
         strategy = OptimalDistributor(max_nodes=3)
+        result = strategy.distribute(graph, two_device_env)
+        assert result.budget_exhausted
+
+    def test_budget_flag_clear_when_search_completes(self, two_device_env):
+        graph = chain_graph("a", "b")
+        result = OptimalDistributor().distribute(graph, two_device_env)
+        assert not result.budget_exhausted
+
+    def test_deprecated_instance_flag_still_readable(self, two_device_env):
+        graph = random_service_graph(
+            random.Random(1), RandomGraphConfig(node_count=(12, 12))
+        )
+        strategy = OptimalDistributor(max_nodes=3)
         strategy.distribute(graph, two_device_env)
-        assert strategy.budget_exhausted
+        with pytest.deprecated_call():
+            assert strategy.budget_exhausted
 
     def test_invalid_budget_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,145 @@
+"""Version counters and cache invalidation on graphs and assignments."""
+
+import pytest
+
+from repro.graph.cuts import Assignment
+from repro.graph.service_graph import ServiceEdge, ServiceGraph
+from repro.resources.vectors import ResourceVector
+
+from tests.conftest import chain_graph, make_component
+
+
+class TestGraphVersion:
+    def test_every_mutation_bumps_version(self):
+        graph = ServiceGraph(name="v")
+        start = graph.version
+        graph.add_component(make_component("a"))
+        graph.add_component(make_component("b"))
+        assert graph.version == start + 2
+        graph.connect("a", "b", 1.0)
+        assert graph.version == start + 3
+        graph.update_component(make_component("a", memory=99.0))
+        assert graph.version == start + 4
+        graph.remove_edge("a", "b")
+        assert graph.version == start + 5
+        graph.remove_component("b")
+        assert graph.version == start + 6
+
+    def test_insert_between_bumps_version(self):
+        graph = chain_graph("a", "b")
+        before = graph.version
+        graph.insert_between("a", "b", make_component("mid"))
+        assert graph.version > before
+
+    def test_failed_mutation_queries_unaffected(self):
+        graph = chain_graph("a", "b")
+        order = graph.topological_order()
+        with pytest.raises(KeyError):
+            graph.remove_component("zzz")
+        assert graph.topological_order() == order
+
+
+class TestMemoizedStructure:
+    def test_topological_order_is_memoized_and_fresh_after_mutation(self):
+        graph = chain_graph("a", "b", "c")
+        assert graph.topological_order() == ["a", "b", "c"]
+        graph.add_component(make_component("d"))
+        graph.connect("c", "d", 1.0)
+        assert graph.topological_order() == ["a", "b", "c", "d"]
+        graph.remove_component("d")
+        assert graph.topological_order() == ["a", "b", "c"]
+
+    def test_topological_order_returns_private_copies(self):
+        graph = chain_graph("a", "b", "c")
+        first = graph.topological_order()
+        first.reverse()
+        assert graph.topological_order() == ["a", "b", "c"]
+
+    def test_adjacency_fresh_after_edge_mutations(self):
+        graph = chain_graph("a", "b", "c")
+        assert graph.successors("a") == ["b"]
+        assert graph.predecessors("c") == ["b"]
+        graph.connect("a", "c", 1.0)
+        assert graph.successors("a") == ["b", "c"]
+        assert graph.predecessors("c") == ["a", "b"]
+        graph.remove_edge("a", "b")
+        assert graph.successors("a") == ["c"]
+        assert graph.predecessors("b") == []
+
+    def test_adjacency_fresh_after_insert_between(self):
+        graph = chain_graph("a", "b")
+        assert graph.successors("a") == ["b"]
+        graph.insert_between("a", "b", make_component("mid"))
+        assert graph.successors("a") == ["mid"]
+        assert graph.predecessors("b") == ["mid"]
+
+    def test_payload_update_keeps_structure_caches(self):
+        graph = chain_graph("a", "b")
+        succ_before = graph.successors("a")
+        topo_before = graph.topological_order()
+        graph.update_component(make_component("a", memory=123.0))
+        # Same cached list object: the snapshot survived the payload swap.
+        assert graph.successors("a") is succ_before
+        assert graph.topological_order() == topo_before
+
+
+class TestAssignmentCaches:
+    def test_repeated_queries_consistent(self):
+        graph = chain_graph("a", "b", "c")
+        assignment = Assignment({"a": "d1", "b": "d1", "c": "d2"})
+        first = assignment.device_loads(graph)
+        assert assignment.device_loads(graph) == first
+        assert [e.key for e in assignment.cut_edges(graph)] == [("b", "c")]
+        assert assignment.pairwise_throughput(graph) == {("d1", "d2"): 1.0}
+
+    def test_cached_results_refresh_after_graph_mutation(self):
+        graph = chain_graph("a", "b", "c")
+        assignment = Assignment({"a": "d1", "b": "d1", "c": "d2"})
+        assert assignment.device_load(graph, "d1") == ResourceVector(
+            memory=20.0, cpu=0.2
+        )
+        graph.update_component(make_component("a", memory=50.0, cpu=0.5))
+        assert assignment.device_load(graph, "d1") == ResourceVector(
+            memory=60.0, cpu=0.6
+        )
+        graph.remove_edge("b", "c")
+        assert assignment.cut_edges(graph) == []
+        assert assignment.pairwise_throughput(graph) == {}
+
+    def test_with_placement_copies_never_share_caches(self):
+        graph = chain_graph("a", "b")
+        original = Assignment({"a": "d1", "b": "d1"})
+        assert original.cut_edges(graph) == []
+        moved = original.with_placement("b", "d2")
+        assert [e.key for e in moved.cut_edges(graph)] == [("a", "b")]
+        assert moved.device_load(graph, "d2") == ResourceVector(memory=10.0, cpu=0.1)
+        # The original's cached answers are untouched by the copy's.
+        assert original.cut_edges(graph) == []
+        assert original.device_load(graph, "d2") == ResourceVector()
+
+    def test_returned_containers_are_defensive_copies(self):
+        graph = chain_graph("a", "b")
+        assignment = Assignment({"a": "d1", "b": "d2"})
+        edges = assignment.cut_edges(graph)
+        edges.clear()
+        assert [e.key for e in assignment.cut_edges(graph)] == [("a", "b")]
+        loads = assignment.device_loads(graph)
+        loads["d1"] = ResourceVector()
+        assert assignment.device_load(graph, "d1") == ResourceVector(
+            memory=10.0, cpu=0.1
+        )
+        pairwise = assignment.pairwise_throughput(graph)
+        pairwise.clear()
+        assert assignment.pairwise_throughput(graph) == {("d1", "d2"): 1.0}
+
+    def test_same_assignment_tracks_two_graphs(self):
+        graph_a = chain_graph("a", "b")
+        graph_b = ServiceGraph(name="other")
+        graph_b.add_component(make_component("a", memory=1.0, cpu=0.01))
+        graph_b.add_component(make_component("b", memory=2.0, cpu=0.02))
+        graph_b.add_edge(ServiceEdge("a", "b", 5.0))
+        assignment = Assignment({"a": "d1", "b": "d2"})
+        assert assignment.pairwise_throughput(graph_a) == {("d1", "d2"): 1.0}
+        # Switching graphs re-binds the cache rather than serving stale data.
+        assert assignment.pairwise_throughput(graph_b) == {("d1", "d2"): 5.0}
+        assert assignment.pairwise_throughput(graph_a) == {("d1", "d2"): 1.0}

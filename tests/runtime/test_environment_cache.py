@@ -1,0 +1,62 @@
+"""The configurator's memoized DistributionEnvironment snapshot."""
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.resources.vectors import ResourceVector
+
+
+class TestEnvironmentMemoization:
+    def test_snapshot_reused_while_domain_unchanged(self):
+        testbed = build_audio_testbed()
+        configurator = testbed.configurator
+        env_first, _ = configurator._environment()
+        env_second, _ = configurator._environment()
+        assert env_second is env_first
+
+    def test_allocation_invalidates_snapshot(self):
+        testbed = build_audio_testbed()
+        configurator = testbed.configurator
+        env_before, _ = configurator._environment()
+        device = next(iter(testbed.devices.values()))
+        allocation = device.allocate(ResourceVector(memory=1.0))
+        env_after, _ = configurator._environment()
+        assert env_after is not env_before
+        assert env_after.device(device.device_id).available == device.available()
+        device.release(allocation)
+        env_released, _ = configurator._environment()
+        assert env_released is not env_after
+
+    def test_membership_change_invalidates_snapshot(self):
+        testbed = build_audio_testbed()
+        configurator = testbed.configurator
+        env_before, _ = configurator._environment()
+        crashed = next(iter(testbed.devices))
+        testbed.server.crash(crashed)
+        env_after, _ = configurator._environment()
+        assert env_after is not env_before
+        assert crashed not in env_after.device_ids()
+
+    def test_configure_sees_fresh_availability(self):
+        """Sessions deploy (allocating resources), so back-to-back configure
+        calls must plan against each other's allocations, not a stale view."""
+        testbed = build_audio_testbed()
+        first = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        record_first = first.start()
+        assert record_first.success
+        second = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        record_second = second.start()
+        assert record_second.success
+        env, _ = testbed.configurator._environment()
+        for device in testbed.server.available_devices():
+            assert env.device(device.device_id).available == device.available()
+
+    def test_returned_device_map_is_private(self):
+        testbed = build_audio_testbed()
+        configurator = testbed.configurator
+        _env, devices = configurator._environment()
+        devices.clear()
+        _env2, devices_again = configurator._environment()
+        assert devices_again
