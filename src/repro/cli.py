@@ -7,6 +7,7 @@ Usage::
     python -m repro figure4
     python -m repro figure5  [--requests N] [--horizon H]
     python -m repro ablations [--cases N]
+    python -m repro server-sweep [--multipliers M ...] [--json PATH]
     python -m repro all
 
 Each subcommand prints the regenerated table/series (the same rows the
@@ -25,6 +26,7 @@ from repro.experiments.figure3 import run_prototype_scenario
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.load_sweep import run_load_sweep
+from repro.experiments.server_sweep import run_server_sweep
 from repro.experiments.table1 import run_table1
 from repro.reporting import render_overhead_bars, render_success_series
 from repro.workloads.generator import Table1Workload
@@ -77,6 +79,19 @@ def _cmd_load_sweep(args: argparse.Namespace) -> None:
     print(result.format_table())
 
 
+def _cmd_server_sweep(args: argparse.Namespace) -> None:
+    result = run_server_sweep(
+        multipliers=tuple(args.multipliers),
+        seed=args.seed,
+        horizon_s=args.horizon,
+    )
+    print(result.format_table())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"\nmetrics JSON written to {args.json}")
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     _cmd_table1(args)
     print()
@@ -121,6 +136,23 @@ def build_parser() -> argparse.ArgumentParser:
     load_sweep.add_argument("--requests", type=int, default=600)
     load_sweep.add_argument("--horizon", type=float, default=120.0)
     load_sweep.set_defaults(handler=_cmd_load_sweep)
+
+    server_sweep = subparsers.add_parser(
+        "server-sweep",
+        help="concurrent admission under load multipliers (extension)",
+    )
+    server_sweep.add_argument(
+        "--multipliers",
+        type=float,
+        nargs="+",
+        default=[0.5, 1.0, 2.0, 3.0, 5.0],
+    )
+    server_sweep.add_argument("--seed", type=int, default=42)
+    server_sweep.add_argument("--horizon", type=float, default=300.0)
+    server_sweep.add_argument(
+        "--json", default=None, help="also write deterministic metrics JSON"
+    )
+    server_sweep.set_defaults(handler=_cmd_server_sweep)
 
     everything = subparsers.add_parser("all", help="run every experiment")
     everything.add_argument("--cases", type=int, default=150)

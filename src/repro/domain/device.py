@@ -152,7 +152,12 @@ class Device:
         stored = self._allocations.pop(allocation.allocation_id, None)
         if stored is None:
             return
-        self._allocated = self._allocated - stored.resources
+        # Recompute from the live table rather than decrementing the
+        # running sum: repeated add/subtract of scaled vectors accumulates
+        # float residue, and a fully drained device must read exactly zero.
+        self._allocated = ResourceVector.sum(
+            a.resources for a in self._allocations.values()
+        )
         self._state_version += 1
 
     def active_allocations(self) -> List[ResourceAllocation]:

@@ -55,12 +55,20 @@ class EventBus:
         self._subscriptions.pop(subscription.subscription_id, None)
 
     def publish(self, event: Event) -> int:
-        """Deliver the event to matching handlers; returns delivery count."""
+        """Deliver the event to matching handlers; returns delivery count.
+
+        Dispatch iterates a snapshot of the subscription table, so handlers
+        may freely (un)subscribe while running: a handler subscribed during
+        dispatch first sees the *next* event, and a handler unsubscribed
+        during dispatch — by itself or by an earlier handler — is not
+        invoked for the current one.
+        """
         self._history.append(event)
         self._published_count += 1
         delivered = 0
-        # Snapshot so handlers may (un)subscribe during dispatch.
-        for pattern, handler in list(self._subscriptions.values()):
+        for sid, (pattern, handler) in list(self._subscriptions.items()):
+            if sid not in self._subscriptions:
+                continue
             if event.matches(pattern):
                 handler(event)
                 delivered += 1

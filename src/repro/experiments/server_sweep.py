@@ -1,0 +1,243 @@
+"""Server throughput under a load-multiplier sweep (serving-layer extension).
+
+The paper configures one session at a time; the domain configuration
+service admits many concurrently. This sweep replays seeded Poisson
+arrival traces at multiples of a saturating base rate through the
+deterministic sim driver and reports, per multiplier, what the server did
+with the offered load: admitted (at which ladder level), shed (queue
+full / overload / deadline), or failed outright.
+
+The expected shape is *graceful overload*: as the multiplier passes the
+saturation point, admitted throughput flattens at the domain's capacity
+while the surplus shows up as degraded admissions and sheds — never as an
+exception out of the serving stack. ``ServerSweepResult.to_json`` is
+byte-deterministic for a fixed seed (the benchmark artifact relies on it).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.qos.vectors import QoSVector
+from repro.runtime.degradation import DegradationLadder, QoSLevel
+from repro.server.drivers import SimulatedServerDriver
+from repro.server.service import DomainConfigurationService, ServerRequest
+from repro.sim.kernel import Simulator
+from repro.workloads.arrivals import arrival_trace
+
+#: Arrival rate (requests/s) that roughly saturates the audio testbed at
+#: multiplier 1.0: the pinned audio server costs 48MB of desktop1's 256MB,
+#: so about five full-quality sessions run concurrently; at 30s mean
+#: holding time that is ~0.17 sessions/s of sustainable load.
+BASE_RATE_PER_S = 0.2
+
+#: Clients the trace cycles through (the PDA is excluded: its sessions
+#: exercise transcoder insertion, which figure3 already covers).
+CLIENT_CYCLE = ("desktop1", "desktop2", "desktop3")
+
+
+def audio_degradation_ladder() -> DegradationLadder:
+    """Three demand levels over the composable QoS range.
+
+    Every level keeps the user QoS the composer can satisfy and only
+    scales resource demand, modelling rate-proportional admission at
+    reduced quality.
+    """
+    qos = QoSVector(frame_rate=(20.0, 48.0))
+    return DegradationLadder.of(
+        QoSLevel(label="full", user_qos=qos, demand_scale=1.0),
+        QoSLevel(label="reduced", user_qos=qos, demand_scale=0.7),
+        QoSLevel(label="economy", user_qos=qos, demand_scale=0.45),
+    )
+
+
+@dataclass(frozen=True)
+class ServerSweepPoint:
+    """One multiplier's aggregate server behaviour."""
+
+    multiplier: float
+    offered_rate_per_s: float
+    submitted: int
+    admitted: int
+    degraded: int
+    shed: int
+    failed: int
+    conflict_retries: int
+    throughput_per_min: float
+    shed_rate: float
+    p50_total_ms: float
+    p99_total_ms: float
+    metrics_json: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "multiplier": self.multiplier,
+            "offered_rate_per_s": round(self.offered_rate_per_s, 6),
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "failed": self.failed,
+            "conflict_retries": self.conflict_retries,
+            "throughput_per_min": round(self.throughput_per_min, 6),
+            "shed_rate": round(self.shed_rate, 6),
+            "p50_total_ms": round(self.p50_total_ms, 6),
+            "p99_total_ms": round(self.p99_total_ms, 6),
+            "metrics": json.loads(self.metrics_json),
+        }
+
+
+@dataclass
+class ServerSweepResult:
+    """The whole sweep, one point per multiplier."""
+
+    seed: int
+    horizon_s: float
+    points: List[ServerSweepPoint] = field(default_factory=list)
+
+    def point(self, multiplier: float) -> ServerSweepPoint:
+        for point in self.points:
+            if point.multiplier == multiplier:
+                return point
+        raise KeyError(f"no point for multiplier {multiplier}")
+
+    def format_table(self) -> str:
+        header = (
+            f"{'load x':>7}{'offered/s':>11}{'submitted':>11}{'admitted':>10}"
+            f"{'degraded':>10}{'shed':>7}{'failed':>8}{'thr/min':>9}"
+            f"{'shed%':>8}"
+        )
+        lines = [
+            "Domain configuration service under offered-load multipliers",
+            f"(seed {self.seed}, horizon {self.horizon_s:g}s, "
+            f"base rate {BASE_RATE_PER_S:g}/s)",
+            "",
+            header,
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.multiplier:>7.2f}{p.offered_rate_per_s:>11.3f}"
+                f"{p.submitted:>11d}{p.admitted:>10d}{p.degraded:>10d}"
+                f"{p.shed:>7d}{p.failed:>8d}{p.throughput_per_min:>9.2f}"
+                f"{100.0 * p.shed_rate:>7.1f}%"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Deterministic JSON of the whole sweep (the benchmark artifact)."""
+        payload = {
+            "seed": self.seed,
+            "horizon_s": self.horizon_s,
+            "base_rate_per_s": BASE_RATE_PER_S,
+            "points": [p.as_dict() for p in self.points],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def run_server_once(
+    multiplier: float,
+    seed: int = 42,
+    horizon_s: float = 300.0,
+    mean_duration_s: float = 30.0,
+    queue_capacity: int = 16,
+    workers: int = 1,
+    min_service_s: float = 1.5,
+    deadline_s: Optional[float] = 20.0,
+    ladder: Optional[DegradationLadder] = None,
+) -> ServerSweepPoint:
+    """Replay one seeded trace at ``multiplier`` × the saturating rate.
+
+    Builds a fresh testbed, simulator and service per call, so repeated
+    calls with identical arguments produce byte-identical metrics JSON.
+    """
+    if multiplier <= 0:
+        raise ValueError("load multiplier must be positive")
+    testbed = build_audio_testbed()
+    simulator = Simulator()
+    service = DomainConfigurationService(
+        testbed.configurator,
+        ladder=ladder or audio_degradation_ladder(),
+        queue_capacity=queue_capacity,
+        clock=SimulatedServerDriver.clock(simulator),
+        skip_downloads=True,
+    )
+    # The worker-occupancy floor models the prototype's end-to-end
+    # configuration call (Figure 4 measures ~1.5–2s with downloads); the
+    # analytic per-attempt overhead adds on top of it.
+    driver = SimulatedServerDriver(
+        service, simulator, workers=workers, min_service_s=min_service_s
+    )
+    trace = arrival_trace(
+        seed=seed,
+        rate_per_s=BASE_RATE_PER_S * multiplier,
+        horizon_s=horizon_s,
+        mean_duration_s=mean_duration_s,
+        duration_bounds_s=(5.0, 120.0),
+    )
+
+    def to_request(event) -> ServerRequest:
+        client = CLIENT_CYCLE[event.request_id % len(CLIENT_CYCLE)]
+        return ServerRequest(
+            request_id=f"req-{event.request_id}",
+            composition=audio_request(testbed, client),
+            priority=event.priority,
+            deadline_s=deadline_s,
+            duration_s=event.duration_s,
+            user_id=f"user-{event.request_id}",
+        )
+
+    driver.schedule_trace(trace, to_request)
+    driver.run()
+    problems = service.ledger.audit()
+    if problems:
+        raise AssertionError(
+            "ledger invariant violated during sweep: " + "; ".join(problems)
+        )
+
+    metrics = service.metrics
+    submitted = metrics.count("submitted")
+    admitted = metrics.count("admitted")
+    offered = trace.offered_rate_per_s()
+    metrics_json = metrics.to_json(
+        extra={
+            "multiplier": multiplier,
+            "offered_rate_per_s": round(offered, 6),
+            "seed": seed,
+            "horizon_s": horizon_s,
+        }
+    )
+    return ServerSweepPoint(
+        multiplier=multiplier,
+        offered_rate_per_s=offered,
+        submitted=submitted,
+        admitted=admitted,
+        degraded=metrics.count("admitted_degraded"),
+        shed=metrics.shed_total,
+        failed=metrics.count("failed"),
+        conflict_retries=metrics.count("conflict_retries"),
+        throughput_per_min=60.0 * admitted / horizon_s if horizon_s else 0.0,
+        shed_rate=metrics.shed_total / submitted if submitted else 0.0,
+        p50_total_ms=metrics.stage("total_ms").percentile(50),
+        p99_total_ms=metrics.stage("total_ms").percentile(99),
+        metrics_json=metrics_json,
+    )
+
+
+def run_server_sweep(
+    multipliers: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 5.0),
+    seed: int = 42,
+    horizon_s: float = 300.0,
+    **kwargs,
+) -> ServerSweepResult:
+    """Run :func:`run_server_once` across multipliers."""
+    result = ServerSweepResult(seed=seed, horizon_s=horizon_s)
+    for multiplier in multipliers:
+        result.points.append(
+            run_server_once(
+                multiplier, seed=seed, horizon_s=horizon_s, **kwargs
+            )
+        )
+    return result

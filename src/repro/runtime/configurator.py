@@ -62,6 +62,7 @@ class ServiceConfigurator:
         repository: Optional[ComponentRepository] = None,
         cost_model: Optional[DeploymentCostModel] = None,
         playout_buffer_kb: float = 64.0,
+        ledger=None,
     ) -> None:
         self.server = server
         self.composer = composer
@@ -74,9 +75,15 @@ class ServiceConfigurator:
         self.playout_buffer_kb = playout_buffer_kb
         self._session_ids = itertools.count(1)
         self.sessions: Dict[str, ApplicationSession] = {}
-        self._env_token: Optional[object] = None
+        # A repro.server.ledger.ReservationLedger (kept untyped to avoid a
+        # package cycle). When set, planning snapshots come from the ledger
+        # (net of pending holds) and resource acquisition runs as a
+        # two-phase transaction, making configure() safe under concurrency.
+        self.ledger = ledger
+        # Single-attribute (token, environment, devices) tuple so the
+        # cache swap is atomic under concurrent configure() calls.
         self._env_cache: Optional[
-            Tuple[DistributionEnvironment, Dict[str, object]]
+            Tuple[object, DistributionEnvironment, Dict[str, object]]
         ] = None
 
     # -- conveniences ---------------------------------------------------------------
@@ -107,23 +114,32 @@ class ServiceConfigurator:
 
         The snapshot is rebuilt only when the server's
         :meth:`~repro.domain.domain.DomainServer.snapshot_version` moves —
-        i.e. a device joined, left, crashed, or changed its allocations.
+        i.e. a device joined, left, crashed, or changed its allocations —
+        or, with a ledger attached, when the ledger's version moves (a
+        transaction prepared, committed, aborted or released). With a
+        ledger the snapshot also subtracts in-flight pending holds.
         Bandwidth needs no key: environments built with ``from_topology``
         read it live through the topology callable.
         """
-        token = self.server.snapshot_version()
-        if self._env_cache is not None and token == self._env_token:
-            environment, devices = self._env_cache
-            return environment, dict(devices)
-        devices = {d.device_id: d for d in self.server.available_devices()}
-        candidates = [
-            CandidateDevice(d.device_id, d.available()) for d in devices.values()
-        ]
-        environment = DistributionEnvironment.from_topology(
-            candidates, self.server.network
-        )
-        self._env_token = token
-        self._env_cache = (environment, devices)
+        if self.ledger is not None:
+            token = (self.server.snapshot_version(), self.ledger.version)
+        else:
+            token = (self.server.snapshot_version(), None)
+        cached = self._env_cache
+        if cached is not None and cached[0] == token:
+            return cached[1], dict(cached[2])
+        if self.ledger is not None:
+            environment, devices = self.ledger.environment()
+        else:
+            devices = {d.device_id: d for d in self.server.available_devices()}
+            candidates = [
+                CandidateDevice(d.device_id, d.available())
+                for d in devices.values()
+            ]
+            environment = DistributionEnvironment.from_topology(
+                candidates, self.server.network
+            )
+        self._env_cache = (token, environment, devices)
         return environment, dict(devices)
 
     # -- the two-tier pipeline ---------------------------------------------------------
@@ -157,17 +173,21 @@ class ServiceConfigurator:
                 session, label, composition_s, composition, distribution
             )
 
-        try:
-            deployment = self.deployer.deploy(
-                composition.graph,
-                distribution.assignment,
-                devices,
-                self.server.network,
-                skip_downloads=skip_downloads,
-            )
-        except DeploymentError:
+        deployment, conflict = self._deploy(
+            session,
+            composition.graph,
+            distribution.assignment,
+            devices,
+            skip_downloads,
+        )
+        if deployment is None:
             return self._failure(
-                session, label, composition_s, composition, distribution
+                session,
+                label,
+                composition_s,
+                composition,
+                distribution,
+                conflict=conflict,
             )
         session.graph = composition.graph
         session.deployment = deployment
@@ -269,16 +289,13 @@ class ServiceConfigurator:
         distribution_s = self.cost_model.distribution_time_s(distribution)
         if not distribution.feasible or distribution.assignment is None:
             return self._failure(session, label, 0.0, None, distribution)
-        try:
-            deployment = self.deployer.deploy(
-                session.graph,
-                distribution.assignment,
-                devices,
-                self.server.network,
-                skip_downloads=skip_downloads,
+        deployment, conflict = self._deploy(
+            session, session.graph, distribution.assignment, devices, skip_downloads
+        )
+        if deployment is None:
+            return self._failure(
+                session, label, 0.0, None, distribution, conflict=conflict
             )
-        except DeploymentError:
-            return self._failure(session, label, 0.0, None, distribution)
         session.deployment = deployment
 
         handoff = None
@@ -323,10 +340,73 @@ class ServiceConfigurator:
         """Tear down a session's deployment."""
         if session.deployment is None:
             return
+        txn = session.deployment.ledger_txn
+        if txn is not None and self.ledger is not None:
+            self.ledger.release(txn)
+            session.deployment.allocations.clear()
+            session.deployment.reservations.clear()
+            session.deployment.ledger_txn = None
+            return
         _env, devices = self._environment_all()
         self.deployer.teardown(session.deployment, devices, self.server.network)
 
     # -- internals -------------------------------------------------------------------
+
+    def _deploy(
+        self,
+        session: ApplicationSession,
+        graph: ServiceGraph,
+        assignment: Assignment,
+        devices: Dict[str, object],
+        skip_downloads: bool,
+    ):
+        """Deploy a planned assignment; returns ``(deployment, conflict)``.
+
+        Without a ledger this is the original direct path (the deployer
+        allocates and rolls back itself). With a ledger, acquisition runs
+        as a two-phase transaction: prepare validates against live state
+        under the ledger lock, commit converts the holds into release
+        tokens, and the deployer runs in pre-acquired mode. A lost race
+        surfaces as ``(None, True)`` so callers can retry on a fresh
+        snapshot instead of reporting a hard failure.
+        """
+        if self.ledger is None:
+            try:
+                return (
+                    self.deployer.deploy(
+                        graph,
+                        assignment,
+                        devices,
+                        self.server.network,
+                        skip_downloads=skip_downloads,
+                    ),
+                    False,
+                )
+            except DeploymentError:
+                return None, False
+        from repro.server.ledger import LedgerConflictError
+
+        txn = self.ledger.begin(owner=session.session_id)
+        try:
+            self.ledger.prepare(txn, graph, assignment)
+            preacquired = self.ledger.commit(txn)
+        except LedgerConflictError:
+            self.ledger.abort(txn)
+            return None, True
+        try:
+            deployment = self.deployer.deploy(
+                graph,
+                assignment,
+                devices,
+                self.server.network,
+                skip_downloads=skip_downloads,
+                preacquired=preacquired,
+            )
+        except DeploymentError:
+            self.ledger.release(txn)
+            return None, False
+        deployment.ledger_txn = txn
+        return deployment, False
 
     def _environment_all(self):
         devices = {
@@ -341,6 +421,7 @@ class ServiceConfigurator:
         composition_s: float,
         composition: Optional[CompositionResult],
         distribution: Optional[DistributionResult],
+        conflict: bool = False,
     ) -> ConfigurationRecord:
         distribution_ms = 0.0
         if distribution is not None:
@@ -363,6 +444,7 @@ class ServiceConfigurator:
             success=False,
             composition=composition,
             distribution=distribution,
+            conflict=conflict,
         )
 
     def _handoff(

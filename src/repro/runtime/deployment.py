@@ -26,7 +26,7 @@ shapes, not absolute numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.composition.composer import CompositionResult
 from repro.distribution.distributor import DistributionResult
@@ -121,6 +121,10 @@ class DeploymentReport:
     downloads: List[DownloadRecord] = field(default_factory=list)
     download_s: float = 0.0
     initialization_s: float = 0.0
+    # When the resources were acquired through a reservation ledger, the
+    # committed transaction owns the tokens and teardown must go through
+    # ledger.release() so its accounting stays consistent.
+    ledger_txn: Optional[object] = None
 
     @property
     def downloaded_count(self) -> int:
@@ -151,8 +155,18 @@ class Deployer:
         devices: Mapping[str, Device],
         topology: NetworkTopology,
         skip_downloads: bool = False,
+        preacquired: Optional[
+            Tuple[List[ResourceAllocation], List[BandwidthReservation]]
+        ] = None,
     ) -> DeploymentReport:
-        """Allocate, reserve, download and initialise the application."""
+        """Allocate, reserve, download and initialise the application.
+
+        With ``preacquired`` the resources were already committed through
+        a reservation ledger: the deployer only performs downloads and
+        initialization, attaches the given tokens to the report, and on
+        failure leaves them untouched (releasing a ledger transaction is
+        the ledger's job, not the deployer's).
+        """
         report = DeploymentReport(graph=graph, assignment=assignment)
         try:
             for component in graph:
@@ -169,6 +183,8 @@ class Deployer:
                     )
                     report.downloads.append(record)
                     report.download_s += record.duration_s
+                if preacquired is not None:
+                    continue
                 try:
                     allocation = device.allocate(
                         component.resources, owner=component.component_id
@@ -179,21 +195,26 @@ class Deployer:
                         f"{device_id!r}: {exc}"
                     ) from exc
                 report.allocations.append(allocation)
-            for edge in graph.edges():
-                src_dev = assignment.device_of(edge.source)
-                dst_dev = assignment.device_of(edge.target)
-                if src_dev == dst_dev or edge.throughput_mbps <= 0:
-                    continue
-                try:
-                    reservation = topology.reserve(
-                        src_dev, dst_dev, edge.throughput_mbps
-                    )
-                except ValueError as exc:
-                    raise DeploymentError(str(exc)) from exc
-                report.reservations.append(reservation)
+            if preacquired is None:
+                for edge in graph.edges():
+                    src_dev = assignment.device_of(edge.source)
+                    dst_dev = assignment.device_of(edge.target)
+                    if src_dev == dst_dev or edge.throughput_mbps <= 0:
+                        continue
+                    try:
+                        reservation = topology.reserve(
+                            src_dev, dst_dev, edge.throughput_mbps
+                        )
+                    except ValueError as exc:
+                        raise DeploymentError(str(exc)) from exc
+                    report.reservations.append(reservation)
         except DeploymentError:
-            self._rollback(report, devices, topology)
+            if preacquired is None:
+                self._rollback(report, devices, topology)
             raise
+        if preacquired is not None:
+            report.allocations = list(preacquired[0])
+            report.reservations = list(preacquired[1])
         report.initialization_s = self.cost_model.initialization_time_s(len(graph))
         return report
 

@@ -78,34 +78,24 @@ class SessionRoamer:
     ) -> RoamingReport:
         """Migrate a running session into the destination domain.
 
-        The old deployment is retired first (the user has left), a new
-        session is configured in the destination domain for the same
-        abstract application, and the stateful components' checkpoints are
-        carried over the WAN so the application resumes at its
-        interruption point. On failure the old session is already stopped
-        — matching the reality that the old location's resources are gone —
-        and the report carries ``success=False``.
+        Make-before-break: the destination domain is configured first and
+        only on success is the old deployment retired and the stateful
+        components' checkpoints carried over the WAN, so the application
+        resumes at its interruption point. If the destination rejects the
+        session (composition or distribution fails there), the old session
+        is left untouched — still running in the old domain with its
+        resources held — and the report carries ``success=False``.
         """
         source = session.configurator
         old_domain = source.server.domain.name
         new_domain = destination.server.domain.name
 
-        # Retire the old deployment; keep the component states in hand.
+        # Checkpoint the stateful components; the old deployment stays
+        # live until the destination has accepted the session.
         carried_states = {
             cid: state.snapshot() for cid, state in session.component_states.items()
         }
         position = session.playback_position()
-        if session.deployment is not None:
-            source.release(session)
-            session.deployment = None
-        session.state = SessionState.STOPPED
-        source.bus.emit(
-            Topics.SESSION_RECONFIGURED,
-            timestamp=source.now,
-            source=session.session_id,
-            session_id=session.session_id,
-            label=f"roam-out:{new_domain}",
-        )
 
         # Re-compose and re-distribute against the new domain.
         if new_client_class is None:
@@ -135,6 +125,19 @@ class SessionRoamer:
                 state_transfer_s=0.0,
                 new_session=new_session,
             )
+
+        # The destination accepted: only now retire the old deployment.
+        if session.deployment is not None:
+            source.release(session)
+            session.deployment = None
+        session.state = SessionState.STOPPED
+        source.bus.emit(
+            Topics.SESSION_RECONFIGURED,
+            timestamp=source.now,
+            source=session.session_id,
+            session_id=session.session_id,
+            label=f"roam-out:{new_domain}",
+        )
 
         # Carry the application state across the WAN.
         transfer_s = 0.0

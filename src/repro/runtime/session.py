@@ -39,7 +39,13 @@ class SessionState(enum.Enum):
 
 @dataclass
 class ConfigurationRecord:
-    """One timeline entry: what happened and what it cost (Figure 4 row)."""
+    """One timeline entry: what happened and what it cost (Figure 4 row).
+
+    ``conflict`` marks a failure caused by losing a reservation race (the
+    ledger's capacity check failed against state that changed after the
+    plan was made): a retry against a fresh snapshot may well succeed,
+    unlike a genuine capacity failure.
+    """
 
     label: str
     timing: ConfigurationTiming
@@ -47,6 +53,7 @@ class ConfigurationRecord:
     composition: Optional[CompositionResult] = None
     distribution: Optional[DistributionResult] = None
     handoff: Optional[HandoffReport] = None
+    conflict: bool = False
 
 
 class ApplicationSession:

@@ -1,0 +1,67 @@
+"""The domain configuration service: concurrent multi-session admission.
+
+The paper's configurator handles one request at a time; a domain server in
+a real smart space fields requests from every user in the room. This
+package is the serving layer in front of
+:class:`~repro.runtime.configurator.ServiceConfigurator`:
+
+- :mod:`repro.server.ledger` — a transactional resource-reservation ledger
+  over the domain's devices and links (two-phase admit/commit/abort), so
+  overlapping configurations can never double-book capacity;
+- :mod:`repro.server.queue` — a bounded request queue with FIFO and
+  priority policies and per-request deadlines;
+- :mod:`repro.server.admission` — the admission controller: walks the
+  degradation ladder under contention and applies load shedding with
+  retry-after backpressure;
+- :mod:`repro.server.metrics` — per-run counters and latency percentiles,
+  exported as deterministic JSON;
+- :mod:`repro.server.service` — the front end tying the pieces together;
+- :mod:`repro.server.drivers` — a thread-pool driver (real concurrency)
+  and a sim-kernel driver (deterministic trace replay).
+"""
+
+from repro.server.ledger import (
+    LedgerConflictError,
+    ReservationLedger,
+    ReservationTransaction,
+    TransactionState,
+)
+from repro.server.queue import (
+    BoundedRequestQueue,
+    QueuedRequest,
+    QueuePolicy,
+)
+from repro.server.metrics import LatencyRecorder, ServerMetrics
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionResult,
+    OverloadPolicy,
+)
+from repro.server.service import (
+    DomainConfigurationService,
+    RequestOutcome,
+    RequestStatus,
+    ServerRequest,
+)
+from repro.server.drivers import SimulatedServerDriver, ThreadPoolDriver
+
+__all__ = [
+    "LedgerConflictError",
+    "ReservationLedger",
+    "ReservationTransaction",
+    "TransactionState",
+    "BoundedRequestQueue",
+    "QueuedRequest",
+    "QueuePolicy",
+    "LatencyRecorder",
+    "ServerMetrics",
+    "AdmissionController",
+    "AdmissionResult",
+    "OverloadPolicy",
+    "DomainConfigurationService",
+    "RequestOutcome",
+    "RequestStatus",
+    "ServerRequest",
+    "SimulatedServerDriver",
+    "ThreadPoolDriver",
+]

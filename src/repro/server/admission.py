@@ -1,0 +1,151 @@
+"""Admission control: degradation under contention, shedding under load.
+
+The controller walks a :class:`~repro.runtime.degradation.DegradationLadder`
+exactly like the single-session ``DegradingConfigurator`` — try the
+preferred QoS first, walk down — but with one serving-layer twist: a
+failure caused by a *reservation conflict* (another request committed the
+capacity between this request's plan and its prepare) is retried at the
+same level against a fresh snapshot instead of being treated as genuine
+infeasibility. Only when a level fails on real capacity grounds does the
+walk descend.
+
+:class:`OverloadPolicy` decides when the front end stops queueing and
+sheds instead, and how long it tells the client to back off (retry-after
+grows linearly with queue depth — simple, deterministic backpressure).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.composition.composer import CompositionRequest
+from repro.runtime.configurator import ServiceConfigurator
+from repro.runtime.degradation import DegradationLadder, scale_graph_demand
+from repro.runtime.session import (
+    ApplicationSession,
+    ConfigurationRecord,
+    SessionState,
+)
+
+
+@dataclass
+class OverloadPolicy:
+    """When to shed at the front door, and what retry-after to hint.
+
+    ``queue_high_water`` is the queue-occupancy fraction above which the
+    utilization check kicks in; a saturated ledger alone does not shed
+    (queued work may be about to release capacity), but a deep queue *and*
+    a saturated domain together mean new work has no realistic chance.
+    """
+
+    queue_high_water: float = 0.75
+    utilization_threshold: float = 0.98
+    retry_after_base_s: float = 0.25
+    retry_after_per_queued_s: float = 0.05
+
+    def should_shed(
+        self, queue_depth: int, queue_capacity: int, utilization: float
+    ) -> bool:
+        if queue_capacity <= 0:
+            return True
+        occupancy = queue_depth / queue_capacity
+        return (
+            occupancy >= self.queue_high_water
+            and utilization >= self.utilization_threshold
+        )
+
+    def retry_after_s(self, queue_depth: int) -> float:
+        return self.retry_after_base_s + self.retry_after_per_queued_s * queue_depth
+
+
+@dataclass
+class AdmissionResult:
+    """What one request's ladder walk produced."""
+
+    session: ApplicationSession
+    admitted_level: Optional[str]
+    attempts: List[ConfigurationRecord] = field(default_factory=list)
+    conflict_retries: int = 0
+
+    @property
+    def success(self) -> bool:
+        return self.admitted_level is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Admitted below the ladder's top level."""
+        return (
+            self.success
+            and bool(self.attempts)
+            and self.attempts[0].label != self.attempts[-1].label
+        )
+
+    def service_time_s(self) -> float:
+        """Summed configuration overhead across all attempts, in seconds.
+
+        The sim driver uses this as the worker's busy time for the
+        request, so a request that walked the whole ladder occupies the
+        server longer than one admitted at first try.
+        """
+        return sum(r.timing.total_ms for r in self.attempts) / 1000.0
+
+
+class AdmissionController:
+    """Serves one configuration request end-to-end through the ledger."""
+
+    def __init__(
+        self,
+        configurator: ServiceConfigurator,
+        ladder: Optional[DegradationLadder] = None,
+        max_conflict_retries: int = 2,
+        skip_downloads: bool = False,
+    ) -> None:
+        if max_conflict_retries < 0:
+            raise ValueError("max_conflict_retries cannot be negative")
+        self.configurator = configurator
+        self.ladder = ladder
+        self.max_conflict_retries = max_conflict_retries
+        self.skip_downloads = skip_downloads
+
+    def admit(
+        self,
+        request: CompositionRequest,
+        user_id: Optional[str] = None,
+        session_id: Optional[str] = None,
+    ) -> AdmissionResult:
+        """Walk the ladder (or try once, ladder-less) until admission."""
+        session = self.configurator.create_session(
+            request, user_id=user_id, session_id=session_id
+        )
+        result = AdmissionResult(session=session, admitted_level=None)
+        levels = self.ladder.levels if self.ladder is not None else (None,)
+        for level in levels:
+            if level is not None:
+                session.request = dataclasses.replace(
+                    session.request, user_qos=level.user_qos
+                )
+                label = f"admit@{level.label}"
+                scale = level.demand_scale
+            else:
+                label = "admit"
+                scale = 1.0
+            retries_left = self.max_conflict_retries
+            while True:
+                if session.state is SessionState.FAILED:
+                    session.state = SessionState.NEW
+                record = session.start(
+                    label=label,
+                    skip_downloads=self.skip_downloads,
+                    graph_transform=lambda g, f=scale: scale_graph_demand(g, f),
+                )
+                result.attempts.append(record)
+                if record.success:
+                    result.admitted_level = label
+                    return result
+                if not record.conflict or retries_left <= 0:
+                    break
+                retries_left -= 1
+                result.conflict_retries += 1
+        return result

@@ -1,0 +1,172 @@
+"""Two ways to drive the domain configuration service.
+
+:class:`ThreadPoolDriver` runs real worker threads against one service —
+the configuration used by the stress tests to prove the ledger's
+no-over-booking invariant under genuine interleaving.
+
+:class:`SimulatedServerDriver` replays an arrival trace through the sim
+kernel: arrivals, worker busy periods (sized by each request's analytic
+configuration overhead) and session departures are all logical-time
+events, so the same seed yields byte-identical metrics JSON on every run —
+Figure-5-style traces become reproducible server experiments.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.server.service import (
+    DomainConfigurationService,
+    RequestOutcome,
+    ServerRequest,
+)
+from repro.sim.kernel import Simulator
+from repro.workloads.arrivals import ArrivalEvent, ArrivalTrace
+
+
+class ThreadPoolDriver:
+    """N worker threads pulling from the service's queue."""
+
+    def __init__(
+        self, service: DomainConfigurationService, workers: int = 8
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.service = service
+        self.workers = workers
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._idle = threading.Event()
+        self._busy = 0
+        self._lock = threading.Lock()
+        self.outcomes: List[RequestOutcome] = []
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("driver already started")
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"config-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Signal workers to exit and join them."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+
+    def wait_idle(self, timeout: float = 10.0, poll_s: float = 0.005) -> bool:
+        """Block until the queue is empty and no worker is mid-request."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = self._busy
+            if self.service.queue.depth == 0 and busy == 0:
+                return True
+            time.sleep(poll_s)
+        return False
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            queued = self.service.queue.get(timeout=0.02)
+            if queued is None:
+                continue
+            with self._lock:
+                self._busy += 1
+            try:
+                outcome = self.service._serve(queued)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+            with self._lock:
+                self.outcomes.append(outcome)
+
+
+class SimulatedServerDriver:
+    """Deterministic trace replay through the simulation kernel.
+
+    The service must have been constructed with ``clock=simulator_clock``
+    (use :meth:`clock` before building the service) so queue-wait and
+    deadline accounting read logical time. ``workers`` bounds how many
+    requests are configured concurrently; each occupies its worker for the
+    request's analytic configuration overhead
+    (:meth:`~repro.server.admission.AdmissionResult.service_time_s`).
+    Admitted sessions stop (releasing their reservations) at arrival +
+    ``duration_s``.
+    """
+
+    def __init__(
+        self,
+        service: DomainConfigurationService,
+        simulator: Simulator,
+        workers: int = 2,
+        min_service_s: float = 1e-3,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.service = service
+        self.sim = simulator
+        self.workers = workers
+        self.min_service_s = min_service_s
+        self._busy = 0
+        self.outcomes: List[RequestOutcome] = []
+
+    @staticmethod
+    def clock(simulator: Simulator) -> Callable[[], float]:
+        """The logical clock to pass as the service's ``clock``."""
+        return lambda: simulator.now
+
+    def schedule_trace(
+        self,
+        trace: ArrivalTrace,
+        request_factory: Callable[[ArrivalEvent], ServerRequest],
+    ) -> None:
+        """Schedule one submit event per arrival in the trace."""
+        for event in trace:
+            self.sim.schedule_at(
+                event.arrival_s,
+                lambda e=event: self._arrive(request_factory(e)),
+            )
+
+    def run(self, until: Optional[float] = None) -> List[RequestOutcome]:
+        """Run the simulation to completion (or ``until``); return outcomes."""
+        if until is None:
+            self.sim.run()
+        else:
+            self.sim.run_until(until)
+        return self.outcomes
+
+    # -- event handlers ------------------------------------------------------------
+
+    def _arrive(self, request: ServerRequest) -> None:
+        outcome = self.service.submit(request)
+        if outcome.status.value == "queued":
+            self._dispatch()
+        else:
+            self.outcomes.append(outcome)
+
+    def _dispatch(self) -> None:
+        while self._busy < self.workers:
+            outcome = self.service.process_next()
+            if outcome is None:
+                return
+            self._busy += 1
+            busy_s = max(self.min_service_s, outcome.service_time_s)
+            self.sim.schedule(busy_s, lambda o=outcome: self._complete(o))
+
+    def _complete(self, outcome: RequestOutcome) -> None:
+        self._busy -= 1
+        self.outcomes.append(outcome)
+        if outcome.admitted and outcome.duration_s is not None:
+            self.sim.schedule(
+                outcome.duration_s,
+                lambda o=outcome: self.service.stop_session(o),
+            )
+        self._dispatch()

@@ -1,0 +1,153 @@
+"""The server's metrics surface.
+
+Counters for every request disposition plus latency recorders for each
+stage of the pipeline (queue wait, composition, distribution, deployment,
+end-to-end). Percentiles use the nearest-rank method on the full sample
+set, and :meth:`ServerMetrics.to_json` serializes with sorted keys and
+fixed float rounding — two runs that made the same decisions produce
+byte-identical JSON, which is what the deterministic-replay guarantee of
+the sim driver is asserted against.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, List, Optional
+
+
+def _round(value: float) -> float:
+    """Fixed rounding so serialized metrics are stable across runs."""
+    return round(value, 6)
+
+
+class LatencyRecorder:
+    """Collects samples for one pipeline stage (milliseconds by convention)."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": len(self._samples),
+            "mean": _round(sum(self._samples) / len(self._samples)),
+            "p50": _round(self.percentile(50)),
+            "p90": _round(self.percentile(90)),
+            "p99": _round(self.percentile(99)),
+            "max": _round(max(self._samples)),
+        }
+
+
+#: Every counter the service maintains, in reporting order.
+COUNTER_NAMES = (
+    "submitted",
+    "admitted",
+    "admitted_degraded",
+    "shed_queue_full",
+    "shed_overload",
+    "shed_deadline",
+    "failed",
+    "conflict_retries",
+)
+
+#: Latency stages, all in milliseconds.
+STAGE_NAMES = (
+    "queue_wait_ms",
+    "composition_ms",
+    "distribution_ms",
+    "deployment_ms",
+    "total_ms",
+)
+
+
+class ServerMetrics:
+    """Thread-safe counters + per-stage latency percentiles."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self._stages: Dict[str, LatencyRecorder] = {
+            name: LatencyRecorder() for name in STAGE_NAMES
+        }
+
+    def incr(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            if counter not in self._counters:
+                raise KeyError(f"unknown counter {counter!r}")
+            self._counters[counter] += by
+
+    def record(self, stage: str, value_ms: float) -> None:
+        with self._lock:
+            if stage not in self._stages:
+                raise KeyError(f"unknown latency stage {stage!r}")
+            self._stages[stage].record(value_ms)
+
+    def count(self, counter: str) -> int:
+        with self._lock:
+            return self._counters[counter]
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return (
+                self._counters["shed_queue_full"]
+                + self._counters["shed_overload"]
+                + self._counters["shed_deadline"]
+            )
+
+    def stage(self, name: str) -> LatencyRecorder:
+        return self._stages[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view: counters, derived rates, stage summaries."""
+        with self._lock:
+            counters = dict(self._counters)
+            stages = {
+                name: recorder.summary()
+                for name, recorder in self._stages.items()
+            }
+        submitted = counters["submitted"]
+        shed = (
+            counters["shed_queue_full"]
+            + counters["shed_overload"]
+            + counters["shed_deadline"]
+        )
+        derived = {
+            "shed_rate": _round(shed / submitted) if submitted else 0.0,
+            "admit_rate": (
+                _round(counters["admitted"] / submitted) if submitted else 0.0
+            ),
+            "degraded_rate": (
+                _round(counters["admitted_degraded"] / submitted)
+                if submitted
+                else 0.0
+            ),
+        }
+        return {"counters": counters, "derived": derived, "latency": stages}
+
+    def to_json(self, extra: Optional[Dict[str, object]] = None) -> str:
+        """Deterministic JSON serialization of :meth:`snapshot`."""
+        payload = self.snapshot()
+        if extra:
+            payload = {**payload, **extra}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))

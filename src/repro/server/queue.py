@@ -1,0 +1,114 @@
+"""Bounded request queue with FIFO/priority policies and deadlines.
+
+A single heap implementation serves both policies: FIFO orders by
+admission sequence alone, PRIORITY by (-priority, sequence) so higher
+priorities pop first and equal priorities stay FIFO. The clock is
+injected: the thread-pool driver passes a monotonic wall clock, the
+sim-kernel driver passes the simulator's logical clock — deadlines and
+queue-wait measurements then work identically (and deterministically)
+under both.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+
+class QueuePolicy(enum.Enum):
+    FIFO = "fifo"
+    PRIORITY = "priority"
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """One queued work item with its admission-time bookkeeping."""
+
+    request: object
+    priority: int
+    seq: int
+    enqueued_at: float
+    deadline_at: Optional[float]
+
+    def expired(self, now: float) -> bool:
+        """True when the request's queueing deadline has passed."""
+        return self.deadline_at is not None and now > self.deadline_at + 1e-12
+
+
+class BoundedRequestQueue:
+    """A thread-safe bounded queue; full means the caller must shed."""
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: QueuePolicy = QueuePolicy.FIFO,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.capacity = capacity
+        self.policy = policy
+        self._clock = clock or time.monotonic
+        self._heap: List[Tuple[Tuple[float, int], QueuedRequest]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    @property
+    def depth(self) -> int:
+        """Number of queued requests."""
+        with self._lock:
+            return len(self._heap)
+
+    def put(
+        self,
+        request: object,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> Optional[QueuedRequest]:
+        """Enqueue; returns the queued item, or None when full (shed)."""
+        with self._lock:
+            if len(self._heap) >= self.capacity:
+                return None
+            now = self._clock()
+            item = QueuedRequest(
+                request=request,
+                priority=priority,
+                seq=next(self._seq),
+                enqueued_at=now,
+                deadline_at=None if deadline_s is None else now + deadline_s,
+            )
+            heapq.heappush(self._heap, (self._key(item), item))
+            self._not_empty.notify()
+            return item
+
+    def pop(self) -> Optional[QueuedRequest]:
+        """Dequeue the next item per policy; None when empty (non-blocking).
+
+        Expired items are returned like any other — the service inspects
+        :meth:`QueuedRequest.expired` and accounts them as deadline sheds,
+        so they still appear in the metrics rather than vanishing.
+        """
+        with self._lock:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[1]
+
+    def get(self, timeout: Optional[float] = None) -> Optional[QueuedRequest]:
+        """Blocking dequeue for thread drivers; None on timeout."""
+        with self._not_empty:
+            if not self._heap and not self._not_empty.wait(timeout):
+                return None
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[1]
+
+    def _key(self, item: QueuedRequest) -> Tuple[float, int]:
+        if self.policy is QueuePolicy.PRIORITY:
+            return (-float(item.priority), item.seq)
+        return (0.0, item.seq)

@@ -1,9 +1,13 @@
 """Workload generation for the simulation experiments."""
 
+from repro.workloads.arrivals import ArrivalEvent, ArrivalTrace, arrival_trace
 from repro.workloads.generator import Table1Workload, Table1Case
 from repro.workloads.requests import ApplicationRequest, RequestTrace, figure5_trace
 
 __all__ = [
+    "ArrivalEvent",
+    "ArrivalTrace",
+    "arrival_trace",
     "Table1Workload",
     "Table1Case",
     "ApplicationRequest",

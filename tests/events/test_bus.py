@@ -72,6 +72,48 @@ class TestBus:
         bus.emit("second")
         assert len(late) == 1  # only the second event reaches the late sub
 
+    def test_handler_may_unsubscribe_itself_during_dispatch(self):
+        bus = EventBus()
+        received = []
+        subscription = None
+
+        def once(event):
+            received.append(event)
+            bus.unsubscribe(subscription)
+
+        subscription = bus.subscribe("*", once)
+        bus.emit("first")
+        bus.emit("second")
+        assert len(received) == 1
+        assert bus.subscriber_count() == 0
+
+    def test_handler_unsubscribed_mid_dispatch_is_skipped(self):
+        bus = EventBus()
+        received = []
+        later = None
+
+        def killer(event):
+            bus.unsubscribe(later)
+
+        bus.subscribe("*", killer)
+        later = bus.subscribe("*", received.append)
+        bus.emit("x")
+        assert received == []
+
+    def test_unsubscribe_during_dispatch_keeps_count_accurate(self):
+        bus = EventBus()
+        subs = []
+
+        def purge(event):
+            for s in subs:
+                bus.unsubscribe(s)
+
+        bus.subscribe("*", purge)
+        subs.extend(bus.subscribe("*", lambda e: None) for _ in range(3))
+        delivered = bus.emit("x")
+        assert delivered == 1  # only the purger itself ran
+        assert bus.subscriber_count() == 1
+
     def test_history_filtering(self):
         bus = EventBus()
         bus.emit(Topics.DEVICE_JOINED)

@@ -147,6 +147,36 @@ class TestRoaming:
         assert not report.success
         assert report.new_session.state is SessionState.FAILED
 
+    def test_failed_roam_leaves_old_session_running(self, lab_session):
+        testbed, session = lab_session
+        hotel, devices = build_hotel_domain()
+        for device in devices.values():
+            device.allocate(device.available())
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assert not report.success
+        # Make-before-break: the rejection must not disturb the origin.
+        assert session.state is SessionState.RUNNING
+        assert session.deployment is not None
+        assert any(
+            not device.allocated.is_zero()
+            for device in testbed.devices.values()
+        )
+
+    def test_failed_roam_preserves_state_and_allows_retry(self, lab_session):
+        testbed, session = lab_session
+        hotel, devices = build_hotel_domain()
+        holds = [d.allocate(d.available()) for d in devices.values()]
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assert not report.success
+        assert session.playback_position() == pytest.approx(240.0)
+        # Once the destination frees up, the same session can roam again.
+        for device, hold in zip(devices.values(), holds):
+            device.release(hold)
+        retry = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assert retry.success
+        assert retry.new_session.playback_position() == pytest.approx(240.0)
+        assert session.state is SessionState.STOPPED
+
     def test_invalid_wan_parameters(self):
         with pytest.raises(ValueError):
             SessionRoamer(wan_bandwidth_mbps=0.0)

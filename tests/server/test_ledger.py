@@ -1,0 +1,188 @@
+"""Unit tests for the transactional reservation ledger."""
+
+import pytest
+
+from repro.resources.vectors import ResourceVector
+from repro.server.ledger import (
+    LedgerConflictError,
+    ReservationLedger,
+    TransactionState,
+)
+
+from tests.server.conftest import split_assignment, stream_graph
+
+
+class TestTwoPhaseLifecycle:
+    def test_prepare_commit_allocates(self, pair_server, ledger):
+        txn = ledger.begin(owner="s1")
+        ledger.prepare(txn, stream_graph(), split_assignment())
+        assert txn.state is TransactionState.PREPARED
+        allocations, reservations = ledger.commit(txn)
+        assert txn.state is TransactionState.COMMITTED
+        assert {a.device_id for a in allocations} == {"d1", "d2"}
+        assert len(reservations) == 1
+        d1 = pair_server.domain.device("d1")
+        assert d1.allocated == ResourceVector(memory=40.0, cpu=0.5)
+        assert ledger.audit() == []
+
+    def test_release_frees_everything(self, pair_server, ledger):
+        txn = ledger.begin()
+        ledger.prepare(txn, stream_graph(), split_assignment())
+        ledger.commit(txn)
+        ledger.release(txn)
+        assert txn.state is TransactionState.RELEASED
+        for name in ("d1", "d2"):
+            assert pair_server.domain.device(name).allocated.is_zero()
+        assert pair_server.network.available_bandwidth("d1", "d2") == pytest.approx(
+            100.0
+        )
+
+    def test_abort_before_commit_leaves_no_trace(self, pair_server, ledger):
+        txn = ledger.begin()
+        ledger.prepare(txn, stream_graph(), split_assignment())
+        ledger.abort(txn)
+        assert txn.state is TransactionState.ABORTED
+        assert pair_server.domain.device("d1").allocated.is_zero()
+        # A full-capacity follow-up must now fit.
+        txn2 = ledger.begin()
+        ledger.prepare(txn2, stream_graph(memory=100.0, cpu=2.0), split_assignment())
+
+    def test_abort_is_idempotent(self, ledger):
+        txn = ledger.begin()
+        ledger.abort(txn)
+        ledger.abort(txn)
+        assert txn.state is TransactionState.ABORTED
+
+    def test_release_of_uncommitted_aborts(self, ledger):
+        txn = ledger.begin()
+        ledger.prepare(txn, stream_graph(), split_assignment())
+        ledger.release(txn)
+        assert txn.state is TransactionState.ABORTED
+
+    def test_wrong_state_rejected(self, ledger):
+        txn = ledger.begin()
+        with pytest.raises(LedgerConflictError):
+            ledger.commit(txn)  # never prepared
+
+    def test_foreign_transaction_rejected(self, pair_server, ledger):
+        other = ReservationLedger(pair_server).begin()
+        with pytest.raises(LedgerConflictError):
+            ledger.prepare(other, stream_graph(), split_assignment())
+
+
+class TestConflictDetection:
+    def test_pending_hold_blocks_competing_prepare(self, ledger):
+        first = ledger.begin()
+        ledger.prepare(first, stream_graph(memory=60.0), split_assignment())
+        second = ledger.begin()
+        with pytest.raises(LedgerConflictError) as info:
+            ledger.prepare(second, stream_graph(memory=60.0), split_assignment())
+        assert second.state is TransactionState.PENDING
+        assert any("d1" in c for c in info.value.conflicts)
+
+    def test_committed_capacity_blocks_prepare(self, ledger):
+        first = ledger.begin()
+        ledger.prepare(first, stream_graph(memory=60.0), split_assignment())
+        ledger.commit(first)
+        second = ledger.begin()
+        with pytest.raises(LedgerConflictError):
+            ledger.prepare(second, stream_graph(memory=60.0), split_assignment())
+
+    def test_link_bandwidth_conflict(self, ledger):
+        first = ledger.begin()
+        ledger.prepare(
+            first, stream_graph(memory=10.0, throughput=80.0), split_assignment()
+        )
+        second = ledger.begin()
+        with pytest.raises(LedgerConflictError) as info:
+            ledger.prepare(
+                second, stream_graph(memory=10.0, throughput=80.0), split_assignment()
+            )
+        assert any("Mbps" in c for c in info.value.conflicts)
+
+    def test_offline_device_conflicts_at_prepare(self, pair_server, ledger):
+        pair_server.domain.device("d2").go_offline()
+        txn = ledger.begin()
+        with pytest.raises(LedgerConflictError) as info:
+            ledger.prepare(txn, stream_graph(), split_assignment())
+        assert any("offline" in c for c in info.value.conflicts)
+
+    def test_device_offline_between_prepare_and_commit(self, pair_server, ledger):
+        txn = ledger.begin()
+        ledger.prepare(txn, stream_graph(), split_assignment())
+        pair_server.domain.device("d2").go_offline()
+        with pytest.raises(LedgerConflictError):
+            ledger.commit(txn)
+        assert txn.state is TransactionState.ABORTED
+        # Partial acquisitions must have been rolled back.
+        assert pair_server.domain.device("d1").allocated.is_zero()
+        assert ledger.audit() == []
+
+
+class TestSnapshots:
+    def test_environment_subtracts_pending_holds(self, ledger):
+        txn = ledger.begin()
+        ledger.prepare(txn, stream_graph(memory=60.0), split_assignment())
+        environment, _devices = ledger.environment()
+        availability = {
+            c.device_id: c.available for c in environment.devices
+        }
+        assert availability["d1"]["memory"] == pytest.approx(40.0)
+        assert availability["d2"]["memory"] == pytest.approx(40.0)
+
+    def test_environment_subtracts_pending_bandwidth(self, ledger):
+        txn = ledger.begin()
+        ledger.prepare(
+            txn, stream_graph(memory=10.0, throughput=70.0), split_assignment()
+        )
+        environment, _devices = ledger.environment()
+        assert environment.bandwidth("d1", "d2") == pytest.approx(30.0)
+
+    def test_version_moves_on_every_transition(self, ledger):
+        v0 = ledger.version
+        txn = ledger.begin()
+        ledger.prepare(txn, stream_graph(), split_assignment())
+        v1 = ledger.version
+        assert v1 > v0
+        ledger.commit(txn)
+        v2 = ledger.version
+        assert v2 > v1
+        ledger.release(txn)
+        assert ledger.version > v2
+
+    def test_utilization_tracks_commitments(self, ledger):
+        assert ledger.utilization() == pytest.approx(0.0)
+        txn = ledger.begin()
+        ledger.prepare(txn, stream_graph(memory=80.0), split_assignment())
+        assert ledger.utilization() == pytest.approx(0.8)
+        ledger.commit(txn)
+        assert ledger.utilization() == pytest.approx(0.8)
+        ledger.release(txn)
+        assert ledger.utilization() == pytest.approx(0.0)
+
+    def test_transactions_filterable_by_state(self, ledger):
+        a = ledger.begin()
+        ledger.prepare(a, stream_graph(memory=10.0), split_assignment())
+        ledger.commit(a)
+        b = ledger.begin()
+        ledger.abort(b)
+        assert ledger.transactions(TransactionState.COMMITTED) == [a]
+        assert ledger.transactions(TransactionState.ABORTED) == [b]
+        assert len(ledger.transactions()) == 2
+
+
+class TestColocation:
+    def test_colocated_edge_needs_no_bandwidth(self, pair_server, ledger):
+        from repro.graph.cuts import Assignment
+
+        txn = ledger.begin()
+        ledger.prepare(
+            txn,
+            stream_graph(memory=20.0, throughput=500.0),
+            Assignment({"src": "d1", "sink": "d1"}),
+        )
+        _allocations, reservations = ledger.commit(txn)
+        assert reservations == []
+        assert pair_server.domain.device("d1").allocated == ResourceVector(
+            memory=40.0, cpu=1.0
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for the bounded request queue."""
+
+import threading
+
+import pytest
+
+from repro.server.queue import BoundedRequestQueue, QueuePolicy
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestFifo:
+    def test_pop_in_admission_order(self):
+        queue = BoundedRequestQueue(4)
+        for name in ("a", "b", "c"):
+            queue.put(name)
+        assert [queue.pop().request for _ in range(3)] == ["a", "b", "c"]
+
+    def test_put_returns_none_when_full(self):
+        queue = BoundedRequestQueue(2)
+        assert queue.put("a") is not None
+        assert queue.put("b") is not None
+        assert queue.put("c") is None
+        assert queue.depth == 2
+
+    def test_pop_empty_returns_none(self):
+        assert BoundedRequestQueue(1).pop() is None
+
+    def test_priority_ignored_under_fifo(self):
+        queue = BoundedRequestQueue(4, policy=QueuePolicy.FIFO)
+        queue.put("low", priority=0)
+        queue.put("high", priority=9)
+        assert queue.pop().request == "low"
+
+
+class TestPriority:
+    def test_higher_priority_pops_first(self):
+        queue = BoundedRequestQueue(4, policy=QueuePolicy.PRIORITY)
+        queue.put("low", priority=1)
+        queue.put("high", priority=5)
+        queue.put("mid", priority=3)
+        assert [queue.pop().request for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_equal_priority_stays_fifo(self):
+        queue = BoundedRequestQueue(4, policy=QueuePolicy.PRIORITY)
+        queue.put("first", priority=2)
+        queue.put("second", priority=2)
+        assert queue.pop().request == "first"
+
+
+class TestDeadlines:
+    def test_deadline_computed_from_injected_clock(self):
+        clock = FakeClock(100.0)
+        queue = BoundedRequestQueue(4, clock=clock)
+        item = queue.put("a", deadline_s=5.0)
+        assert item.enqueued_at == pytest.approx(100.0)
+        assert item.deadline_at == pytest.approx(105.0)
+        assert not item.expired(104.9)
+        assert item.expired(105.1)
+
+    def test_no_deadline_never_expires(self):
+        queue = BoundedRequestQueue(4)
+        item = queue.put("a")
+        assert not item.expired(float("inf"))
+
+
+class TestBlockingGet:
+    def test_get_times_out(self):
+        queue = BoundedRequestQueue(1)
+        assert queue.get(timeout=0.01) is None
+
+    def test_get_wakes_on_put(self):
+        queue = BoundedRequestQueue(1)
+        results = []
+
+        def consumer():
+            results.append(queue.get(timeout=2.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.put("x")
+        thread.join(timeout=2.0)
+        assert results and results[0].request == "x"
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(0)

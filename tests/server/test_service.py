@@ -1,0 +1,167 @@
+"""Functional tests for the domain configuration service front end."""
+
+import pytest
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.resources.vectors import ResourceVector
+from repro.server.queue import QueuePolicy
+from repro.server.service import (
+    DomainConfigurationService,
+    RequestStatus,
+    ServerRequest,
+)
+
+from tests.server.conftest import audio_ladder
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_service(testbed, **kwargs):
+    kwargs.setdefault("ladder", audio_ladder())
+    kwargs.setdefault("skip_downloads", True)
+    return DomainConfigurationService(testbed.configurator, **kwargs)
+
+
+def request(testbed, rid, client="desktop1", **kwargs):
+    return ServerRequest(
+        request_id=rid,
+        composition=audio_request(testbed, client),
+        **kwargs,
+    )
+
+
+class TestAdmission:
+    def test_submit_then_drain_admits(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        submit = service.submit(request(testbed, "r1"))
+        assert submit.status is RequestStatus.QUEUED
+        outcomes = service.drain()
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.status is RequestStatus.ADMITTED
+        assert outcome.level == "admit@full"
+        assert outcome.session.running
+        assert service.ledger.audit() == []
+        assert service.metrics.count("admitted") == 1
+
+    def test_service_attaches_ledger_to_configurator(self):
+        testbed = build_audio_testbed()
+        assert testbed.configurator.ledger is None
+        service = make_service(testbed)
+        assert testbed.configurator.ledger is service.ledger
+
+    def test_degraded_admission_when_capacity_is_tight(self):
+        testbed = build_audio_testbed()
+        # Both components pin to desktop1 (the server is hosted there).
+        # Leave 46MB free: full needs 64MB, reduced only 44.8MB.
+        for name in ("desktop1", "desktop2", "desktop3"):
+            testbed.devices[name].allocate(ResourceVector(memory=210.0))
+        service = make_service(testbed)
+        service.submit(request(testbed, "r1"))
+        outcome = service.drain()[0]
+        assert outcome.status is RequestStatus.DEGRADED
+        assert outcome.level == "admit@reduced"
+        assert service.metrics.count("admitted_degraded") == 1
+        assert service.ledger.audit() == []
+
+    def test_failure_when_nothing_fits(self):
+        testbed = build_audio_testbed()
+        for device in testbed.devices.values():
+            device.allocate(device.available())
+        service = make_service(testbed)
+        service.submit(request(testbed, "r1"))
+        outcome = service.drain()[0]
+        assert outcome.status is RequestStatus.FAILED
+        assert service.metrics.count("failed") == 1
+
+    def test_stop_session_frees_capacity(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        service.submit(request(testbed, "r1"))
+        outcome = service.drain()[0]
+        held = sum(
+            (d.allocated for d in testbed.devices.values()),
+            ResourceVector(),
+        )
+        assert not held.is_zero()
+        service.stop_session(outcome)
+        for device in testbed.devices.values():
+            assert device.allocated.is_zero()
+        assert service.ledger.audit() == []
+
+    def test_outcome_lookup(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        service.submit(request(testbed, "r1"))
+        service.drain()
+        assert service.outcome("r1").status is RequestStatus.ADMITTED
+        assert service.outcome("missing") is None
+        assert len(service.outcomes()) == 1
+
+
+class TestShedding:
+    def test_queue_full_sheds_with_retry_after(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed, queue_capacity=1)
+        assert service.submit(request(testbed, "r1")).status is RequestStatus.QUEUED
+        shed = service.submit(request(testbed, "r2"))
+        assert shed.status is RequestStatus.SHED
+        assert shed.shed_reason == "queue_full"
+        assert shed.retry_after_s > 0.0
+        assert service.metrics.count("shed_queue_full") == 1
+        # The shed outcome is final and queryable.
+        assert service.outcome("r2").status is RequestStatus.SHED
+
+    def test_overload_sheds_before_queueing(self):
+        testbed = build_audio_testbed()
+        for device in testbed.devices.values():
+            device.allocate(device.available())  # utilization = 1.0
+        service = make_service(testbed, queue_capacity=4)
+        for index in range(3):  # occupancy 0.75 = high water
+            service.submit(request(testbed, f"fill-{index}"))
+        shed = service.submit(request(testbed, "r-over"))
+        assert shed.status is RequestStatus.SHED
+        assert shed.shed_reason == "overload"
+        assert service.metrics.count("shed_overload") == 1
+
+    def test_deadline_expired_in_queue_is_shed(self):
+        testbed = build_audio_testbed()
+        clock = FakeClock()
+        service = make_service(testbed, clock=clock)
+        service.submit(request(testbed, "r1", deadline_s=5.0))
+        clock.now = 10.0
+        outcome = service.drain()[0]
+        assert outcome.status is RequestStatus.SHED
+        assert outcome.shed_reason == "deadline"
+        assert outcome.queue_wait_s == pytest.approx(10.0)
+        assert service.metrics.count("shed_deadline") == 1
+
+
+class TestPolicies:
+    def test_priority_queue_serves_high_priority_first(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed, queue_policy=QueuePolicy.PRIORITY)
+        service.submit(request(testbed, "low", priority=0))
+        service.submit(request(testbed, "high", priority=5))
+        outcomes = service.drain()
+        assert [o.request_id for o in outcomes] == ["high", "low"]
+
+    def test_stage_latencies_recorded_per_admission(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        for index in range(3):
+            service.submit(request(testbed, f"r{index}"))
+        service.drain()
+        metrics = service.metrics
+        assert metrics.stage("queue_wait_ms").count == 3
+        assert metrics.stage("composition_ms").count == 3
+        assert metrics.stage("distribution_ms").count == 3
+        assert metrics.stage("total_ms").count == 3
+        assert metrics.stage("total_ms").percentile(50) > 0.0
