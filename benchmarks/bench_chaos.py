@@ -1,0 +1,57 @@
+"""Bench + regeneration of the chaos sweep (fault-injection subsystem).
+
+Writes the human-readable table (``results/chaos_sweep.txt``) and the
+deterministic recovery-metrics JSON artifact (``results/chaos_sweep.json``)
+that CI uploads, and asserts the subsystem's contract: byte-identical
+metrics for a fixed seed under the sim driver, at least one genuine
+recovery, and clean structured failures (never a hang or an unbalanced
+ledger) when the budget runs out.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro.experiments.chaos_sweep import run_chaos_once, run_chaos_sweep
+
+MULTIPLIERS = (0.5, 1.0, 2.0, 4.0)
+
+
+def test_chaos_sweep_recovers_deterministically(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: run_chaos_sweep(
+            multipliers=MULTIPLIERS, seed=42, horizon_s=300.0, driver="sim"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("chaos_sweep", sweep.format_table())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "chaos_sweep.json"
+    json_path.write_text(sweep.to_json() + "\n")
+
+    # The artifact is valid JSON with one point per multiplier.
+    payload = json.loads(json_path.read_text())
+    assert [p["fault_multiplier"] for p in payload["points"]] == list(MULTIPLIERS)
+
+    # Byte-identical replay for a fixed seed (the determinism contract the
+    # CI chaos-smoke job also asserts end to end).
+    replay = run_chaos_once(1.0, seed=42, horizon_s=300.0, driver="sim")
+    assert replay.metrics_json == sweep.point(1.0).metrics_json
+
+    # Storms scale with the multiplier, and every crash verdict resolved:
+    # each affected session either recovered or was cleanly torn down with
+    # a structured report.
+    by_mult = {p.fault_multiplier: p for p in sweep.points}
+    assert by_mult[4.0].faults_injected >= by_mult[0.5].faults_injected
+    total_affected = total_resolved = 0
+    for point in sweep.points:
+        total_affected += point.sessions_affected
+        total_resolved += point.recoveries + point.recovery_failures
+        for report in point.reports:
+            if not report["recovered"]:
+                assert report["reason"], "failure reports must say why"
+    assert total_affected == total_resolved
+    # At least one non-trivial recovery happened somewhere in the sweep.
+    assert sum(p.recoveries for p in sweep.points) >= 1

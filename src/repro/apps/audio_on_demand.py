@@ -16,7 +16,7 @@ variants, and the integrated configurator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.composition.composer import CompositionRequest, ServiceComposer
 from repro.composition.corrections import CorrectionPolicy
@@ -129,7 +129,10 @@ def _pda_player_template() -> ServiceComponent:
     )
 
 
-def build_audio_testbed(preinstall: bool = True) -> AudioTestbed:
+def build_audio_testbed(
+    preinstall: bool = True,
+    clock: Optional[Callable[[], float]] = None,
+) -> AudioTestbed:
     """Assemble the Figure 3/4 audio environment.
 
     Three desktops on fast ethernet plus a Jornada PDA behind a wireless
@@ -137,8 +140,10 @@ def build_audio_testbed(preinstall: bool = True) -> AudioTestbed:
     (desktop ``[256MB, 300%]``, PDA ``[32MB, 50%]``). With
     ``preinstall=True`` (the paper's setting for this app) every device
     already has all component code, so no downloading overhead occurs.
+    ``clock`` injects a time source into the domain server (the chaos
+    experiments pass the simulation clock so event timestamps line up).
     """
-    space = SmartSpace()
+    space = SmartSpace(clock=clock)
     server = space.create_domain("lab")
     component_types = ["audio_server", "audio_player", "MPEG2wav", "buffer"]
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro figure5  [--requests N] [--horizon H]
     python -m repro ablations [--cases N]
     python -m repro server-sweep [--multipliers M ...] [--json PATH]
+    python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--json PATH]
     python -m repro all
 
 Each subcommand prints the regenerated table/series (the same rows the
@@ -22,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.ablations import run_all_ablations
+from repro.experiments.chaos_sweep import run_chaos_sweep
 from repro.experiments.figure3 import run_prototype_scenario
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
@@ -92,6 +94,20 @@ def _cmd_server_sweep(args: argparse.Namespace) -> None:
         print(f"\nmetrics JSON written to {args.json}")
 
 
+def _cmd_chaos_sweep(args: argparse.Namespace) -> None:
+    result = run_chaos_sweep(
+        multipliers=tuple(args.multipliers),
+        seed=args.seed,
+        horizon_s=args.horizon,
+        driver=args.driver,
+    )
+    print(result.format_table())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"\nrecovery metrics JSON written to {args.json}")
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     _cmd_table1(args)
     print()
@@ -153,6 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="also write deterministic metrics JSON"
     )
     server_sweep.set_defaults(handler=_cmd_server_sweep)
+
+    chaos_sweep = subparsers.add_parser(
+        "chaos-sweep",
+        help="recovery success rate and MTTR vs fault rate (extension)",
+    )
+    chaos_sweep.add_argument(
+        "--multipliers", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0]
+    )
+    chaos_sweep.add_argument("--seed", type=int, default=42)
+    chaos_sweep.add_argument("--horizon", type=float, default=300.0)
+    chaos_sweep.add_argument(
+        "--driver",
+        choices=("sim", "thread"),
+        default="sim",
+        help="sim: deterministic logical time; thread: wall-clock timers "
+        "at a compressed timescale",
+    )
+    chaos_sweep.add_argument(
+        "--json", default=None, help="also write deterministic recovery-metrics JSON"
+    )
+    chaos_sweep.set_defaults(handler=_cmd_chaos_sweep)
 
     everything = subparsers.add_parser("all", help="run every experiment")
     everything.add_argument("--cases", type=int, default=150)

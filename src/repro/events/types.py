@@ -17,6 +17,11 @@ class Topics:
     DEVICE_LEFT = "device.left"
     DEVICE_CRASHED = "device.crashed"
     DEVICE_RESOURCES_CHANGED = "device.resources_changed"
+    DEVICE_SUSPECTED = "device.suspected"
+    DEVICE_SUSPICION_CLEARED = "device.suspicion_cleared"
+    LINK_DEGRADED = "network.link_degraded"
+    LINK_RESTORED = "network.link_restored"
+    FAULT_INJECTED = "fault.injected"
     USER_MOVED = "user.moved"
     USER_DEVICE_SWITCHED = "user.device_switched"
     APPLICATION_STARTED = "application.started"
@@ -24,6 +29,8 @@ class Topics:
     SESSION_CONFIGURED = "session.configured"
     SESSION_RECONFIGURED = "session.reconfigured"
     SESSION_FAILED = "session.failed"
+    SESSION_RECOVERED = "session.recovered"
+    SESSION_UNRECOVERABLE = "session.unrecoverable"
     SERVICE_REGISTERED = "service.registered"
     SERVICE_UNREGISTERED = "service.unregistered"
 

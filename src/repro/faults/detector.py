@@ -1,0 +1,196 @@
+"""Heartbeat-based failure detection (φ-accrual style, simplified).
+
+Silent crashes flip a device offline without any announcement, so the only
+way the infrastructure learns about them is by *noticing the silence*. The
+:class:`FailureDetector` runs a periodic monitoring tick on whichever
+scheduler drives the experiment: each tick collects heartbeats from
+responsive devices and evaluates a suspicion level
+
+    φ(d) = (now − last_heartbeat(d)) / heartbeat_interval
+
+per monitored device. When φ crosses ``suspicion_threshold`` the device is
+*suspected* — ``device.suspected`` is published with the observed φ and
+silence duration, and the recovery layer takes over. Suspicion is a
+verdict, not a fact: a device that resumes heartbeating (e.g. after
+transient message loss, exercised via ``drop_probability``) is cleared
+with ``device.suspicion_cleared`` and counted as a false suspicion.
+
+The detector deliberately ignores ``fault.injected`` events — it must earn
+its verdicts through heartbeats alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from repro.domain.domain import DomainServer
+from repro.events.types import Event, Topics
+from repro.faults.metrics import RecoveryMetrics
+from repro.faults.scheduling import Scheduler
+
+
+class FailureDetector:
+    """Periodic heartbeat collection + threshold-based suspicion."""
+
+    def __init__(
+        self,
+        server: DomainServer,
+        scheduler: Scheduler,
+        heartbeat_interval_s: float = 2.0,
+        suspicion_threshold: float = 3.0,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+        metrics: Optional[RecoveryMetrics] = None,
+    ) -> None:
+        if heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if suspicion_threshold <= 1.0:
+            raise ValueError("suspicion threshold must exceed 1 interval")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        self.server = server
+        self.scheduler = scheduler
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.suspicion_threshold = suspicion_threshold
+        self.drop_probability = drop_probability
+        self.metrics = metrics or RecoveryMetrics()
+        self._rng = random.Random(seed)
+        self._muted: Set[str] = set()
+        self._last_seen: Dict[str, float] = {}
+        self._suspected: Dict[str, float] = {}
+        self._running = False
+        self._deadline: Optional[float] = None
+        self._tick_handle: Optional[object] = None
+        self._subscriptions = (
+            server.bus.subscribe(Topics.DEVICE_LEFT, self._on_departed),
+            server.bus.subscribe(Topics.DEVICE_CRASHED, self._on_departed),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, horizon_s: Optional[float] = None) -> None:
+        """Begin monitoring; stop automatically after ``horizon_s`` seconds.
+
+        A finite horizon lets simulation runs drain their event queue — an
+        open-ended detector would reschedule itself forever.
+        """
+        if self._running:
+            raise RuntimeError("detector already running")
+        self._running = True
+        if horizon_s is not None:
+            self._deadline = self.scheduler.now + horizon_s
+        self._tick()
+
+    def stop(self) -> None:
+        """Halt monitoring and drop bus subscriptions (idempotent)."""
+        self._running = False
+        if self._tick_handle is not None:
+            self.scheduler.cancel(self._tick_handle)
+            self._tick_handle = None
+        for subscription in self._subscriptions:
+            self.server.bus.unsubscribe(subscription)
+        self._subscriptions = ()
+
+    # -- silence injection -----------------------------------------------------
+
+    def mute(self, device_id: str) -> None:
+        """Suppress a live device's heartbeats (deterministic message loss).
+
+        The device stays online — this models the network eating its
+        heartbeats, the scenario that produces *false* suspicions. Used by
+        tests and experiments to exercise the false-positive path without
+        relying on ``drop_probability`` streaks.
+        """
+        self._muted.add(device_id)
+
+    def unmute(self, device_id: str) -> None:
+        """Let a muted device's heartbeats through again (idempotent)."""
+        self._muted.discard(device_id)
+
+    # -- queries -------------------------------------------------------------
+
+    def phi(self, device_id: str) -> float:
+        """Current suspicion level of a monitored device (0.0 if unseen)."""
+        last = self._last_seen.get(device_id)
+        if last is None:
+            return 0.0
+        return (self.scheduler.now - last) / self.heartbeat_interval_s
+
+    def suspected_devices(self) -> List[str]:
+        """Devices currently under suspicion, sorted."""
+        return sorted(self._suspected)
+
+    def is_suspected(self, device_id: str) -> bool:
+        return device_id in self._suspected
+
+    # -- monitoring loop -----------------------------------------------------
+
+    def _tick(self) -> None:
+        self._tick_handle = None
+        if not self._running:
+            return
+        now = self.scheduler.now
+        self._collect_heartbeats(now)
+        self._evaluate(now)
+        if self._deadline is not None and now >= self._deadline:
+            self._running = False
+            return
+        self._tick_handle = self.scheduler.schedule(
+            self.heartbeat_interval_s, self._tick
+        )
+
+    def _collect_heartbeats(self, now: float) -> None:
+        for device in self.server.domain.devices(online_only=False):
+            if not device.online:
+                continue  # a crashed device cannot answer
+            if device.device_id in self._muted:
+                continue  # injected message loss
+            if self.drop_probability and self._rng.random() < self.drop_probability:
+                continue  # transient message loss
+            self._last_seen[device.device_id] = now
+            self.metrics.incr("heartbeats")
+
+    def _evaluate(self, now: float) -> None:
+        for device_id in sorted(self._last_seen):
+            silence_s = now - self._last_seen[device_id]
+            phi = silence_s / self.heartbeat_interval_s
+            if device_id in self._suspected:
+                if phi < self.suspicion_threshold:
+                    self._clear(device_id, now)
+                continue
+            if phi >= self.suspicion_threshold:
+                self._suspect(device_id, now, phi, silence_s)
+
+    def _suspect(
+        self, device_id: str, now: float, phi: float, silence_s: float
+    ) -> None:
+        self._suspected[device_id] = now
+        self.metrics.incr("suspicions")
+        self.server.bus.emit(
+            Topics.DEVICE_SUSPECTED,
+            timestamp=now,
+            source="failure-detector",
+            device_id=device_id,
+            phi=phi,
+            silence_s=silence_s,
+        )
+
+    def _clear(self, device_id: str, now: float) -> None:
+        """A suspect resumed heartbeating: the suspicion was false."""
+        self._suspected.pop(device_id, None)
+        self.metrics.incr("false_suspicions")
+        self.server.bus.emit(
+            Topics.DEVICE_SUSPICION_CLEARED,
+            timestamp=now,
+            source="failure-detector",
+            device_id=device_id,
+        )
+
+    def _on_departed(self, event: Event) -> None:
+        """Stop monitoring devices that left or were confirmed crashed."""
+        device_id = event.payload.get("device_id")
+        if device_id is None:
+            return
+        self._last_seen.pop(device_id, None)
+        self._suspected.pop(device_id, None)

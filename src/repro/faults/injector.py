@@ -1,0 +1,203 @@
+"""Deterministic fault injection against a live smart space.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.model.FaultSchedule`
+into state changes on the domain — silent device crashes, announced
+departures, link degradation/partition with automatic healing, and
+background resource pressure — through whichever :class:`Scheduler` the
+experiment runs on. Under the simulation kernel the same schedule therefore
+replays identically; under the wall-clock scheduler the same code drives
+real threads.
+
+Crash semantics matter: ``DEVICE_CRASH`` only flips the device offline. No
+``device.crashed`` event is published and the service registry keeps the
+dead device's advertisements — exactly the information asymmetry the
+failure detector exists to close. Every injection *does* publish
+``fault.injected``, which the recovery layer uses purely for bookkeeping
+(detection-latency measurement), never for detection itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.domain.domain import DomainServer
+from repro.events.types import Topics
+from repro.faults.metrics import RecoveryMetrics
+from repro.faults.model import FaultKind, FaultSchedule, FaultSpec
+from repro.faults.scheduling import Scheduler
+
+_KIND_COUNTERS = {
+    FaultKind.DEVICE_CRASH: "crash_faults",
+    FaultKind.DEVICE_DEPART: "departure_faults",
+    FaultKind.LINK_DEGRADE: "link_faults",
+    FaultKind.LINK_PARTITION: "link_faults",
+    FaultKind.RESOURCE_PRESSURE: "pressure_faults",
+}
+
+
+class FaultInjector:
+    """Applies scheduled faults to one domain server's smart space."""
+
+    def __init__(
+        self,
+        server: DomainServer,
+        scheduler: Scheduler,
+        metrics: Optional[RecoveryMetrics] = None,
+    ) -> None:
+        self.server = server
+        self.scheduler = scheduler
+        self.metrics = metrics or RecoveryMetrics()
+        self.injected: List[FaultSpec] = []
+        self.skipped: List[FaultSpec] = []
+        self._pressure_allocations: Dict[int, object] = {}
+        self._handles: List[object] = []
+
+    # -- arming --------------------------------------------------------------
+
+    def arm(self, schedule: FaultSchedule) -> None:
+        """Schedule every fault of ``schedule`` relative to *now*."""
+        start = self.scheduler.now
+        for spec in schedule:
+            delay = max(0.0, spec.at_s - (self.scheduler.now - start))
+            self._handles.append(
+                self.scheduler.schedule(delay, lambda s=spec: self.inject(s))
+            )
+
+    def disarm(self) -> None:
+        """Cancel every pending injection and healing callback."""
+        for handle in self._handles:
+            self.scheduler.cancel(handle)
+        self._handles.clear()
+
+    # -- injection -----------------------------------------------------------
+
+    def inject(self, spec: FaultSpec) -> bool:
+        """Apply one fault immediately; returns False when inapplicable.
+
+        A fault can be inapplicable when its target already failed (crash
+        of an offline device, pressure on a departed one) — fault storms
+        generated at high rates legitimately race their own earlier faults.
+        """
+        applied = self._apply(spec)
+        if not applied:
+            self.skipped.append(spec)
+            return False
+        self.injected.append(spec)
+        self.metrics.incr("faults_injected")
+        self.metrics.incr(_KIND_COUNTERS[spec.kind])
+        self.server.bus.emit(
+            Topics.FAULT_INJECTED,
+            timestamp=self.scheduler.now,
+            source="fault-injector",
+            kind=spec.kind.value,
+            target=spec.target,
+            peer=spec.peer,
+            magnitude=spec.magnitude,
+            duration_s=spec.duration_s,
+        )
+        return True
+
+    def _apply(self, spec: FaultSpec) -> bool:
+        if spec.kind is FaultKind.DEVICE_CRASH:
+            return self._crash(spec)
+        if spec.kind is FaultKind.DEVICE_DEPART:
+            return self._depart(spec)
+        if spec.kind in (FaultKind.LINK_DEGRADE, FaultKind.LINK_PARTITION):
+            return self._degrade_link(spec)
+        if spec.kind is FaultKind.RESOURCE_PRESSURE:
+            return self._pressure(spec)
+        raise AssertionError(f"unhandled fault kind {spec.kind!r}")
+
+    def _crash(self, spec: FaultSpec) -> bool:
+        """Silent fail-stop: the device stops responding, nothing more."""
+        domain = self.server.domain
+        if spec.target not in domain:
+            return False
+        device = domain.device(spec.target)
+        if not device.online:
+            return False
+        device.go_offline()
+        return True
+
+    def _depart(self, spec: FaultSpec) -> bool:
+        """Announced departure through the regular membership protocol."""
+        domain = self.server.domain
+        if spec.target not in domain:
+            return False
+        if not domain.device(spec.target).online:
+            return False
+        self.server.leave(spec.target)
+        return True
+
+    def _degrade_link(self, spec: FaultSpec) -> bool:
+        network = self.server.network
+        assert spec.peer is not None
+        if not (network.has_device(spec.target) and network.has_device(spec.peer)):
+            return False
+        factor = 0.0 if spec.kind is FaultKind.LINK_PARTITION else spec.magnitude
+        network.set_link_health(spec.target, spec.peer, factor)
+        self.server.bus.emit(
+            Topics.LINK_DEGRADED,
+            timestamp=self.scheduler.now,
+            source="fault-injector",
+            first=spec.target,
+            second=spec.peer,
+            factor=factor,
+        )
+        if spec.duration_s > 0:
+            self._handles.append(
+                self.scheduler.schedule(
+                    spec.duration_s, lambda s=spec: self._restore_link(s)
+                )
+            )
+        return True
+
+    def _restore_link(self, spec: FaultSpec) -> None:
+        network = self.server.network
+        assert spec.peer is not None
+        if not (network.has_device(spec.target) and network.has_device(spec.peer)):
+            return
+        network.clear_link_health(spec.target, spec.peer)
+        self.server.bus.emit(
+            Topics.LINK_RESTORED,
+            timestamp=self.scheduler.now,
+            source="fault-injector",
+            first=spec.target,
+            second=spec.peer,
+        )
+
+    def _pressure(self, spec: FaultSpec) -> bool:
+        """Allocate a fraction of current availability as background load."""
+        domain = self.server.domain
+        if spec.target not in domain:
+            return False
+        device = domain.device(spec.target)
+        if not device.online:
+            return False
+        load = device.available() * spec.magnitude
+        if load.is_zero():
+            return False
+        allocation = device.allocate(load, owner="fault:pressure")
+        self._pressure_allocations[allocation.allocation_id] = allocation
+        self.server.notify_resources_changed(spec.target)
+        if spec.duration_s > 0:
+            self._handles.append(
+                self.scheduler.schedule(
+                    spec.duration_s,
+                    lambda a=allocation, t=spec.target: self._relieve(a, t),
+                )
+            )
+        return True
+
+    def _relieve(self, allocation, target: str) -> None:
+        """Release background pressure when its duration elapses."""
+        self._pressure_allocations.pop(allocation.allocation_id, None)
+        domain = self.server.domain
+        if target not in domain:
+            return
+        device = domain.device(target)
+        # release() is idempotent, and go_offline() already voided the
+        # allocation table, so this is safe even after a crash.
+        device.release(allocation)
+        if device.online:
+            self.server.notify_resources_changed(target)

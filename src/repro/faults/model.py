@@ -1,0 +1,210 @@
+"""The declarative fault model.
+
+A chaos experiment is a *schedule* of :class:`FaultSpec` entries — what
+breaks, when, how badly, and for how long. Schedules are either written by
+hand (the regression tests) or generated from per-kind Poisson rates with
+one seeded ``random.Random`` (:func:`random_fault_schedule`), so the same
+seed always yields the same storm — the property the chaos sweep's
+byte-identical-metrics guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class FaultKind(enum.Enum):
+    """What kind of failure is injected."""
+
+    #: Silent fail-stop: the device goes offline without any announcement.
+    #: Only the heartbeat-based failure detector can notice.
+    DEVICE_CRASH = "device_crash"
+    #: Graceful departure: the device announces ``device.left`` on its way
+    #: out (e.g. a laptop being carried out of the room).
+    DEVICE_DEPART = "device_depart"
+    #: The effective bandwidth between two endpoints drops to
+    #: ``magnitude`` × its healthy figure for ``duration_s`` seconds.
+    LINK_DEGRADE = "link_degrade"
+    #: Total loss of connectivity between two endpoints for ``duration_s``.
+    LINK_PARTITION = "link_partition"
+    #: Background (non-application) load consumes ``magnitude`` of the
+    #: target device's current availability for ``duration_s`` seconds.
+    RESOURCE_PRESSURE = "resource_pressure"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``target`` is a device id; link faults additionally name ``peer``.
+    ``magnitude`` is kind-specific: the remaining bandwidth fraction for
+    ``LINK_DEGRADE`` (0.2 = 20 % of healthy capacity left) and the consumed
+    availability fraction for ``RESOURCE_PRESSURE``. ``duration_s`` of 0
+    means permanent (the default for crashes and departures).
+    """
+
+    kind: FaultKind
+    at_s: float
+    target: str
+    peer: Optional[str] = None
+    magnitude: float = 0.5
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("fault time cannot be negative")
+        if not self.target:
+            raise ValueError("fault target must be non-empty")
+        if self.kind in (FaultKind.LINK_DEGRADE, FaultKind.LINK_PARTITION):
+            if not self.peer:
+                raise ValueError(f"{self.kind.value} needs a peer endpoint")
+        if self.kind is FaultKind.LINK_DEGRADE and not 0.0 <= self.magnitude < 1.0:
+            raise ValueError("link degradation magnitude must be in [0, 1)")
+        if self.kind is FaultKind.RESOURCE_PRESSURE and not 0.0 < self.magnitude <= 1.0:
+            raise ValueError("resource pressure magnitude must be in (0, 1]")
+        if self.duration_s < 0:
+            raise ValueError("fault duration cannot be negative")
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        where = self.target if self.peer is None else f"{self.target}<->{self.peer}"
+        extra = ""
+        if self.kind is FaultKind.LINK_DEGRADE:
+            extra = f" to {self.magnitude:.0%} capacity"
+        elif self.kind is FaultKind.RESOURCE_PRESSURE:
+            extra = f" consuming {self.magnitude:.0%} availability"
+        if self.duration_s > 0:
+            extra += f" for {self.duration_s:g}s"
+        return f"t={self.at_s:g}s {self.kind.value} {where}{extra}"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-ordered list of faults."""
+
+    specs: Tuple[FaultSpec, ...]
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultSchedule":
+        return cls(tuple(sorted(specs, key=lambda s: (s.at_s, s.target))))
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.specs, key=lambda s: (s.at_s, s.target)))
+        object.__setattr__(self, "specs", ordered)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def by_kind(self, kind: FaultKind) -> List[FaultSpec]:
+        return [s for s in self.specs if s.kind is kind]
+
+    def horizon_s(self) -> float:
+        """Time of the last scheduled fault (0.0 when empty)."""
+        return self.specs[-1].at_s if self.specs else 0.0
+
+
+def _poisson_times(
+    rng: random.Random, rate_per_min: float, horizon_s: float
+) -> List[float]:
+    """Poisson arrival times over [0, horizon_s) at ``rate_per_min``."""
+    if rate_per_min <= 0:
+        return []
+    times: List[float] = []
+    clock = 0.0
+    mean_gap_s = 60.0 / rate_per_min
+    while True:
+        clock += rng.expovariate(1.0 / mean_gap_s)
+        if clock >= horizon_s:
+            return times
+        times.append(clock)
+
+
+def random_fault_schedule(
+    seed: int,
+    horizon_s: float,
+    crash_targets: Sequence[str] = (),
+    depart_targets: Sequence[str] = (),
+    link_pairs: Sequence[Tuple[str, str]] = (),
+    pressure_targets: Sequence[str] = (),
+    crash_rate_per_min: float = 0.0,
+    depart_rate_per_min: float = 0.0,
+    link_rate_per_min: float = 0.0,
+    pressure_rate_per_min: float = 0.0,
+    link_degrade_range: Tuple[float, float] = (0.05, 0.5),
+    link_duration_s: Tuple[float, float] = (10.0, 60.0),
+    pressure_range: Tuple[float, float] = (0.3, 0.8),
+    pressure_duration_s: Tuple[float, float] = (10.0, 60.0),
+    partition_probability: float = 0.25,
+) -> FaultSchedule:
+    """Generate a seeded fault storm over ``[0, horizon_s)``.
+
+    Each fault kind arrives as an independent Poisson process at its rate,
+    cycling deterministically through its target list. Crash/departure
+    targets are consumed at most once each (a device only fails-stop once);
+    link and pressure faults repeat. Everything is drawn from a single
+    ``random.Random(seed)``, so the schedule is a pure function of its
+    arguments.
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    rng = random.Random(seed)
+    specs: List[FaultSpec] = []
+
+    crash_times = _poisson_times(rng, crash_rate_per_min, horizon_s)
+    for at_s, target in zip(crash_times, crash_targets):
+        specs.append(FaultSpec(FaultKind.DEVICE_CRASH, at_s, target))
+
+    depart_times = _poisson_times(rng, depart_rate_per_min, horizon_s)
+    for at_s, target in zip(depart_times, depart_targets):
+        specs.append(FaultSpec(FaultKind.DEVICE_DEPART, at_s, target))
+
+    if link_pairs:
+        for index, at_s in enumerate(
+            _poisson_times(rng, link_rate_per_min, horizon_s)
+        ):
+            first, second = link_pairs[index % len(link_pairs)]
+            duration = rng.uniform(*link_duration_s)
+            if rng.random() < partition_probability:
+                specs.append(
+                    FaultSpec(
+                        FaultKind.LINK_PARTITION,
+                        at_s,
+                        first,
+                        peer=second,
+                        magnitude=0.0,
+                        duration_s=duration,
+                    )
+                )
+            else:
+                specs.append(
+                    FaultSpec(
+                        FaultKind.LINK_DEGRADE,
+                        at_s,
+                        first,
+                        peer=second,
+                        magnitude=rng.uniform(*link_degrade_range),
+                        duration_s=duration,
+                    )
+                )
+
+    if pressure_targets:
+        for index, at_s in enumerate(
+            _poisson_times(rng, pressure_rate_per_min, horizon_s)
+        ):
+            specs.append(
+                FaultSpec(
+                    FaultKind.RESOURCE_PRESSURE,
+                    at_s,
+                    pressure_targets[index % len(pressure_targets)],
+                    magnitude=rng.uniform(*pressure_range),
+                    duration_s=rng.uniform(*pressure_duration_s),
+                )
+            )
+
+    return FaultSchedule.of(*specs)

@@ -1,0 +1,331 @@
+"""Self-healing recovery driven by failure-detector verdicts.
+
+The :class:`RecoveryManager` closes the loop the detector opens. On a
+``device.suspected`` verdict it:
+
+1. **quarantines** the suspect in the service configurator, so no new
+   distribution plan places components there while its fate is unclear;
+2. **confirms** the failure — a suspect that is genuinely offline is
+   promoted to a crash through the regular membership protocol
+   (``DomainServer.crash``: registry withdrawal + ``device.crashed``),
+   while an online suspect stays quarantined until the detector clears it;
+3. **recovers** every running session that had components on the dead
+   device: first a plain redistribution of the existing graph, then — with
+   exponential backoff between attempts — progressively degraded restarts
+   down the session's QoS ladder, until either a configuration is admitted
+   or the bounded recovery budget is exhausted;
+4. on exhaustion, **fails cleanly**: the session is stopped (releasing any
+   held resources so the reservation ledger stays balanced) and a
+   structured, user-visible :class:`RecoveryReport` is published with
+   ``session.unrecoverable``.
+
+Per-session MTTR (suspicion → recovered), interruption time (summed
+configuration overhead of the attempts) and detection latency (injection →
+suspicion, when the fault injector stamped one) land in
+:class:`~repro.faults.metrics.RecoveryMetrics`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.events.types import Event, Topics
+from repro.faults.metrics import RecoveryMetrics
+from repro.faults.model import FaultKind
+from repro.faults.scheduling import Scheduler
+from repro.runtime.configurator import ServiceConfigurator
+from repro.runtime.degradation import DegradationLadder, scale_graph_demand
+from repro.runtime.session import ApplicationSession, SessionState
+from repro.server.metrics import _round
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded-budget retry policy with exponential backoff."""
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("recovery budget must allow at least one attempt")
+        if self.backoff_base_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+
+    def backoff_s(self, completed_attempts: int) -> float:
+        """Delay before the next attempt after ``completed_attempts``."""
+        delay = self.backoff_base_s * (
+            self.backoff_factor ** max(0, completed_attempts - 1)
+        )
+        return min(self.max_backoff_s, delay)
+
+
+@dataclass
+class RecoveryReport:
+    """The user-visible outcome of one session's recovery episode."""
+
+    session_id: str
+    device_id: str
+    recovered: bool
+    degraded: bool
+    admitted_level: Optional[str]
+    attempts: int
+    detected_at_s: float
+    mttr_ms: Optional[float]
+    interruption_ms: float
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "session_id": self.session_id,
+            "device_id": self.device_id,
+            "recovered": self.recovered,
+            "degraded": self.degraded,
+            "admitted_level": self.admitted_level,
+            "attempts": self.attempts,
+            "detected_at_s": _round(self.detected_at_s),
+            "mttr_ms": None if self.mttr_ms is None else _round(self.mttr_ms),
+            "interruption_ms": _round(self.interruption_ms),
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class _Episode:
+    """In-flight recovery state for one (session, device) pair."""
+
+    session: ApplicationSession
+    device_id: str
+    detected_at_s: float
+    attempts: int = 0
+    interruption_ms: float = 0.0
+    handle: Optional[object] = field(default=None, repr=False)
+
+
+class RecoveryManager:
+    """Subscribes to detector verdicts and heals affected sessions."""
+
+    def __init__(
+        self,
+        configurator: ServiceConfigurator,
+        scheduler: Scheduler,
+        ladder: Optional[DegradationLadder] = None,
+        policy: Optional[RecoveryPolicy] = None,
+        metrics: Optional[RecoveryMetrics] = None,
+    ) -> None:
+        self.configurator = configurator
+        self.scheduler = scheduler
+        self.ladder = ladder
+        self.policy = policy or RecoveryPolicy()
+        self.metrics = metrics or RecoveryMetrics()
+        self.reports: List[RecoveryReport] = []
+        self._episodes: Dict[str, _Episode] = {}
+        self._handled: Set[str] = set()
+        self._crash_injected_at: Dict[str, float] = {}
+        self._subscriptions = (
+            configurator.bus.subscribe(Topics.DEVICE_SUSPECTED, self._on_suspected),
+            configurator.bus.subscribe(
+                Topics.DEVICE_SUSPICION_CLEARED, self._on_cleared
+            ),
+            configurator.bus.subscribe(Topics.FAULT_INJECTED, self._on_fault),
+        )
+
+    def close(self) -> None:
+        """Drop subscriptions and cancel pending retries (idempotent)."""
+        for subscription in self._subscriptions:
+            self.configurator.bus.unsubscribe(subscription)
+        self._subscriptions = ()
+        for episode in self._episodes.values():
+            if episode.handle is not None:
+                self.scheduler.cancel(episode.handle)
+        self._episodes.clear()
+
+    # -- bookkeeping hooks -----------------------------------------------------
+
+    def _on_fault(self, event: Event) -> None:
+        """Remember crash injection times to measure detection latency."""
+        if event.payload.get("kind") == FaultKind.DEVICE_CRASH.value:
+            self._crash_injected_at[event.payload["target"]] = event.timestamp
+
+    def _on_cleared(self, event: Event) -> None:
+        """A false suspicion ended: readmit the device to planning."""
+        device_id = event.payload.get("device_id")
+        if device_id is None:
+            return
+        self.configurator.unquarantine(device_id)
+        self._handled.discard(device_id)
+
+    # -- verdict handling ------------------------------------------------------
+
+    def _on_suspected(self, event: Event) -> None:
+        device_id = event.payload.get("device_id")
+        if device_id is None or device_id in self._handled:
+            return
+        self._handled.add(device_id)
+        self.metrics.incr("verdicts")
+        now = event.timestamp
+        injected_at = self._crash_injected_at.pop(device_id, None)
+        if injected_at is not None:
+            self.metrics.record("detection_ms", (now - injected_at) * 1000.0)
+
+        self.configurator.quarantine(device_id)
+        domain = self.configurator.server.domain
+        if device_id not in domain or domain.device(device_id).online:
+            # Possibly a false positive: keep the quarantine, let the
+            # detector either clear it or (if heartbeats stay absent while
+            # the device model says online, which cannot happen here)
+            # escalate on a later verdict.
+            return
+
+        # Confirmed fail-stop: promote to a crash through the membership
+        # protocol, then heal the sessions that were using the device.
+        affected = [
+            session
+            for session in self.configurator.sessions.values()
+            if session.running and device_id in session.devices_in_use()
+        ]
+        self.configurator.server.crash(device_id)
+        for session in affected:
+            if session.session_id in self._episodes:
+                continue
+            self.metrics.incr("sessions_affected")
+            episode = _Episode(session, device_id, detected_at_s=now)
+            self._episodes[session.session_id] = episode
+            episode.handle = self.scheduler.schedule(
+                0.0, lambda e=episode: self._attempt(e)
+            )
+
+    # -- the recovery loop -----------------------------------------------------
+
+    def _attempt(self, episode: _Episode) -> None:
+        episode.handle = None
+        session = episode.session
+        if session.state is SessionState.STOPPED:
+            self._abort(episode, "session stopped during recovery")
+            return
+        episode.attempts += 1
+        self.metrics.incr("recovery_attempts")
+
+        level_label: Optional[str] = None
+        degraded = False
+        if episode.attempts == 1 and session.running:
+            # First, try to keep the admitted quality: redistribute the
+            # existing graph around the hole the crash left.
+            record = session.redistribute(
+                label=f"recover:{episode.device_id}", skip_downloads=True
+            )
+        else:
+            record, level_label, degraded = self._restart(session, episode)
+        episode.interruption_ms += record.timing.total_ms
+
+        if record.success:
+            self._succeed(episode, level_label, degraded)
+        elif episode.attempts >= self.policy.max_attempts:
+            self._exhaust(episode)
+        else:
+            delay = self.policy.backoff_s(episode.attempts)
+            episode.handle = self.scheduler.schedule(
+                delay, lambda e=episode: self._attempt(e)
+            )
+
+    def _restart(self, session: ApplicationSession, episode: _Episode):
+        """Full reconfiguration, walking the degradation ladder if given."""
+        if session.state is SessionState.FAILED:
+            session.state = SessionState.NEW
+        if self.ladder is None:
+            record = session.start(
+                label=f"recover:retry{episode.attempts}", skip_downloads=True
+            )
+            return record, None, False
+        index = min(max(0, episode.attempts - 2), len(self.ladder.levels) - 1)
+        level = self.ladder.levels[index]
+        session.request = dataclasses.replace(
+            session.request, user_qos=level.user_qos
+        )
+        record = session.start(
+            label=f"recover@{level.label}",
+            skip_downloads=True,
+            graph_transform=lambda g, f=level.demand_scale: scale_graph_demand(g, f),
+        )
+        return record, level.label, index > 0
+
+    # -- episode outcomes ------------------------------------------------------
+
+    def _succeed(
+        self, episode: _Episode, level_label: Optional[str], degraded: bool
+    ) -> None:
+        now = self.scheduler.now
+        # Repair time = waiting (backoff between attempts, visible on the
+        # scheduler clock) + working (the attempts' configuration overhead,
+        # analytic and not advanced on the clock).
+        mttr_ms = (now - episode.detected_at_s) * 1000.0 + episode.interruption_ms
+        self.metrics.incr("recoveries")
+        if degraded:
+            self.metrics.incr("recoveries_degraded")
+        self.metrics.record("mttr_ms", mttr_ms)
+        self.metrics.record("interruption_ms", episode.interruption_ms)
+        report = RecoveryReport(
+            session_id=episode.session.session_id,
+            device_id=episode.device_id,
+            recovered=True,
+            degraded=degraded,
+            admitted_level=level_label,
+            attempts=episode.attempts,
+            detected_at_s=episode.detected_at_s,
+            mttr_ms=mttr_ms,
+            interruption_ms=episode.interruption_ms,
+        )
+        self._finish(episode, report, Topics.SESSION_RECOVERED)
+
+    def _exhaust(self, episode: _Episode) -> None:
+        """Budget exhausted: tear the session down, report the failure."""
+        self.metrics.incr("recovery_failures")
+        self.metrics.record("interruption_ms", episode.interruption_ms)
+        episode.session.stop()
+        report = RecoveryReport(
+            session_id=episode.session.session_id,
+            device_id=episode.device_id,
+            recovered=False,
+            degraded=False,
+            admitted_level=None,
+            attempts=episode.attempts,
+            detected_at_s=episode.detected_at_s,
+            mttr_ms=None,
+            interruption_ms=episode.interruption_ms,
+            reason=(
+                f"recovery budget exhausted after {episode.attempts} attempts; "
+                f"session torn down"
+            ),
+        )
+        self._finish(episode, report, Topics.SESSION_UNRECOVERABLE)
+
+    def _abort(self, episode: _Episode, reason: str) -> None:
+        report = RecoveryReport(
+            session_id=episode.session.session_id,
+            device_id=episode.device_id,
+            recovered=False,
+            degraded=False,
+            admitted_level=None,
+            attempts=episode.attempts,
+            detected_at_s=episode.detected_at_s,
+            mttr_ms=None,
+            interruption_ms=episode.interruption_ms,
+            reason=reason,
+        )
+        self._finish(episode, report, Topics.SESSION_UNRECOVERABLE)
+
+    def _finish(self, episode: _Episode, report: RecoveryReport, topic: str) -> None:
+        self._episodes.pop(episode.session.session_id, None)
+        self.reports.append(report)
+        self.configurator.bus.emit(
+            topic,
+            timestamp=self.scheduler.now,
+            source="recovery-manager",
+            **report.to_dict(),
+        )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 class LinkClass(enum.Enum):
@@ -36,23 +36,27 @@ class Link:
 
     ``endpoints`` is stored as a sorted pair so ``Link("a", "b")`` and
     ``Link("b", "a")`` are the same link. Bandwidth and latency default to
-    the link class's figures.
+    the link class's figures: pass ``None`` (or, for backwards
+    compatibility, a negative value) to take the class default. After
+    construction both fields are always concrete positive figures — no
+    sentinel ever escapes into bandwidth math (the fault-injection layer's
+    degradation factors rely on this).
     """
 
     first: str
     second: str
     link_class: LinkClass = LinkClass.FAST_ETHERNET
-    bandwidth_mbps: float = -1.0
-    latency_ms: float = -1.0
+    bandwidth_mbps: Optional[float] = None
+    latency_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.first == self.second:
             raise ValueError("a link needs two distinct endpoints")
-        if self.bandwidth_mbps < 0:
+        if self.bandwidth_mbps is None or self.bandwidth_mbps < 0:
             object.__setattr__(
                 self, "bandwidth_mbps", self.link_class.default_bandwidth_mbps
             )
-        if self.latency_ms < 0:
+        if self.latency_ms is None or self.latency_ms < 0:
             object.__setattr__(
                 self, "latency_ms", self.link_class.default_latency_ms
             )

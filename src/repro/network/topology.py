@@ -62,6 +62,10 @@ class NetworkTopology:
         self._reservations: Dict[int, BandwidthReservation] = {}
         self._reservation_ids = itertools.count(1)
         self._path_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        # Fault-injection state: per-pair capacity factor in [0, 1].
+        # 1.0 (absent) = healthy, 0.0 = partitioned. Applies to the direct
+        # link between the pair and to a pinned pair-capacity override.
+        self._link_health: Dict[Tuple[str, str], float] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -98,6 +102,11 @@ class NetworkTopology:
             for rid, reservation in self._reservations.items()
             if device_id not in (reservation.first, reservation.second)
         }
+        self._link_health = {
+            pair: factor
+            for pair, factor in self._link_health.items()
+            if device_id not in pair
+        }
         self._path_cache.clear()
 
     def add_link(self, link: Link) -> None:
@@ -114,10 +123,14 @@ class NetworkTopology:
         first: str,
         second: str,
         link_class: LinkClass = LinkClass.FAST_ETHERNET,
-        bandwidth_mbps: float = -1.0,
-        latency_ms: float = -1.0,
+        bandwidth_mbps: Optional[float] = None,
+        latency_ms: Optional[float] = None,
     ) -> None:
-        """Convenience wrapper around :meth:`add_link`."""
+        """Convenience wrapper around :meth:`add_link`.
+
+        ``None`` (or a negative value, kept for backwards compatibility)
+        means "use the link class's default figure".
+        """
         self.add_link(Link(first, second, link_class, bandwidth_mbps, latency_ms))
 
     def set_pair_capacity(self, first: str, second: str, bandwidth_mbps: float) -> None:
@@ -131,6 +144,38 @@ class NetworkTopology:
         self.add_device(first)
         self.add_device(second)
         self._pair_capacity_override[_pair(first, second)] = bandwidth_mbps
+
+    # -- fault injection -----------------------------------------------------------
+
+    def set_link_health(self, first: str, second: str, factor: float) -> None:
+        """Degrade (or partition) the capacity between a device pair.
+
+        ``factor`` scales the pair's effective bandwidth: 1.0 restores full
+        health, 0.0 partitions the pair entirely. The factor applies to the
+        direct link between the endpoints (widest-path computation included)
+        and to a pinned pair-capacity override. Latency is unaffected —
+        wireless degradation hurts throughput first.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("link health factor must be in [0, 1]")
+        key = _pair(first, second)
+        if factor >= 1.0:
+            self._link_health.pop(key, None)
+        else:
+            self._link_health[key] = factor
+        self._path_cache.clear()
+
+    def clear_link_health(self, first: str, second: str) -> None:
+        """Restore a pair to full health (idempotent)."""
+        self.set_link_health(first, second, 1.0)
+
+    def link_health(self, first: str, second: str) -> float:
+        """Current health factor of a pair (1.0 = healthy)."""
+        return self._link_health.get(_pair(first, second), 1.0)
+
+    def degraded_pairs(self) -> List[Tuple[str, str]]:
+        """Pairs currently running below full health, sorted."""
+        return sorted(self._link_health)
 
     # -- queries -----------------------------------------------------------------
 
@@ -160,7 +205,7 @@ class NetworkTopology:
             return LinkClass.LOOPBACK.default_bandwidth_mbps
         override = self._pair_capacity_override.get(_pair(first, second))
         if override is not None:
-            return override
+            return override * self._link_health.get(_pair(first, second), 1.0)
         bandwidth, _latency = self._widest_path(first, second)
         return bandwidth
 
@@ -262,8 +307,10 @@ class NetworkTopology:
             if node == target:
                 break
             for neighbor in self._adjacency.get(node, ()):
-                link = self._links[_pair(node, neighbor)]
-                bottleneck = min(-neg_bw, link.bandwidth_mbps)
+                key = _pair(node, neighbor)
+                link = self._links[key]
+                effective = link.bandwidth_mbps * self._link_health.get(key, 1.0)
+                bottleneck = min(-neg_bw, effective)
                 total_latency = latency + link.latency_ms
                 known = best_bandwidth.get(neighbor, 0.0)
                 if bottleneck > known or (

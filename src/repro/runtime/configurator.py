@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.composition.composer import (
     CompositionRequest,
@@ -21,7 +21,7 @@ from repro.composition.composer import (
 from repro.distribution.distributor import DistributionResult, ServiceDistributor
 from repro.distribution.fit import CandidateDevice, DistributionEnvironment
 from repro.domain.domain import DomainServer
-from repro.events.bus import EventBus
+from repro.events.bus import EventBus, Subscription
 from repro.events.types import Event, Topics
 from repro.graph.cuts import Assignment
 from repro.graph.service_graph import ServiceGraph
@@ -85,6 +85,13 @@ class ServiceConfigurator:
         self._env_cache: Optional[
             Tuple[object, DistributionEnvironment, Dict[str, object]]
         ] = None
+        # Devices excluded from planning while a failure detector holds
+        # them under suspicion (they may still be online — quarantine is
+        # a planning-side exclusion, not a membership change).
+        self._quarantined: Set[str] = set()
+        # Live auto-reconfiguration subscriptions per session, so they can
+        # be dropped when the session stops (no subscriber leak).
+        self._auto_subscriptions: Dict[str, Tuple[Subscription, ...]] = {}
 
     # -- conveniences ---------------------------------------------------------------
 
@@ -121,17 +128,35 @@ class ServiceConfigurator:
         Bandwidth needs no key: environments built with ``from_topology``
         read it live through the topology callable.
         """
+        quarantined = frozenset(self._quarantined)
         if self.ledger is not None:
-            token = (self.server.snapshot_version(), self.ledger.version)
+            token = (self.server.snapshot_version(), self.ledger.version, quarantined)
         else:
-            token = (self.server.snapshot_version(), None)
+            token = (self.server.snapshot_version(), None, quarantined)
         cached = self._env_cache
         if cached is not None and cached[0] == token:
             return cached[1], dict(cached[2])
         if self.ledger is not None:
             environment, devices = self.ledger.environment()
+            if quarantined:
+                devices = {
+                    device_id: device
+                    for device_id, device in devices.items()
+                    if device_id not in quarantined
+                }
+                candidates = [
+                    c for c in environment.devices
+                    if c.device_id not in quarantined
+                ]
+                environment = DistributionEnvironment(
+                    candidates, bandwidth=environment.bandwidth
+                )
         else:
-            devices = {d.device_id: d for d in self.server.available_devices()}
+            devices = {
+                d.device_id: d
+                for d in self.server.available_devices()
+                if d.device_id not in quarantined
+            }
             candidates = [
                 CandidateDevice(d.device_id, d.available())
                 for d in devices.values()
@@ -141,6 +166,25 @@ class ServiceConfigurator:
             )
         self._env_cache = (token, environment, devices)
         return environment, dict(devices)
+
+    # -- quarantine ------------------------------------------------------------------
+
+    def quarantine(self, device_id: str) -> None:
+        """Exclude a suspect device from planning (idempotent).
+
+        Quarantine only affects new distribution environments; existing
+        deployments on the device are untouched until a recovery pass
+        moves them.
+        """
+        self._quarantined.add(device_id)
+
+    def unquarantine(self, device_id: str) -> None:
+        """Readmit a device to planning (idempotent)."""
+        self._quarantined.discard(device_id)
+
+    def quarantined_devices(self) -> frozenset:
+        """Devices currently excluded from planning."""
+        return frozenset(self._quarantined)
 
     # -- the two-tier pipeline ---------------------------------------------------------
 
@@ -165,8 +209,16 @@ class ServiceConfigurator:
         if graph_transform is not None:
             composition.graph = graph_transform(composition.graph)
 
-        environment, devices = self._environment()
-        distribution = self.distributor.distribute(composition.graph, environment)
+        try:
+            environment, devices = self._environment()
+            distribution = self.distributor.distribute(
+                composition.graph, environment
+            )
+        except ValueError:
+            # No candidate devices at all (everything crashed or is
+            # quarantined), or a pinned device left the environment: report
+            # a clean failure instead of leaking the substrate error.
+            return self._failure(session, label, composition_s, composition, None)
         distribution_s = self.cost_model.distribution_time_s(distribution)
         if not distribution.feasible or distribution.assignment is None:
             return self._failure(
@@ -278,8 +330,8 @@ class ServiceConfigurator:
             self.release(session)
             session.deployment = None
 
-        environment, devices = self._environment()
         try:
+            environment, devices = self._environment()
             distribution = self.distributor.distribute(session.graph, environment)
         except ValueError:
             # A pinned device left the environment (e.g. the client device
@@ -542,7 +594,13 @@ class ServiceConfigurator:
           switch handoff;
         - ``device.crashed`` / ``device.left`` for a device the session
           uses triggers redistribution.
+
+        The three subscriptions are retained per session and dropped by
+        :meth:`disable_auto_reconfiguration` (called automatically when the
+        session stops), so long-running domains do not accumulate dead
+        handlers on the bus. Re-enabling replaces the previous wiring.
         """
+        self.disable_auto_reconfiguration(session)
 
         def on_switch(event: Event) -> None:
             if not session.running:
@@ -561,6 +619,13 @@ class ServiceConfigurator:
             if device_id in session.devices_in_use():
                 session.redistribute(label=f"device-lost:{device_id}")
 
-        self.bus.subscribe(Topics.USER_DEVICE_SWITCHED, on_switch)
-        self.bus.subscribe(Topics.DEVICE_CRASHED, on_device_gone)
-        self.bus.subscribe(Topics.DEVICE_LEFT, on_device_gone)
+        self._auto_subscriptions[session.session_id] = (
+            self.bus.subscribe(Topics.USER_DEVICE_SWITCHED, on_switch),
+            self.bus.subscribe(Topics.DEVICE_CRASHED, on_device_gone),
+            self.bus.subscribe(Topics.DEVICE_LEFT, on_device_gone),
+        )
+
+    def disable_auto_reconfiguration(self, session: ApplicationSession) -> None:
+        """Drop a session's auto-reconfiguration subscriptions (idempotent)."""
+        for subscription in self._auto_subscriptions.pop(session.session_id, ()):
+            self.bus.unsubscribe(subscription)

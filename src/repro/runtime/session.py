@@ -211,10 +211,15 @@ class ApplicationSession:
         return record
 
     def stop(self) -> None:
-        """Release everything the session holds (idempotent)."""
+        """Release everything the session holds (idempotent).
+
+        Also drops the session's auto-reconfiguration subscriptions so a
+        stopped session leaves no handlers behind on the domain bus.
+        """
         if self.deployment is not None:
             self.configurator.release(self)
             self.deployment = None
+        self.configurator.disable_auto_reconfiguration(self)
         if self.state is not SessionState.FAILED:
             self.state = SessionState.STOPPED
         self.configurator.bus.emit(

@@ -1,0 +1,119 @@
+"""Failure detector: suspicion from silence, clearing, forgetting."""
+
+import pytest
+
+from repro.apps.audio_on_demand import build_audio_testbed
+from repro.events.types import Topics
+from repro.faults.detector import FailureDetector
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultKind, FaultSpec
+from repro.faults.scheduling import SimScheduler
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def harness():
+    simulator = Simulator()
+    scheduler = SimScheduler(simulator)
+    testbed = build_audio_testbed(clock=scheduler.clock())
+    detector = FailureDetector(
+        testbed.server,
+        scheduler,
+        heartbeat_interval_s=1.0,
+        suspicion_threshold=3.0,
+    )
+    return testbed, simulator, scheduler, detector
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, harness):
+        testbed, _, scheduler, _ = harness
+        with pytest.raises(ValueError):
+            FailureDetector(testbed.server, scheduler, heartbeat_interval_s=0.0)
+        with pytest.raises(ValueError):
+            FailureDetector(testbed.server, scheduler, suspicion_threshold=1.0)
+        with pytest.raises(ValueError):
+            FailureDetector(testbed.server, scheduler, drop_probability=1.0)
+
+
+class TestDetection:
+    def test_silent_crash_is_suspected_after_threshold(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=20.0)
+        injector = FaultInjector(testbed.server, scheduler)
+        simulator.run_until(2.5)
+        injector.inject(FaultSpec(FaultKind.DEVICE_CRASH, 0.0, "desktop2"))
+        # Below the threshold: still trusted.
+        simulator.run_until(4.0)
+        assert not detector.is_suspected("desktop2")
+        simulator.run_until(10.0)
+        assert detector.is_suspected("desktop2")
+        suspicions = testbed.server.bus.history(Topics.DEVICE_SUSPECTED)
+        assert len(suspicions) == 1
+        event = suspicions[0]
+        assert event.payload["device_id"] == "desktop2"
+        assert event.payload["phi"] >= 3.0
+        # Detection latency is bounded: silence began at the last heartbeat
+        # before t=2.5 and the verdict lands within threshold+1 intervals.
+        assert event.timestamp - 2.0 <= (3.0 + 1.0) * 1.0
+
+    def test_healthy_devices_never_suspected(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=30.0)
+        simulator.run_until(31.0)
+        assert detector.suspected_devices() == []
+        assert detector.metrics.count("suspicions") == 0
+        assert detector.metrics.count("heartbeats") > 0
+
+    def test_phi_grows_with_silence(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=20.0)
+        simulator.run_until(1.0)
+        testbed.devices["desktop3"].go_offline()
+        simulator.run_until(3.0)
+        phi_early = detector.phi("desktop3")
+        simulator.run_until(6.0)
+        assert detector.phi("desktop3") > phi_early > 0.0
+
+
+class TestSuspicionClearing:
+    def test_recovered_device_clears_suspicion(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=30.0)
+        simulator.run_until(1.0)
+        testbed.devices["desktop2"].go_offline()
+        simulator.run_until(8.0)
+        assert detector.is_suspected("desktop2")
+        # The device comes back (transient silence, not a crash).
+        testbed.devices["desktop2"].go_online()
+        simulator.run_until(12.0)
+        assert not detector.is_suspected("desktop2")
+        assert detector.metrics.count("false_suspicions") == 1
+        assert testbed.server.bus.history(Topics.DEVICE_SUSPICION_CLEARED)
+
+
+class TestForgetting:
+    def test_departed_device_is_not_suspected(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=30.0)
+        simulator.run_until(2.0)
+        testbed.server.leave("desktop3")
+        simulator.run_until(30.0)
+        assert not detector.is_suspected("desktop3")
+        assert detector.metrics.count("suspicions") == 0
+
+    def test_confirmed_crash_is_forgotten(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=30.0)
+        simulator.run_until(2.0)
+        # The recovery layer confirms the crash through the membership
+        # protocol; the detector must not keep suspecting the corpse.
+        testbed.server.crash("desktop2")
+        simulator.run_until(30.0)
+        assert detector.suspected_devices() == []
+
+    def test_stop_releases_bus_subscriptions(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        baseline = testbed.server.bus.subscriber_count()
+        detector.stop()
+        assert testbed.server.bus.subscriber_count() == baseline - 2

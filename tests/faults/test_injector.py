@@ -1,0 +1,156 @@
+"""Fault injector: silent crashes, healing links, pressure lifecycles."""
+
+import pytest
+
+from repro.apps.audio_on_demand import build_audio_testbed
+from repro.events.types import Topics
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultKind, FaultSchedule, FaultSpec
+from repro.faults.scheduling import SimScheduler
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def harness():
+    simulator = Simulator()
+    scheduler = SimScheduler(simulator)
+    testbed = build_audio_testbed(clock=scheduler.clock())
+    return testbed, simulator, FaultInjector(testbed.server, scheduler)
+
+
+class TestCrashInjection:
+    def test_crash_is_silent(self, harness):
+        testbed, simulator, injector = harness
+        injector.inject(FaultSpec(FaultKind.DEVICE_CRASH, 0.0, "desktop2"))
+        device = testbed.devices["desktop2"]
+        assert not device.online
+        # No membership event, and the registry still advertises the
+        # device's services: only heartbeat loss can reveal the crash.
+        assert testbed.server.bus.history(Topics.DEVICE_CRASHED) == []
+        assert testbed.server.bus.history(Topics.DEVICE_LEFT) == []
+        assert "desktop2" in testbed.server.domain
+        # The injection itself is recorded for the experiment harness.
+        assert len(testbed.server.bus.history(Topics.FAULT_INJECTED)) == 1
+
+    def test_crash_of_offline_device_is_skipped(self, harness):
+        testbed, simulator, injector = harness
+        spec = FaultSpec(FaultKind.DEVICE_CRASH, 0.0, "desktop2")
+        assert injector.inject(spec)
+        assert not injector.inject(spec)
+        assert injector.skipped == [spec]
+        assert injector.metrics.count("crash_faults") == 1
+
+    def test_departure_is_announced(self, harness):
+        testbed, simulator, injector = harness
+        injector.inject(FaultSpec(FaultKind.DEVICE_DEPART, 0.0, "desktop3"))
+        assert len(testbed.server.bus.history(Topics.DEVICE_LEFT)) == 1
+        assert "desktop3" not in testbed.server.domain
+
+
+class TestLinkFaults:
+    def test_degrade_scales_pair_capacity_and_heals(self, harness):
+        testbed, simulator, injector = harness
+        network = testbed.server.network
+        healthy = network.pair_capacity("desktop2", "lan-switch")
+        injector.inject(
+            FaultSpec(
+                FaultKind.LINK_DEGRADE,
+                0.0,
+                "desktop2",
+                peer="lan-switch",
+                magnitude=0.25,
+                duration_s=10.0,
+            )
+        )
+        assert network.pair_capacity("desktop2", "lan-switch") == pytest.approx(
+            healthy * 0.25
+        )
+        assert len(testbed.server.bus.history(Topics.LINK_DEGRADED)) == 1
+        simulator.run_until(11.0)
+        assert network.pair_capacity("desktop2", "lan-switch") == pytest.approx(
+            healthy
+        )
+        assert len(testbed.server.bus.history(Topics.LINK_RESTORED)) == 1
+
+    def test_partition_zeroes_the_pair(self, harness):
+        testbed, simulator, injector = harness
+        injector.inject(
+            FaultSpec(
+                FaultKind.LINK_PARTITION,
+                0.0,
+                "jornada",
+                peer="access-point",
+                magnitude=0.0,
+            )
+        )
+        network = testbed.server.network
+        assert network.link_health("jornada", "access-point") == 0.0
+        assert network.pair_capacity("jornada", "access-point") == 0.0
+
+    def test_link_fault_on_unknown_device_is_skipped(self, harness):
+        testbed, simulator, injector = harness
+        assert not injector.inject(
+            FaultSpec(FaultKind.LINK_DEGRADE, 0.0, "nope", peer="lan-switch")
+        )
+
+
+class TestResourcePressure:
+    def test_pressure_consumes_and_releases(self, harness):
+        testbed, simulator, injector = harness
+        device = testbed.devices["desktop3"]
+        before = device.available()
+        injector.inject(
+            FaultSpec(
+                FaultKind.RESOURCE_PRESSURE,
+                0.0,
+                "desktop3",
+                magnitude=0.5,
+                duration_s=20.0,
+            )
+        )
+        squeezed = device.available()
+        assert squeezed["memory"] == pytest.approx(before["memory"] * 0.5)
+        # Pressure publishes a resource fluctuation, like a real monitor.
+        assert testbed.server.bus.history(Topics.DEVICE_RESOURCES_CHANGED)
+        simulator.run_until(21.0)
+        assert device.available() == before
+
+    def test_pressure_release_after_crash_is_harmless(self, harness):
+        testbed, simulator, injector = harness
+        injector.inject(
+            FaultSpec(
+                FaultKind.RESOURCE_PRESSURE,
+                0.0,
+                "desktop3",
+                magnitude=0.5,
+                duration_s=5.0,
+            )
+        )
+        injector.inject(FaultSpec(FaultKind.DEVICE_CRASH, 0.0, "desktop3"))
+        simulator.run_until(6.0)  # the relief callback must not raise
+
+
+class TestArming:
+    def test_armed_schedule_fires_in_order(self, harness):
+        testbed, simulator, injector = harness
+        injector.arm(
+            FaultSchedule.of(
+                FaultSpec(FaultKind.DEVICE_CRASH, 5.0, "desktop2"),
+                FaultSpec(FaultKind.DEVICE_CRASH, 2.0, "desktop3"),
+            )
+        )
+        simulator.run_until(3.0)
+        assert not testbed.devices["desktop3"].online
+        assert testbed.devices["desktop2"].online
+        simulator.run_until(6.0)
+        assert not testbed.devices["desktop2"].online
+        assert [s.target for s in injector.injected] == ["desktop3", "desktop2"]
+
+    def test_disarm_cancels_pending(self, harness):
+        testbed, simulator, injector = harness
+        injector.arm(
+            FaultSchedule.of(FaultSpec(FaultKind.DEVICE_CRASH, 5.0, "desktop2"))
+        )
+        injector.disarm()
+        simulator.run_until(10.0)
+        assert testbed.devices["desktop2"].online

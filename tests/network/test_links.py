@@ -59,3 +59,33 @@ class TestTransferTime:
             transfer_time_s(-1.0, 10.0)
         with pytest.raises(ValueError):
             transfer_time_s(1.0, 0.0)
+
+
+class TestSentinelResolution:
+    """``None``/negative placeholders resolve at construction (never escape)."""
+
+    def test_none_resolves_to_class_defaults(self):
+        link = Link("a", "b", LinkClass.WLAN, bandwidth_mbps=None, latency_ms=None)
+        assert link.bandwidth_mbps == LinkClass.WLAN.default_bandwidth_mbps
+        assert link.latency_ms == LinkClass.WLAN.default_latency_ms
+
+    def test_negative_sentinel_still_accepted(self):
+        # Back-compat: the original API used -1.0 to mean "use the default".
+        link = Link("a", "b", LinkClass.ETHERNET, bandwidth_mbps=-1.0, latency_ms=-1.0)
+        assert link.bandwidth_mbps == LinkClass.ETHERNET.default_bandwidth_mbps
+        assert link.latency_ms == LinkClass.ETHERNET.default_latency_ms
+
+    def test_mixed_sentinels_resolve_independently(self):
+        link = Link("a", "b", LinkClass.WLAN, bandwidth_mbps=2.5, latency_ms=-1.0)
+        assert link.bandwidth_mbps == 2.5
+        assert link.latency_ms == LinkClass.WLAN.default_latency_ms
+
+    def test_constructed_figures_are_always_concrete(self):
+        for link_class in (LinkClass.LOOPBACK, LinkClass.BLUETOOTH, LinkClass.WLAN):
+            link = Link("a", "b", link_class)
+            assert link.bandwidth_mbps > 0
+            assert link.latency_ms >= 0
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth_mbps=0.0)

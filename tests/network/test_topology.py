@@ -111,3 +111,49 @@ class TestReservations:
     def test_negative_reservation_rejected(self, lan):
         with pytest.raises(ValueError):
             lan.reserve("pc1", "pc2", -1.0)
+
+
+class TestLinkHealth:
+    def test_degrade_scales_direct_capacity(self, lan):
+        healthy = lan.pair_capacity("pc1", "switch")
+        lan.set_link_health("pc1", "switch", 0.25)
+        assert lan.pair_capacity("pc1", "switch") == pytest.approx(healthy * 0.25)
+        assert lan.link_health("pc1", "switch") == 0.25
+
+    def test_degrade_applies_along_multi_hop_paths(self, lan):
+        healthy = lan.pair_capacity("pc1", "pc2")
+        lan.set_link_health("pc2", "switch", 0.5)
+        assert lan.pair_capacity("pc1", "pc2") == pytest.approx(healthy * 0.5)
+
+    def test_partition_zeroes_the_pair(self, lan):
+        lan.set_link_health("pda", "ap", 0.0)
+        assert lan.pair_capacity("pda", "ap") == 0.0
+        assert lan.pair_capacity("pda", "pc1") == 0.0
+
+    def test_health_scales_pinned_override(self, lan):
+        lan.set_pair_capacity("pc1", "pc2", 40.0)
+        lan.set_link_health("pc1", "pc2", 0.5)
+        assert lan.pair_capacity("pc1", "pc2") == pytest.approx(20.0)
+
+    def test_clear_restores_and_forgets(self, lan):
+        healthy = lan.pair_capacity("pc1", "switch")
+        lan.set_link_health("pc1", "switch", 0.1)
+        lan.clear_link_health("pc1", "switch")
+        assert lan.pair_capacity("pc1", "switch") == pytest.approx(healthy)
+        assert lan.degraded_pairs() == []
+
+    def test_degraded_pairs_listed_sorted(self, lan):
+        lan.set_link_health("pc2", "switch", 0.5)
+        lan.set_link_health("ap", "switch", 0.9)
+        assert lan.degraded_pairs() == [("ap", "switch"), ("pc2", "switch")]
+
+    def test_remove_device_drops_health_entries(self, lan):
+        lan.set_link_health("pc1", "switch", 0.5)
+        lan.remove_device("pc1")
+        assert lan.degraded_pairs() == []
+
+    def test_out_of_range_factor_rejected(self, lan):
+        with pytest.raises(ValueError):
+            lan.set_link_health("pc1", "switch", 1.5)
+        with pytest.raises(ValueError):
+            lan.set_link_health("pc1", "switch", -0.1)

@@ -111,3 +111,55 @@ class TestAutoReconfiguration:
         if victim is not None and victim != "desktop1":
             testbed.server.crash(victim)
             assert len(session.timeline) == 2
+
+
+class TestSubscriptionLifecycle:
+    """Auto-reconfiguration wiring must not leak bus subscribers."""
+
+    def test_stop_returns_bus_to_baseline(self):
+        testbed = build_audio_testbed()
+        baseline = testbed.server.bus.subscriber_count()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        testbed.configurator.enable_auto_reconfiguration(session)
+        assert testbed.server.bus.subscriber_count() == baseline + 3
+        session.stop()
+        assert testbed.server.bus.subscriber_count() == baseline
+
+    def test_many_session_lifecycles_do_not_accumulate_handlers(self):
+        testbed = build_audio_testbed()
+        baseline = testbed.server.bus.subscriber_count()
+        for index in range(10):
+            session = testbed.configurator.create_session(
+                audio_request(testbed, "desktop2"), user_id=f"user-{index}"
+            )
+            session.start(skip_downloads=True)
+            testbed.configurator.enable_auto_reconfiguration(session)
+            session.stop()
+        assert testbed.server.bus.subscriber_count() == baseline
+
+    def test_re_enabling_replaces_previous_wiring(self):
+        testbed = build_audio_testbed()
+        baseline = testbed.server.bus.subscriber_count()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        testbed.configurator.enable_auto_reconfiguration(session)
+        testbed.configurator.enable_auto_reconfiguration(session)
+        assert testbed.server.bus.subscriber_count() == baseline + 3
+
+    def test_disable_is_idempotent(self):
+        testbed = build_audio_testbed()
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2")
+        )
+        session.start()
+        testbed.configurator.disable_auto_reconfiguration(session)
+        testbed.configurator.enable_auto_reconfiguration(session)
+        baseline_after = testbed.server.bus.subscriber_count()
+        testbed.configurator.disable_auto_reconfiguration(session)
+        testbed.configurator.disable_auto_reconfiguration(session)
+        assert testbed.server.bus.subscriber_count() == baseline_after - 3

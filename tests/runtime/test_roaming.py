@@ -182,3 +182,85 @@ class TestRoaming:
             SessionRoamer(wan_bandwidth_mbps=0.0)
         with pytest.raises(ValueError):
             SessionRoamer(wan_latency_ms=-1.0)
+
+
+class TestMidRoamCrash:
+    """A device dying *during* the make-before-break window.
+
+    The roam is make-before-break: the destination configures first, the
+    origin releases only after acceptance. A crash landing inside that
+    window must never strand the user (the old session keeps running on a
+    failed roam) nor unbalance the origin's reservation ledger.
+    """
+
+    def _ledgered_lab_session(self):
+        from repro.server.ledger import ReservationLedger
+
+        testbed = build_audio_testbed()
+        ledger = ReservationLedger(testbed.server)
+        testbed.configurator.ledger = ledger
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "desktop2"), user_id="alice"
+        )
+        session.start()
+        session.record_progress(240.0)
+        return testbed, session, ledger
+
+    def test_source_crash_during_failed_roam_keeps_old_session(self):
+        from repro.events.types import Topics
+
+        testbed, session, ledger = self._ledgered_lab_session()
+        hotel, hotel_devices = build_hotel_domain()
+        # Saturate the destination so its admission fails...
+        for device in hotel_devices.values():
+            device.allocate(device.available())
+        # ...and have a source device crash at the exact moment the
+        # destination rejects — inside the make-before-break window, while
+        # the origin deployment is still live.
+        crashed = []
+
+        def crash_source_device(event):
+            if not crashed:
+                crashed.append(True)
+                testbed.server.crash("desktop1")
+
+        hotel.bus.subscribe(Topics.SESSION_FAILED, crash_source_device)
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+
+        assert not report.success
+        assert crashed  # the crash really happened mid-roam
+        # Make-before-break: the origin session was never released.
+        assert session.state is SessionState.RUNNING
+        assert session.deployment is not None
+        # The origin ledger stayed balanced despite the crash voiding the
+        # dead device's allocations.
+        assert ledger.audit() == []
+
+    def test_source_crash_during_successful_roam_stays_balanced(self):
+        from repro.events.types import Topics
+
+        testbed, session, ledger = self._ledgered_lab_session()
+        hotel, _devices = build_hotel_domain()
+        # The crash lands after the destination admits the session but
+        # before the origin releases its deployment.
+        crashed = []
+
+        def crash_source_device(event):
+            if not crashed:
+                crashed.append(True)
+                testbed.server.crash("desktop1")
+
+        hotel.bus.subscribe(Topics.SESSION_CONFIGURED, crash_source_device)
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+
+        assert report.success
+        assert crashed
+        assert report.new_session.state is SessionState.RUNNING
+        assert report.new_session.playback_position() == pytest.approx(240.0)
+        assert session.state is SessionState.STOPPED
+        # Releasing a deployment whose device died mid-roam must not
+        # corrupt the ledger: every surviving device drained to zero.
+        assert ledger.audit() == []
+        for name, device in testbed.devices.items():
+            if device.online:
+                assert device.allocated.is_zero(), name
