@@ -15,7 +15,7 @@ Run:  python examples/mobile_audio_handoff.py
 
 from repro.apps.audio_on_demand import audio_request, build_audio_testbed
 from repro.apps.media import MediaPipeline
-from repro.sim.kernel import Simulator
+from repro import Simulator
 
 
 def show_configuration(testbed, session, record):

@@ -20,18 +20,21 @@ from repro.apps.audio_on_demand import (
     audio_request,
     build_audio_testbed,
 )
-from repro.composition.composer import ServiceComposer
-from repro.composition.corrections import CorrectionPolicy
-from repro.discovery.registry import ServiceDescription
-from repro.distribution.distributor import ServiceDistributor
-from repro.distribution.heuristic import HeuristicDistributor
-from repro.domain.device import Device, DeviceClass
-from repro.domain.space import SmartSpace
+from repro import (
+    CorrectionPolicy,
+    Device,
+    HeuristicDistributor,
+    ResourceVector,
+    ServiceComposer,
+    ServiceConfigurator,
+    ServiceDescription,
+    ServiceDistributor,
+    SmartSpace,
+)
+from repro.domain.device import DeviceClass
 from repro.network.links import LinkClass
 from repro.qos.translation import default_catalog
-from repro.resources.vectors import ResourceVector
-from repro.runtime.configurator import ServiceConfigurator
-from repro.runtime.roaming import SessionRoamer
+from repro.runtime import SessionRoamer
 
 
 def build_hotel():

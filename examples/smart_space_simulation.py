@@ -12,16 +12,19 @@ Run:  python examples/smart_space_simulation.py
 import heapq
 import random
 
+from repro import (
+    CostWeights,
+    FixedDistributor,
+    HeuristicDistributor,
+    RandomDistributor,
+    ResourceVector,
+)
 from repro.apps.templates import figure5_graphs
-from repro.distribution.baselines import FixedDistributor, RandomDistributor
-from repro.distribution.cost import CostWeights
-from repro.distribution.heuristic import HeuristicDistributor
 from repro.experiments.figure5 import (
     _SystemState,
     paper_bandwidths,
     paper_devices,
 )
-from repro.resources.vectors import ResourceVector
 from repro.workloads.requests import figure5_trace
 
 

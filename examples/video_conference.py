@@ -14,7 +14,7 @@ from repro.apps.video_conferencing import (
     build_conferencing_testbed,
     conferencing_request,
 )
-from repro.sim.kernel import Simulator
+from repro import Simulator
 
 
 def main() -> None:

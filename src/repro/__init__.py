@@ -19,6 +19,14 @@ Public API tour (see README.md for the full quickstart):
   :mod:`repro.sim` — the smart-space substrates;
 - :mod:`repro.runtime` — the integrated two-tier configurator with
   sessions, deployment and handoff;
+- :mod:`repro.runtime.clock` — the Scheduler protocol with deterministic
+  (sim) and wall-clock implementations shared by every timed subsystem;
+- :mod:`repro.server` — the domain configuration service (reservation
+  ledger, bounded queue, admission control, overload shedding);
+- :mod:`repro.faults` — fault injection, heartbeat failure detection and
+  self-healing session recovery;
+- :mod:`repro.observability` — structured span tracing, the unified
+  metrics registry, and the trace-report renderer;
 - :mod:`repro.apps`, :mod:`repro.workloads`, :mod:`repro.experiments` —
   the prototype applications and the drivers regenerating every table and
   figure of the paper's evaluation.
@@ -62,7 +70,37 @@ from repro.distribution import (
 )
 from repro.discovery import DiscoveryService, ServiceDescription, ServiceRegistry
 from repro.domain import Device, Domain, DomainServer, SmartSpace
-from repro.runtime import ApplicationSession, ServiceConfigurator
+from repro.events import Event, EventBus, Topics
+from repro.faults import (
+    FailureDetector,
+    FaultInjector,
+    RecoveryManager,
+    RecoveryMetrics,
+    RecoveryPolicy,
+)
+from repro.observability import (
+    MetricsRegistry,
+    Span,
+    TraceReport,
+    Tracer,
+    activated,
+    get_tracer,
+    set_tracer,
+)
+from repro.runtime import (
+    ApplicationSession,
+    Scheduler,
+    ServiceConfigurator,
+    SimScheduler,
+    WallClockScheduler,
+)
+from repro.server import (
+    DomainConfigurationService,
+    ReservationLedger,
+    ServerMetrics,
+    ServerRequest,
+)
+from repro.sim import Simulator
 
 __version__ = "1.0.0"
 
@@ -102,7 +140,30 @@ __all__ = [
     "Domain",
     "DomainServer",
     "SmartSpace",
+    "Event",
+    "EventBus",
+    "Topics",
+    "FailureDetector",
+    "FaultInjector",
+    "RecoveryManager",
+    "RecoveryMetrics",
+    "RecoveryPolicy",
+    "MetricsRegistry",
+    "Span",
+    "TraceReport",
+    "Tracer",
+    "activated",
+    "get_tracer",
+    "set_tracer",
     "ApplicationSession",
+    "Scheduler",
     "ServiceConfigurator",
+    "SimScheduler",
+    "WallClockScheduler",
+    "DomainConfigurationService",
+    "ReservationLedger",
+    "ServerMetrics",
+    "ServerRequest",
+    "Simulator",
     "__version__",
 ]

@@ -7,13 +7,17 @@ Usage::
     python -m repro figure4
     python -m repro figure5  [--requests N] [--horizon H]
     python -m repro ablations [--cases N]
-    python -m repro server-sweep [--multipliers M ...] [--json PATH]
-    python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--json PATH]
+    python -m repro server-sweep [--multipliers M ...] [--json PATH] [--trace PATH]
+    python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--json PATH] [--trace PATH]
+    python -m repro trace-report PATH
     python -m repro all
 
 Each subcommand prints the regenerated table/series (the same rows the
 paper reports) to stdout; ``figure4``/``figure5`` additionally render an
-ASCII chart.
+ASCII chart. ``--trace`` writes the sweep's structured span trace as
+NDJSON (byte-identical per seed under the sim driver), which
+``trace-report`` renders as a per-phase latency breakdown with
+critical-path summaries.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.experiments.figure5 import run_figure5
 from repro.experiments.load_sweep import run_load_sweep
 from repro.experiments.server_sweep import run_server_sweep
 from repro.experiments.table1 import run_table1
+from repro.observability.report import TraceReport
 from repro.reporting import render_overhead_bars, render_success_series
 from repro.workloads.generator import Table1Workload
 from repro.workloads.requests import figure5_trace
@@ -86,12 +91,17 @@ def _cmd_server_sweep(args: argparse.Namespace) -> None:
         multipliers=tuple(args.multipliers),
         seed=args.seed,
         horizon_s=args.horizon,
+        trace=args.trace is not None,
     )
     print(result.format_table())
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json() + "\n")
         print(f"\nmetrics JSON written to {args.json}")
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(result.trace_ndjson())
+        print(f"span trace NDJSON written to {args.trace}")
 
 
 def _cmd_chaos_sweep(args: argparse.Namespace) -> None:
@@ -100,12 +110,23 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> None:
         seed=args.seed,
         horizon_s=args.horizon,
         driver=args.driver,
+        trace=args.trace is not None,
     )
     print(result.format_table())
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json() + "\n")
         print(f"\nrecovery metrics JSON written to {args.json}")
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(result.trace_ndjson())
+        print(f"span trace NDJSON written to {args.trace}")
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> None:
+    with open(args.path, "r", encoding="utf-8") as handle:
+        report = TraceReport.from_ndjson(handle.read())
+    print(report.format_report(critical_paths=args.critical_paths))
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -168,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     server_sweep.add_argument(
         "--json", default=None, help="also write deterministic metrics JSON"
     )
+    server_sweep.add_argument(
+        "--trace", default=None, help="also write the span trace as NDJSON"
+    )
     server_sweep.set_defaults(handler=_cmd_server_sweep)
 
     chaos_sweep = subparsers.add_parser(
@@ -189,7 +213,23 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_sweep.add_argument(
         "--json", default=None, help="also write deterministic recovery-metrics JSON"
     )
+    chaos_sweep.add_argument(
+        "--trace", default=None, help="also write the span trace as NDJSON"
+    )
     chaos_sweep.set_defaults(handler=_cmd_chaos_sweep)
+
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="per-phase latency breakdown of an NDJSON span trace",
+    )
+    trace_report.add_argument("path", help="NDJSON trace written by --trace")
+    trace_report.add_argument(
+        "--critical-paths",
+        type=int,
+        default=3,
+        help="how many longest-root critical paths to print",
+    )
+    trace_report.set_defaults(handler=_cmd_trace_report)
 
     everything = subparsers.add_parser("all", help="run every experiment")
     everything.add_argument("--cases", type=int, default=150)

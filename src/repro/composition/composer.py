@@ -27,6 +27,7 @@ from repro.discovery.registry import ServiceDescription
 from repro.discovery.service import DiscoveryService
 from repro.graph.abstract import AbstractServiceGraph
 from repro.graph.service_graph import ServiceEdge, ServiceGraph
+from repro.observability.tracing import get_tracer
 from repro.qos.vectors import QoSVector
 
 
@@ -138,26 +139,31 @@ class ServiceComposer:
 
     def compose(self, request: CompositionRequest) -> CompositionResult:
         """Run the four-step protocol for one request."""
-        key = self._cache_key(request)
-        if key is not None:
-            entry = self._cache.get(key)
-            if entry is not None:
-                graph_ref, cached = entry
-                # The key contains id(abstract_graph); confirm the weakly
-                # referenced graph is still that exact object, so a recycled
-                # id can never resurrect a dead graph's composition.
-                if graph_ref() is request.abstract_graph:
-                    self._cache.move_to_end(key)
-                    self.cache_hits += 1
-                    return _clone_result(cached)
-                del self._cache[key]
-            self.cache_misses += 1
-        result = self._compose_uncached(request)
-        if key is not None:
-            self._cache[key] = (weakref.ref(request.abstract_graph), _clone_result(result))
-            if len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-        return result
+        with get_tracer().span(
+            "composition.compose", graph=request.abstract_graph.name
+        ) as span:
+            key = self._cache_key(request)
+            if key is not None:
+                entry = self._cache.get(key)
+                if entry is not None:
+                    graph_ref, cached = entry
+                    # The key contains id(abstract_graph); confirm the weakly
+                    # referenced graph is still that exact object, so a recycled
+                    # id can never resurrect a dead graph's composition.
+                    if graph_ref() is request.abstract_graph:
+                        self._cache.move_to_end(key)
+                        self.cache_hits += 1
+                        span.set("cache_hit", True).set("success", cached.success)
+                        return _clone_result(cached)
+                    del self._cache[key]
+                self.cache_misses += 1
+            result = self._compose_uncached(request)
+            span.set("cache_hit", False).set("success", result.success)
+            if key is not None:
+                self._cache[key] = (weakref.ref(request.abstract_graph), _clone_result(result))
+                if len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+            return result
 
     def _cache_key(self, request: CompositionRequest) -> Optional[tuple]:
         """Cache key for a request, or None when caching does not apply."""

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.graph.service_graph import ServiceGraph
+from repro.observability.tracing import get_tracer
 from repro.qos.parameters import QoSValue
 from repro.qos.vectors import consistency_gaps
 
@@ -141,8 +142,13 @@ def ordered_coordination(
         raise ValueError("max_passes must be at least 1")
     report = OCReport(consistent=True)
     converged = False
+    tracer = get_tracer()
     for _pass in range(max_passes):
-        pass_report = _single_pass(graph, policy)
+        with tracer.span("composition.oc_pass", number=_pass + 1) as span:
+            pass_report = _single_pass(graph, policy)
+            span.set("checked_edges", pass_report.checked_edges)
+            span.set("issues", len(pass_report.issues))
+            span.set("corrections", len(pass_report.corrections))
         report = report.merged(pass_report)
         if not pass_report.corrections:
             converged = True
@@ -173,7 +179,13 @@ def _single_pass(graph: ServiceGraph, policy: Optional["CorrectionPolicy"]) -> O
             if policy is None:
                 report.unresolved.extend(issues)
                 continue
-            actions, remaining = policy.correct(graph, predecessor, node, issues)
+            with get_tracer().span(
+                "composition.correction", edge=f"{predecessor}->{node}"
+            ) as span:
+                actions, remaining = policy.correct(graph, predecessor, node, issues)
+                span.set("kinds", ",".join(sorted({a.kind for a in actions})))
+                span.set("applied", len(actions))
+                span.set("unresolved", len(remaining))
             report.corrections.extend(actions)
             report.unresolved.extend(remaining)
     report.consistent = not report.unresolved

@@ -8,6 +8,7 @@ from typing import List, Optional
 from repro.discovery.matching import DiscoveryContext, MatchScorer
 from repro.discovery.registry import ServiceDescription, ServiceRegistry
 from repro.graph.abstract import AbstractComponentSpec
+from repro.observability.tracing import get_tracer
 
 
 @dataclass(frozen=True)
@@ -78,11 +79,15 @@ class DiscoveryService:
         Ties are broken by provider id so rankings are deterministic.
         """
         self._query_count += 1
-        results: List[DiscoveryResult] = []
-        for description in self.registry.lookup(spec.service_type):
-            score = self.scorer.score(description, spec, context)
-            if score is None or score < self.minimum_score:
-                continue
-            results.append(DiscoveryResult(description, score))
-        results.sort(key=lambda r: (-r.score, r.description.provider_id))
+        with get_tracer().span(
+            "discovery.lookup", service_type=spec.service_type
+        ) as span:
+            results: List[DiscoveryResult] = []
+            for description in self.registry.lookup(spec.service_type):
+                score = self.scorer.score(description, spec, context)
+                if score is None or score < self.minimum_score:
+                    continue
+                results.append(DiscoveryResult(description, score))
+            results.sort(key=lambda r: (-r.score, r.description.provider_id))
+            span.set("candidates", len(results))
         return results

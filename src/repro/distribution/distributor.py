@@ -15,6 +15,7 @@ from repro.distribution.fit import (
 )
 from repro.graph.cuts import Assignment
 from repro.graph.service_graph import ServiceGraph
+from repro.observability.tracing import get_tracer
 
 
 @dataclass(frozen=True)
@@ -149,9 +150,17 @@ class ServiceDistributor:
         environment: DistributionEnvironment,
     ) -> DistributionResult:
         """Run the bound strategy on a prepared environment."""
-        graph.validate()
-        validate_pins(graph, environment)
-        return self.strategy.distribute(graph, environment, self.weights)
+        with get_tracer().span(
+            "distribution.search",
+            strategy=self.strategy.name,
+            components=len(graph),
+        ) as span:
+            graph.validate()
+            validate_pins(graph, environment)
+            result = self.strategy.distribute(graph, environment, self.weights)
+            span.set("feasible", result.feasible)
+            span.set("evaluations", result.evaluations)
+            return result
 
     def distribute_on_devices(
         self,

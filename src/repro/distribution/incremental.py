@@ -201,6 +201,12 @@ class DeltaEvaluator:
         self._cost = 0.0
         self._inf_terms = 0
         self._incident_cache: Dict[str, List[Tuple[str, float, bool]]] = {}
+        #: Preview telemetry: every call, split into hits (a finite cost
+        #: came back — the fast path paid off) and misses (infeasible/
+        #: infinite, i.e. the candidate was rejected).
+        self.previews = 0
+        self.preview_hits = 0
+        self.preview_misses = 0
         for component_id, device_id in (placements or {}).items():
             self.place(component_id, device_id)
 
@@ -371,6 +377,11 @@ class DeltaEvaluator:
                     result = None
                 else:
                     result = self._cost + cost_delta + net_cost_delta
+        self.previews += 1
+        if result is None:
+            self.preview_misses += 1
+        else:
+            self.preview_hits += 1
         if self.verify:
             self._verify_preview(moves, result)
         return result

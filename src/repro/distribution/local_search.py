@@ -26,6 +26,7 @@ from repro.distribution.fit import DistributionEnvironment
 from repro.distribution.heuristic import HeuristicDistributor
 from repro.distribution.incremental import DeltaEvaluator
 from repro.graph.service_graph import ServiceGraph
+from repro.observability.tracing import get_tracer
 
 
 class LocalSearchDistributor(DistributionStrategy):
@@ -64,7 +65,11 @@ class LocalSearchDistributor(DistributionStrategy):
         weights: Optional[CostWeights] = None,
     ) -> DistributionResult:
         weights = weights or CostWeights()
-        seed = self.base.distribute(graph, environment, weights)
+        tracer = get_tracer()
+        with tracer.span("distribution.greedy_seed", base=self.base.name) as seed_span:
+            seed = self.base.distribute(graph, environment, weights)
+            seed_span.set("feasible", seed.feasible)
+            seed_span.set("evaluations", seed.evaluations)
         if not seed.feasible or seed.assignment is None:
             return DistributionResult(
                 strategy=self.name,
@@ -88,34 +93,41 @@ class LocalSearchDistributor(DistributionStrategy):
             c.component_id for c in graph if c.pinned_to is None
         ]
 
-        for _round in range(self.max_rounds):
-            improved = False
-            for component_id in movable:
-                best_move, best_cost, tried = self._best_relocation(
-                    evaluator, component_id, devices, cost
-                )
-                evaluations += tried
-                if best_move is not None:
-                    evaluator.commit({component_id: best_move})
-                    cost = best_cost
-                    improved = True
-            if self.use_swaps:
-                swap, swap_cost, tried = self._best_swap(
-                    evaluator, movable, cost
-                )
-                evaluations += tried
-                if swap is not None:
-                    first, second = swap
-                    evaluator.commit(
-                        {
-                            first: evaluator.placements[second],
-                            second: evaluator.placements[first],
-                        }
+        with tracer.span("distribution.local_search") as search_span:
+            rounds = 0
+            for _round in range(self.max_rounds):
+                rounds += 1
+                improved = False
+                for component_id in movable:
+                    best_move, best_cost, tried = self._best_relocation(
+                        evaluator, component_id, devices, cost
                     )
-                    cost = swap_cost
-                    improved = True
-            if not improved:
-                break
+                    evaluations += tried
+                    if best_move is not None:
+                        evaluator.commit({component_id: best_move})
+                        cost = best_cost
+                        improved = True
+                if self.use_swaps:
+                    swap, swap_cost, tried = self._best_swap(
+                        evaluator, movable, cost
+                    )
+                    evaluations += tried
+                    if swap is not None:
+                        first, second = swap
+                        evaluator.commit(
+                            {
+                                first: evaluator.placements[second],
+                                second: evaluator.placements[first],
+                            }
+                        )
+                        cost = swap_cost
+                        improved = True
+                if not improved:
+                    break
+            search_span.set("rounds", rounds)
+            search_span.set("previews", evaluator.previews)
+            search_span.set("preview_hits", evaluator.preview_hits)
+            search_span.set("preview_misses", evaluator.preview_misses)
 
         return self._finalize(
             graph,

@@ -20,7 +20,6 @@ all exact (they never discard an optimal solution):
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from typing import Dict, List, Optional
 
 from repro.distribution.cost import CostWeights
@@ -28,6 +27,7 @@ from repro.distribution.distributor import DistributionResult, DistributionStrat
 from repro.distribution.fit import DistributionEnvironment
 from repro.distribution.incremental import SearchState
 from repro.graph.service_graph import ServiceGraph
+from repro.observability.tracing import get_tracer
 from repro.resources.vectors import weighted_magnitude
 
 # Backwards-compatible alias: the search state now lives in
@@ -47,6 +47,9 @@ class OptimalDistributor(DistributionStrategy):
     is returned, flagged via ``DistributionResult.budget_exhausted`` for
     callers that need to distinguish proven optima; by default the budget is
     generous enough for the paper's Table 1 workloads to complete exactly.
+    (The former instance-level ``budget_exhausted`` mirror, deprecated in an
+    earlier release because it made shared instances non-reentrant, has been
+    removed — read the flag off the result.)
     """
 
     name = "optimal"
@@ -55,23 +58,6 @@ class OptimalDistributor(DistributionStrategy):
         if max_nodes is not None and max_nodes <= 0:
             raise ValueError("max_nodes must be positive or None")
         self.max_nodes = max_nodes
-        self._last_budget_exhausted = False
-
-    @property
-    def budget_exhausted(self) -> bool:
-        """Deprecated: read ``DistributionResult.budget_exhausted`` instead.
-
-        Kept for compatibility; reflects only the *most recent* distribute
-        call on this instance, which made shared instances non-reentrant —
-        the reason the flag moved onto the result.
-        """
-        warnings.warn(
-            "OptimalDistributor.budget_exhausted is deprecated; read "
-            "budget_exhausted from the returned DistributionResult instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._last_budget_exhausted
 
     def distribute(
         self,
@@ -80,6 +66,20 @@ class OptimalDistributor(DistributionStrategy):
         weights: Optional[CostWeights] = None,
     ) -> DistributionResult:
         weights = weights or CostWeights()
+        with get_tracer().span(
+            "distribution.optimal", components=len(graph)
+        ) as span:
+            result = self._search(graph, environment, weights)
+            span.set("nodes", result.evaluations)
+            span.set("budget_exhausted", result.budget_exhausted)
+            return result
+
+    def _search(
+        self,
+        graph: ServiceGraph,
+        environment: DistributionEnvironment,
+        weights: CostWeights,
+    ) -> DistributionResult:
         order = self._component_order(graph, weights)
         devices = environment.device_ids()
         state = SearchState(graph, environment, weights, devices)
@@ -115,7 +115,6 @@ class OptimalDistributor(DistributionStrategy):
                     return
 
         recurse(0, 0.0)
-        self._last_budget_exhausted = exhausted[0]
         result = self._finalize(
             graph, best_placements[0], environment, weights, nodes[0]
         )

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,7 +37,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.metrics import RecoveryMetrics
 from repro.faults.model import FaultSchedule, FaultSpec, random_fault_schedule
 from repro.faults.recovery import RecoveryManager, RecoveryPolicy
-from repro.faults.scheduling import SimScheduler, WallClockScheduler
+from repro.observability.tracing import Tracer, activated
+from repro.runtime.clock import SimScheduler, WallClockScheduler
 from repro.server.ledger import ReservationLedger
 from repro.sim.kernel import Simulator
 
@@ -88,6 +90,9 @@ class ChaosSweepPoint:
     mean_interruption_ms: float
     reports: Tuple[Dict[str, object], ...]
     metrics_json: str
+    #: NDJSON span export when the run was traced ("" otherwise). Kept out
+    #: of ``as_dict`` so the golden sweep JSON stays byte-identical.
+    trace_ndjson: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -158,6 +163,15 @@ class ChaosSweepResult:
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
+    def trace_ndjson(self) -> str:
+        """Concatenated span NDJSON across points ("" when tracing was off).
+
+        Each point's spans carry their own trace trees, so the
+        concatenation is itself a valid NDJSON trace — byte-identical
+        across same-seed sim runs, like :meth:`to_json`.
+        """
+        return "".join(point.trace_ndjson for point in self.points)
+
 
 def chaos_fault_schedule(
     seed: int, horizon_s: float, fault_multiplier: float
@@ -198,6 +212,7 @@ def run_chaos_once(
     heartbeat_interval_s: float = 2.0,
     suspicion_threshold: float = 3.0,
     policy: Optional[RecoveryPolicy] = None,
+    trace: bool = False,
 ) -> ChaosSweepPoint:
     """Run one seeded fault storm at ``fault_multiplier`` × the base rates.
 
@@ -207,6 +222,11 @@ def run_chaos_once(
     runs on ``threading.Timer`` callbacks with all times compressed by
     ``time_scale`` (default 1/20), so a 60-second storm takes ~3 wall
     seconds.
+
+    With ``trace=True`` the whole storm runs under a scheduler-clocked
+    :class:`~repro.observability.tracing.Tracer` with a ``run.chaos`` root
+    span; the NDJSON export lands in ``ChaosSweepPoint.trace_ndjson``
+    (byte-identical per seed under the sim driver).
     """
     if fault_multiplier < 0:
         raise ValueError("fault multiplier cannot be negative")
@@ -222,69 +242,86 @@ def run_chaos_once(
         scheduler = SimScheduler(simulator)
     else:
         scheduler = WallClockScheduler()
-    testbed = build_audio_testbed(clock=scheduler.clock())
-    ledger = ReservationLedger(testbed.server)
-    testbed.configurator.ledger = ledger
+    tracer: Optional[Tracer] = Tracer(scheduler) if trace else None
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(activated(tracer))
+            stack.enter_context(
+                tracer.span(
+                    "run.chaos",
+                    fault_multiplier=fault_multiplier,
+                    seed=seed,
+                    driver=driver,
+                )
+            )
+        testbed = build_audio_testbed(clock=scheduler.clock())
+        ledger = ReservationLedger(testbed.server)
+        testbed.configurator.ledger = ledger
 
-    metrics = RecoveryMetrics()
-    policy = policy or RecoveryPolicy(
-        max_attempts=4,
-        backoff_base_s=1.0 * scale,
-        backoff_factor=2.0,
-        max_backoff_s=8.0 * scale,
-    )
-    injector = FaultInjector(testbed.server, scheduler, metrics=metrics)
-    detector = FailureDetector(
-        testbed.server,
-        scheduler,
-        heartbeat_interval_s=heartbeat_interval_s * scale,
-        suspicion_threshold=suspicion_threshold,
-        metrics=metrics,
-    )
-    manager = RecoveryManager(
-        testbed.configurator,
-        scheduler,
-        ladder=audio_degradation_ladder(),
-        policy=policy,
-        metrics=metrics,
-    )
-
-    sessions = []
-    for client in SESSION_CLIENTS:
-        session = testbed.configurator.create_session(
-            audio_request(testbed, client), user_id=f"user-{client}"
+        metrics = RecoveryMetrics()
+        policy = policy or RecoveryPolicy(
+            max_attempts=4,
+            backoff_base_s=1.0 * scale,
+            backoff_factor=2.0,
+            max_backoff_s=8.0 * scale,
         )
-        record = session.start(label=f"start:{client}", skip_downloads=True)
-        if not record.success:
-            raise AssertionError(f"baseline session on {client!r} did not admit")
-        sessions.append(session)
-
-    # Leave room after the horizon for late detections and backed-off
-    # recovery attempts to finish before the run is evaluated.
-    drain_s = (
-        (suspicion_threshold + 3.0) * heartbeat_interval_s * scale
-        + policy.max_backoff_s * policy.max_attempts
-    )
-    detector.start(horizon_s=horizon_s * scale + drain_s)
-    injector.arm(_scaled(chaos_fault_schedule(seed, horizon_s, fault_multiplier), scale))
-
-    if simulator is not None:
-        simulator.run_until(horizon_s * scale + drain_s + 1.0)
-    else:
-        time.sleep(horizon_s * scale + drain_s + 0.2)
-
-    detector.stop()
-    manager.close()
-    injector.disarm()
-    if isinstance(scheduler, WallClockScheduler):
-        scheduler.close()
-    for session in sessions:
-        session.stop()
-    problems = ledger.audit()
-    if problems:
-        raise AssertionError(
-            "ledger invariant violated during chaos run: " + "; ".join(problems)
+        injector = FaultInjector(testbed.server, scheduler, metrics=metrics)
+        detector = FailureDetector(
+            testbed.server,
+            scheduler,
+            heartbeat_interval_s=heartbeat_interval_s * scale,
+            suspicion_threshold=suspicion_threshold,
+            metrics=metrics,
         )
+        manager = RecoveryManager(
+            testbed.configurator,
+            scheduler,
+            ladder=audio_degradation_ladder(),
+            policy=policy,
+            metrics=metrics,
+        )
+
+        sessions = []
+        for client in SESSION_CLIENTS:
+            session = testbed.configurator.create_session(
+                audio_request(testbed, client), user_id=f"user-{client}"
+            )
+            record = session.start(label=f"start:{client}", skip_downloads=True)
+            if not record.success:
+                raise AssertionError(
+                    f"baseline session on {client!r} did not admit"
+                )
+            sessions.append(session)
+
+        # Leave room after the horizon for late detections and backed-off
+        # recovery attempts to finish before the run is evaluated.
+        drain_s = (
+            (suspicion_threshold + 3.0) * heartbeat_interval_s * scale
+            + policy.max_backoff_s * policy.max_attempts
+        )
+        detector.start(horizon_s=horizon_s * scale + drain_s)
+        injector.arm(
+            _scaled(chaos_fault_schedule(seed, horizon_s, fault_multiplier), scale)
+        )
+
+        if simulator is not None:
+            simulator.run_until(horizon_s * scale + drain_s + 1.0)
+        else:
+            time.sleep(horizon_s * scale + drain_s + 0.2)
+
+        detector.stop()
+        manager.close()
+        injector.disarm()
+        if isinstance(scheduler, WallClockScheduler):
+            scheduler.close()
+        for session in sessions:
+            session.stop()
+        problems = ledger.audit()
+        if problems:
+            raise AssertionError(
+                "ledger invariant violated during chaos run: "
+                + "; ".join(problems)
+            )
 
     def _mean(stage: str) -> float:
         summary = metrics.stage(stage).summary()
@@ -313,6 +350,7 @@ def run_chaos_once(
         mean_interruption_ms=_mean("interruption_ms"),
         reports=tuple(report.to_dict() for report in manager.reports),
         metrics_json=metrics_json,
+        trace_ndjson=tracer.export_ndjson() if tracer is not None else "",
     )
 
 

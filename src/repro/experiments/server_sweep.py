@@ -17,10 +17,12 @@ byte-deterministic for a fixed seed (the benchmark artifact relies on it).
 from __future__ import annotations
 
 import json
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.observability.tracing import Tracer, activated
 from repro.qos.vectors import QoSVector
 from repro.runtime.degradation import DegradationLadder, QoSLevel
 from repro.server.drivers import SimulatedServerDriver
@@ -71,6 +73,9 @@ class ServerSweepPoint:
     p50_total_ms: float
     p99_total_ms: float
     metrics_json: str
+    #: NDJSON span export when the run was traced ("" otherwise). Kept out
+    #: of ``as_dict`` so the golden sweep JSON stays byte-identical.
+    trace_ndjson: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -136,6 +141,10 @@ class ServerSweepResult:
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
+    def trace_ndjson(self) -> str:
+        """Concatenated span NDJSON across points ("" when tracing was off)."""
+        return "".join(point.trace_ndjson for point in self.points)
+
 
 def run_server_once(
     multiplier: float,
@@ -147,11 +156,16 @@ def run_server_once(
     min_service_s: float = 1.5,
     deadline_s: Optional[float] = 20.0,
     ladder: Optional[DegradationLadder] = None,
+    trace: bool = False,
 ) -> ServerSweepPoint:
     """Replay one seeded trace at ``multiplier`` × the saturating rate.
 
     Builds a fresh testbed, simulator and service per call, so repeated
     calls with identical arguments produce byte-identical metrics JSON.
+    With ``trace=True`` the replay runs under a simulator-clocked
+    :class:`~repro.observability.tracing.Tracer` with a
+    ``run.server_sweep`` root span; the NDJSON export lands in
+    ``ServerSweepPoint.trace_ndjson``.
     """
     if multiplier <= 0:
         raise ValueError("load multiplier must be positive")
@@ -170,7 +184,7 @@ def run_server_once(
     driver = SimulatedServerDriver(
         service, simulator, workers=workers, min_service_s=min_service_s
     )
-    trace = arrival_trace(
+    arrivals = arrival_trace(
         seed=seed,
         rate_per_s=BASE_RATE_PER_S * multiplier,
         horizon_s=horizon_s,
@@ -189,18 +203,32 @@ def run_server_once(
             user_id=f"user-{event.request_id}",
         )
 
-    driver.schedule_trace(trace, to_request)
-    driver.run()
-    problems = service.ledger.audit()
-    if problems:
-        raise AssertionError(
-            "ledger invariant violated during sweep: " + "; ".join(problems)
-        )
+    tracer: Optional[Tracer] = (
+        Tracer(SimulatedServerDriver.clock(simulator)) if trace else None
+    )
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(activated(tracer))
+            stack.enter_context(
+                tracer.span(
+                    "run.server_sweep",
+                    multiplier=multiplier,
+                    seed=seed,
+                    horizon_s=horizon_s,
+                )
+            )
+        driver.schedule_trace(arrivals, to_request)
+        driver.run()
+        problems = service.ledger.audit()
+        if problems:
+            raise AssertionError(
+                "ledger invariant violated during sweep: " + "; ".join(problems)
+            )
 
     metrics = service.metrics
     submitted = metrics.count("submitted")
     admitted = metrics.count("admitted")
-    offered = trace.offered_rate_per_s()
+    offered = arrivals.offered_rate_per_s()
     metrics_json = metrics.to_json(
         extra={
             "multiplier": multiplier,
@@ -223,6 +251,7 @@ def run_server_once(
         p50_total_ms=metrics.stage("total_ms").percentile(50),
         p99_total_ms=metrics.stage("total_ms").percentile(99),
         metrics_json=metrics_json,
+        trace_ndjson=tracer.export_ndjson() if tracer is not None else "",
     )
 
 

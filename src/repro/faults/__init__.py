@@ -6,7 +6,7 @@ manager re-runs the two-tier configuration (with graceful QoS degradation
 and a bounded retry budget) to keep sessions alive — or tears them down
 with a structured failure report when it cannot.
 
-Everything runs on a :class:`~repro.faults.scheduling.Scheduler`
+Everything runs on a :class:`~repro.runtime.clock.Scheduler`
 abstraction, so the same code is deterministic under the simulation kernel
 and live under wall-clock threads.
 """
@@ -21,7 +21,7 @@ from repro.faults.model import (
     random_fault_schedule,
 )
 from repro.faults.recovery import RecoveryManager, RecoveryPolicy, RecoveryReport
-from repro.faults.scheduling import Scheduler, SimScheduler, WallClockScheduler
+from repro.runtime.clock import Scheduler, SimScheduler, WallClockScheduler
 
 __all__ = [
     "FailureDetector",

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Set
 from repro.domain.domain import DomainServer
 from repro.events.types import Event, Topics
 from repro.faults.metrics import RecoveryMetrics
-from repro.faults.scheduling import Scheduler
+from repro.runtime.clock import Scheduler
 
 
 class FailureDetector:

@@ -24,7 +24,7 @@ from repro.domain.domain import DomainServer
 from repro.events.types import Topics
 from repro.faults.metrics import RecoveryMetrics
 from repro.faults.model import FaultKind, FaultSchedule, FaultSpec
-from repro.faults.scheduling import Scheduler
+from repro.runtime.clock import Scheduler
 
 _KIND_COUNTERS = {
     FaultKind.DEVICE_CRASH: "crash_faults",

@@ -1,10 +1,13 @@
 """Recovery metrics: what broke, what was detected, what was healed.
 
-Mirrors :class:`~repro.server.metrics.ServerMetrics` — thread-safe
+Mirrors :class:`~repro.server.metrics.ServerMetrics` — a facade over the
+unified :class:`~repro.observability.metrics.MetricsRegistry` (namespace
+``recovery.``) that keeps its historical API and JSON shape: thread-safe
 counters plus nearest-rank latency recorders, serialized with sorted keys
 and fixed rounding so two runs that made the same decisions produce
 byte-identical JSON (the chaos sweep's determinism guard asserts exactly
-that).
+that). Pass the same ``registry=`` to both facades to aggregate a whole
+run in one place.
 
 The three latency stages are the subsystem's headline numbers:
 
@@ -22,7 +25,15 @@ import json
 import threading
 from typing import Dict, Optional
 
-from repro.server.metrics import LatencyRecorder, _round
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    stable_round as _round,
+)
+
+#: Backwards-compatible alias (the historical import path for recorders).
+LatencyRecorder = Histogram
 
 #: Every counter the recovery subsystem maintains, in reporting order.
 COUNTER_NAMES = (
@@ -53,18 +64,24 @@ STAGE_NAMES = (
 class RecoveryMetrics:
     """Thread-safe counters + per-stage latency percentiles."""
 
-    def __init__(self) -> None:
+    NAMESPACE = "recovery"
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
-        self._stages: Dict[str, LatencyRecorder] = {
-            name: LatencyRecorder() for name in STAGE_NAMES
+        self.registry = registry if registry is not None else MetricsRegistry()
+        prefix = self.NAMESPACE + "."
+        self._counters: Dict[str, Counter] = {
+            name: self.registry.counter(prefix + name) for name in COUNTER_NAMES
+        }
+        self._stages: Dict[str, Histogram] = {
+            name: self.registry.histogram(prefix + name) for name in STAGE_NAMES
         }
 
     def incr(self, counter: str, by: int = 1) -> None:
         with self._lock:
             if counter not in self._counters:
                 raise KeyError(f"unknown counter {counter!r}")
-            self._counters[counter] += by
+            self._counters[counter].incr(by)
 
     def record(self, stage: str, value_ms: float) -> None:
         with self._lock:
@@ -74,16 +91,16 @@ class RecoveryMetrics:
 
     def count(self, counter: str) -> int:
         with self._lock:
-            return self._counters[counter]
+            return self._counters[counter].value
 
-    def stage(self, name: str) -> LatencyRecorder:
+    def stage(self, name: str) -> Histogram:
         return self._stages[name]
 
     def recovery_success_rate(self) -> float:
         """Recovered fraction of affected sessions (1.0 when none affected)."""
         with self._lock:
-            affected = self._counters["sessions_affected"]
-            recovered = self._counters["recoveries"]
+            affected = self._counters["sessions_affected"].value
+            recovered = self._counters["recoveries"].value
         if affected == 0:
             return 1.0
         return recovered / affected
@@ -91,7 +108,9 @@ class RecoveryMetrics:
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict view: counters, derived rates, stage summaries."""
         with self._lock:
-            counters = dict(self._counters)
+            counters = {
+                name: counter.value for name, counter in self._counters.items()
+            }
             stages = {
                 name: recorder.summary()
                 for name, recorder in self._stages.items()

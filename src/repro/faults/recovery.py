@@ -34,7 +34,8 @@ from typing import Dict, List, Optional, Set
 from repro.events.types import Event, Topics
 from repro.faults.metrics import RecoveryMetrics
 from repro.faults.model import FaultKind
-from repro.faults.scheduling import Scheduler
+from repro.observability.tracing import get_tracer
+from repro.runtime.clock import Scheduler
 from repro.runtime.configurator import ServiceConfigurator
 from repro.runtime.degradation import DegradationLadder, scale_graph_demand
 from repro.runtime.session import ApplicationSession, SessionState
@@ -106,6 +107,10 @@ class _Episode:
     attempts: int = 0
     interruption_ms: float = 0.0
     handle: Optional[object] = field(default=None, repr=False)
+    # Detached tracing span covering the whole episode (detect →
+    # quarantine → recovery attempts); episodes live across scheduler
+    # callbacks, so the span cannot sit on any call stack.
+    span: Optional[object] = field(default=None, repr=False)
 
 
 class RecoveryManager:
@@ -196,6 +201,14 @@ class RecoveryManager:
                 continue
             self.metrics.incr("sessions_affected")
             episode = _Episode(session, device_id, detected_at_s=now)
+            episode.span = (
+                get_tracer()
+                .begin("recovery.episode")
+                .set("session_id", session.session_id)
+                .set("device_id", device_id)
+            )
+            episode.span.event("detected", now)
+            episode.span.event("quarantined", now)
             self._episodes[session.session_id] = episode
             episode.handle = self.scheduler.schedule(
                 0.0, lambda e=episode: self._attempt(e)
@@ -214,14 +227,23 @@ class RecoveryManager:
 
         level_label: Optional[str] = None
         degraded = False
-        if episode.attempts == 1 and session.running:
-            # First, try to keep the admitted quality: redistribute the
-            # existing graph around the hole the crash left.
-            record = session.redistribute(
-                label=f"recover:{episode.device_id}", skip_downloads=True
-            )
-        else:
-            record, level_label, degraded = self._restart(session, episode)
+        with get_tracer().span(
+            "recovery.attempt",
+            parent=episode.span,
+            number=episode.attempts,
+            session_id=session.session_id,
+        ) as attempt_span:
+            if episode.attempts == 1 and session.running:
+                # First, try to keep the admitted quality: redistribute the
+                # existing graph around the hole the crash left.
+                attempt_span.set("mode", "redistribute")
+                record = session.redistribute(
+                    label=f"recover:{episode.device_id}", skip_downloads=True
+                )
+            else:
+                attempt_span.set("mode", "restart")
+                record, level_label, degraded = self._restart(session, episode)
+            attempt_span.set("success", record.success)
         episode.interruption_ms += record.timing.total_ms
 
         if record.success:
@@ -322,6 +344,13 @@ class RecoveryManager:
 
     def _finish(self, episode: _Episode, report: RecoveryReport, topic: str) -> None:
         self._episodes.pop(episode.session.session_id, None)
+        if episode.span is not None:
+            episode.span.set("recovered", report.recovered)
+            episode.span.set("degraded", report.degraded)
+            episode.span.set("attempts", report.attempts)
+            get_tracer().finish(
+                episode.span, status="ok" if report.recovered else "error"
+            )
         self.reports.append(report)
         self.configurator.bus.emit(
             topic,

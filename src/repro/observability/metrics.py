@@ -1,0 +1,194 @@
+"""The unified metrics substrate: counters, gauges, histograms, one registry.
+
+Every aggregation path in the repo reports through a
+:class:`MetricsRegistry`: :class:`~repro.server.metrics.ServerMetrics`
+and :class:`~repro.faults.metrics.RecoveryMetrics` are thin facades that
+namespace their instruments here (``server.*`` / ``recovery.*``) while
+preserving their historical JSON shapes byte-for-byte.
+
+Percentiles use the nearest-rank method on the full sample set, and all
+serialization uses sorted keys plus fixed rounding
+(:func:`stable_round`), preserving the deterministic-replay guarantee the
+sim driver's tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, List, Optional
+
+
+def stable_round(value: float) -> float:
+    """Fixed rounding so serialized metrics are stable across runs."""
+    return round(value, 6)
+
+
+class Counter:
+    """A monotonically adjusted integer (decrements allowed but unusual)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def incr(self, by: int = 1) -> None:
+        self._value += by
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time numeric reading (last write wins)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Collects samples for one distribution (milliseconds by convention).
+
+    Exact nearest-rank percentile semantics; the summary shape matches
+    the historical ``LatencyRecorder`` (of which this class is the
+    successor — ``LatencyRecorder`` is now an alias).
+    """
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": len(self._samples),
+            "mean": stable_round(sum(self._samples) / len(self._samples)),
+            "p50": stable_round(self.percentile(50)),
+            "p90": stable_round(self.percentile(90)),
+            "p99": stable_round(self.percentile(99)),
+            "max": stable_round(max(self._samples)),
+        }
+
+
+class MetricsRegistry:
+    """Process-wide named instruments with get-or-create access.
+
+    Names are dotted (``server.admitted``, ``recovery.mttr_ms``); the
+    registry does not interpret them, but facades use the prefix as their
+    namespace. All access is serialized on one lock — instruments are
+    cheap and the hot paths touch them a handful of times per request.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def names(self) -> List[str]:
+        """Every registered instrument name, sorted."""
+        with self._lock:
+            return sorted(
+                set(self._counters) | set(self._gauges) | set(self._histograms)
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view of every instrument, keyed by kind then name."""
+        with self._lock:
+            counters = {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            }
+            gauges = {
+                name: stable_round(gauge.value)
+                for name, gauge in sorted(self._gauges.items())
+            }
+            histograms = {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, extra: Optional[Dict[str, object]] = None) -> str:
+        """Deterministic JSON serialization of :meth:`snapshot`."""
+        payload = self.snapshot()
+        if extra:
+            payload = {**payload, **extra}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def export_ndjson(self) -> str:
+        """One JSON object per instrument — the streaming-friendly view."""
+        snapshot = self.snapshot()
+        lines: List[str] = []
+        for kind_key, kind in (
+            ("counters", "counter"),
+            ("gauges", "gauge"),
+            ("histograms", "histogram"),
+        ):
+            for name, value in snapshot[kind_key].items():  # type: ignore[union-attr]
+                lines.append(
+                    json.dumps(
+                        {"kind": kind, "name": name, "value": value},
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                )
+        return "\n".join(lines) + ("\n" if lines else "")

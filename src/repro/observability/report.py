@@ -1,0 +1,192 @@
+"""Turn an exported NDJSON trace back into human-readable summaries.
+
+The engine behind ``python -m repro trace-report``: parse the span
+stream, rebuild the trace trees, and render
+
+- a per-phase latency breakdown — for every span name, the sample count,
+  total/mean/p50/p95/max duration, and *self* time (duration minus the
+  time attributed to child spans), and
+- critical-path summaries — for the longest trace roots, the chain built
+  by repeatedly descending into the longest-duration child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import json
+
+from repro.observability.metrics import Histogram, stable_round
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One parsed NDJSON span line."""
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_s: float
+    end_s: Optional[float]
+    duration_ms: float
+    status: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+    events: Tuple[Dict[str, object], ...] = ()
+
+
+def load_spans(ndjson_text: str) -> List[SpanRecord]:
+    """Parse NDJSON trace output (blank lines ignored)."""
+    records: List[SpanRecord] = []
+    for line_no, line in enumerate(ndjson_text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {line_no}: not valid JSON: {exc}") from exc
+        records.append(
+            SpanRecord(
+                trace_id=raw["trace_id"],
+                span_id=raw["span_id"],
+                parent_id=raw.get("parent_id"),
+                name=raw["name"],
+                start_s=raw["start_s"],
+                end_s=raw.get("end_s"),
+                duration_ms=raw.get("duration_ms", 0.0),
+                status=raw.get("status", "ok"),
+                attributes=raw.get("attributes", {}),
+                events=tuple(raw.get("events", ())),
+            )
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Aggregated latency for one span name."""
+
+    name: str
+    count: int
+    total_ms: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+    self_ms: float
+
+
+class TraceReport:
+    """Trace trees + aggregate views over a list of span records."""
+
+    def __init__(self, spans: List[SpanRecord]) -> None:
+        self.spans = spans
+        self._children: Dict[Tuple[int, int], List[SpanRecord]] = {}
+        self._roots: List[SpanRecord] = []
+        for span in spans:
+            if span.parent_id is None:
+                self._roots.append(span)
+            else:
+                key = (span.trace_id, span.parent_id)
+                self._children.setdefault(key, []).append(span)
+        for children in self._children.values():
+            children.sort(key=lambda s: (s.start_s, s.span_id))
+        self._roots.sort(key=lambda s: (s.start_s, s.span_id))
+
+    @classmethod
+    def from_ndjson(cls, ndjson_text: str) -> "TraceReport":
+        return cls(load_spans(ndjson_text))
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def roots(self) -> List[SpanRecord]:
+        return list(self._roots)
+
+    @property
+    def trace_count(self) -> int:
+        return len({span.trace_id for span in self.spans})
+
+    def children(self, span: SpanRecord) -> List[SpanRecord]:
+        return list(self._children.get((span.trace_id, span.span_id), ()))
+
+    # -- aggregates ----------------------------------------------------------
+
+    def phase_stats(self) -> List[PhaseStats]:
+        """Per-span-name latency aggregation, sorted by total time desc."""
+        durations: Dict[str, Histogram] = {}
+        self_time: Dict[str, float] = {}
+        for span in self.spans:
+            durations.setdefault(span.name, Histogram(span.name)).record(
+                span.duration_ms
+            )
+            child_ms = sum(c.duration_ms for c in self.children(span))
+            self_time[span.name] = self_time.get(span.name, 0.0) + max(
+                0.0, span.duration_ms - child_ms
+            )
+        stats = []
+        for name, histogram in durations.items():
+            total = sum(histogram._samples)
+            stats.append(
+                PhaseStats(
+                    name=name,
+                    count=histogram.count,
+                    total_ms=stable_round(total),
+                    mean_ms=stable_round(total / histogram.count),
+                    p50_ms=stable_round(histogram.percentile(50)),
+                    p95_ms=stable_round(histogram.percentile(95)),
+                    max_ms=stable_round(histogram.percentile(100)),
+                    self_ms=stable_round(self_time[name]),
+                )
+            )
+        stats.sort(key=lambda s: (-s.total_ms, s.name))
+        return stats
+
+    def critical_path(self, root: SpanRecord) -> List[SpanRecord]:
+        """Descend from ``root`` into the longest-duration child each level."""
+        path = [root]
+        node = root
+        while True:
+            children = self.children(node)
+            if not children:
+                return path
+            node = max(children, key=lambda s: (s.duration_ms, -s.span_id))
+            path.append(node)
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_report(self, critical_paths: int = 3) -> str:
+        """The trace-report text: phase table + top critical paths."""
+        lines = [
+            f"trace report: {self.trace_count} trace(s), "
+            f"{len(self.spans)} span(s), {len(self._roots)} root(s)",
+            "",
+            "per-phase latency (ms)",
+            f"{'phase':<34}{'count':>7}{'total':>12}{'mean':>10}"
+            f"{'p50':>10}{'p95':>10}{'max':>10}{'self':>12}",
+        ]
+        for stat in self.phase_stats():
+            lines.append(
+                f"{stat.name:<34}{stat.count:>7}{stat.total_ms:>12.3f}"
+                f"{stat.mean_ms:>10.3f}{stat.p50_ms:>10.3f}"
+                f"{stat.p95_ms:>10.3f}{stat.max_ms:>10.3f}"
+                f"{stat.self_ms:>12.3f}"
+            )
+        top_roots = sorted(
+            self._roots, key=lambda s: (-s.duration_ms, s.span_id)
+        )[: max(0, critical_paths)]
+        for root in top_roots:
+            lines.append("")
+            lines.append(
+                f"critical path (trace {root.trace_id}, root "
+                f"'{root.name}', {root.duration_ms:.3f} ms)"
+            )
+            for depth, span in enumerate(self.critical_path(root)):
+                marker = "error " if span.status != "ok" else ""
+                lines.append(
+                    f"{'  ' * (depth + 1)}{marker}{span.name}"
+                    f"  {span.duration_ms:.3f} ms"
+                )
+        return "\n".join(lines)

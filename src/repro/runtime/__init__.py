@@ -8,6 +8,7 @@ application sessions with device-switch handoffs, and the
 drive.
 """
 
+from repro.runtime.clock import Scheduler, SimScheduler, WallClockScheduler
 from repro.runtime.repository import ComponentRepository
 from repro.runtime.deployment import (
     ConfigurationTiming,
@@ -27,6 +28,9 @@ from repro.runtime.degradation import (
 )
 
 __all__ = [
+    "Scheduler",
+    "SimScheduler",
+    "WallClockScheduler",
     "ComponentRepository",
     "ConfigurationTiming",
     "Deployer",

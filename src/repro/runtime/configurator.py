@@ -27,6 +27,7 @@ from repro.graph.cuts import Assignment
 from repro.graph.service_graph import ServiceGraph
 from repro.mobility.migration import HandoffReport, MigrationService, StateHandoffProtocol
 from repro.network.links import transfer_time_s
+from repro.observability.tracing import get_tracer
 from repro.runtime.deployment import (
     ConfigurationTiming,
     Deployer,
@@ -202,6 +203,24 @@ class ServiceConfigurator:
         actually distributed and deployed — the hook QoS-degradation uses
         to scale demand to the admitted quality level.
         """
+        with get_tracer().span(
+            "configure", session_id=session.session_id, label=label
+        ) as span:
+            record = self._configure(
+                session, request, label, skip_downloads, graph_transform
+            )
+            span.set("success", record.success)
+            span.set("conflict", record.conflict)
+            return record
+
+    def _configure(
+        self,
+        session: ApplicationSession,
+        request: CompositionRequest,
+        label: str,
+        skip_downloads: bool,
+        graph_transform,
+    ) -> ConfigurationRecord:
         composition = self.composer.compose(request)
         composition_s = self.cost_model.composition_time_s(composition)
         if not composition.success or composition.graph is None:
@@ -281,6 +300,24 @@ class ServiceConfigurator:
         the changed environment, and the stateful components' checkpoints
         are handed off from their old devices to their new ones.
         """
+        with get_tracer().span(
+            "reconfigure", session_id=session.session_id, label=label
+        ) as span:
+            record = self._reconfigure(
+                session, request, label, old_client, new_client, skip_downloads
+            )
+            span.set("success", record.success)
+            return record
+
+    def _reconfigure(
+        self,
+        session: ApplicationSession,
+        request: CompositionRequest,
+        label: str,
+        old_client: Optional[str],
+        new_client: str,
+        skip_downloads: bool,
+    ) -> ConfigurationRecord:
         old_graph = session.graph
         old_assignment = (
             session.deployment.assignment if session.deployment is not None else None
@@ -323,6 +360,20 @@ class ServiceConfigurator:
         """Re-run tier 2 only, on the session's existing consistent graph."""
         if session.graph is None:
             raise RuntimeError("session has no configured graph to redistribute")
+        with get_tracer().span(
+            "redistribute", session_id=session.session_id, label=label
+        ) as span:
+            record = self._redistribute(session, label, skip_downloads)
+            span.set("success", record.success)
+            span.set("conflict", record.conflict)
+            return record
+
+    def _redistribute(
+        self,
+        session: ApplicationSession,
+        label: str,
+        skip_downloads: bool,
+    ) -> ConfigurationRecord:
         old_assignment = (
             session.deployment.assignment if session.deployment is not None else None
         )
@@ -422,6 +473,24 @@ class ServiceConfigurator:
         surfaces as ``(None, True)`` so callers can retry on a fresh
         snapshot instead of reporting a hard failure.
         """
+        with get_tracer().span(
+            "deployment.deploy", ledger=self.ledger is not None
+        ) as span:
+            deployment, conflict = self._deploy_inner(
+                session, graph, assignment, devices, skip_downloads
+            )
+            span.set("success", deployment is not None)
+            span.set("conflict", conflict)
+            return deployment, conflict
+
+    def _deploy_inner(
+        self,
+        session: ApplicationSession,
+        graph: ServiceGraph,
+        assignment: Assignment,
+        devices: Dict[str, object],
+        skip_downloads: bool,
+    ):
         if self.ledger is None:
             try:
                 return (

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.composition.composer import CompositionRequest
+from repro.observability.tracing import get_tracer
 from repro.runtime.configurator import ServiceConfigurator
 from repro.runtime.degradation import DegradationLadder, scale_graph_demand
 from repro.runtime.session import (
@@ -119,6 +120,17 @@ class AdmissionController:
         session = self.configurator.create_session(
             request, user_id=user_id, session_id=session_id
         )
+        with get_tracer().span(
+            "admission.admit", session_id=session.session_id
+        ) as span:
+            result = self._walk(session)
+            span.set("admitted", result.success)
+            span.set("level", result.admitted_level or "")
+            span.set("attempts", len(result.attempts))
+            span.set("conflict_retries", result.conflict_retries)
+            return result
+
+    def _walk(self, session: ApplicationSession) -> AdmissionResult:
         result = AdmissionResult(session=session, admitted_level=None)
         levels = self.ladder.levels if self.ladder is not None else (None,)
         for level in levels:

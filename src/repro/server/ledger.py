@@ -40,6 +40,7 @@ from repro.domain.domain import DomainServer
 from repro.graph.cuts import Assignment
 from repro.graph.service_graph import ServiceGraph
 from repro.network.topology import BandwidthReservation
+from repro.observability.tracing import get_tracer
 from repro.resources.vectors import ResourceVector
 
 
@@ -129,6 +130,19 @@ class ReservationLedger:
         longer has room once live allocations *and* other transactions'
         pending holds are counted.
         """
+        with get_tracer().span(
+            "ledger.prepare", txn=txn.txn_id, owner=txn.owner
+        ) as span:
+            self._prepare(txn, graph, assignment)
+            span.set("devices", len(txn.device_holds))
+            span.set("links", len(txn.link_holds))
+
+    def _prepare(
+        self,
+        txn: ReservationTransaction,
+        graph: ServiceGraph,
+        assignment: Assignment,
+    ) -> None:
         with self._lock:
             self._require(txn, TransactionState.PENDING)
             loads = assignment.device_loads(graph)
@@ -189,6 +203,17 @@ class ReservationLedger:
         commit — the transaction is then aborted (partial acquisitions
         rolled back) and :class:`LedgerConflictError` raised.
         """
+        with get_tracer().span(
+            "ledger.commit", txn=txn.txn_id, owner=txn.owner
+        ) as span:
+            allocations, reservations = self._commit(txn)
+            span.set("allocations", len(allocations))
+            span.set("reservations", len(reservations))
+            return allocations, reservations
+
+    def _commit(
+        self, txn: ReservationTransaction
+    ) -> Tuple[List[ResourceAllocation], List[BandwidthReservation]]:
         with self._lock:
             self._require(txn, TransactionState.PREPARED)
             allocations: List[ResourceAllocation] = []
@@ -229,31 +254,33 @@ class ReservationLedger:
 
     def abort(self, txn: ReservationTransaction) -> None:
         """Drop a not-yet-committed transaction (idempotent)."""
-        with self._lock:
-            if txn.state is TransactionState.PREPARED:
-                self._drop_pending(txn)
-            if txn.state in (TransactionState.PENDING, TransactionState.PREPARED):
-                txn.state = TransactionState.ABORTED
-                self._version += 1
+        with get_tracer().span("ledger.abort", txn=txn.txn_id):
+            with self._lock:
+                if txn.state is TransactionState.PREPARED:
+                    self._drop_pending(txn)
+                if txn.state in (TransactionState.PENDING, TransactionState.PREPARED):
+                    txn.state = TransactionState.ABORTED
+                    self._version += 1
 
     def release(self, txn: ReservationTransaction) -> None:
         """Retire a committed transaction, freeing every resource it holds."""
-        with self._lock:
-            if txn.state is not TransactionState.COMMITTED:
-                self.abort(txn)
-                return
-            for allocation in txn.allocations:
-                try:
-                    device = self.server.domain.device(allocation.device_id)
-                except KeyError:
-                    continue
-                device.release(allocation)
-            for reservation in txn.reservations:
-                self.server.network.release(reservation)
-            txn.allocations = []
-            txn.reservations = []
-            txn.state = TransactionState.RELEASED
-            self._version += 1
+        with get_tracer().span("ledger.release", txn=txn.txn_id):
+            with self._lock:
+                if txn.state is not TransactionState.COMMITTED:
+                    self.abort(txn)
+                    return
+                for allocation in txn.allocations:
+                    try:
+                        device = self.server.domain.device(allocation.device_id)
+                    except KeyError:
+                        continue
+                    device.release(allocation)
+                for reservation in txn.reservations:
+                    self.server.network.release(reservation)
+                txn.allocations = []
+                txn.reservations = []
+                txn.state = TransactionState.RELEASED
+                self._version += 1
 
     # -- planning snapshots --------------------------------------------------------
 

@@ -1,62 +1,36 @@
-"""The server's metrics surface.
+"""The server's metrics surface, backed by the unified registry.
 
-Counters for every request disposition plus latency recorders for each
-stage of the pipeline (queue wait, composition, distribution, deployment,
-end-to-end). Percentiles use the nearest-rank method on the full sample
-set, and :meth:`ServerMetrics.to_json` serializes with sorted keys and
-fixed float rounding — two runs that made the same decisions produce
-byte-identical JSON, which is what the deterministic-replay guarantee of
-the sim driver is asserted against.
+:class:`ServerMetrics` keeps its historical API and JSON shape — counters
+for every request disposition plus latency recorders for each stage of
+the pipeline (queue wait, composition, distribution, deployment,
+end-to-end) — but the instruments themselves now live in a
+:class:`~repro.observability.metrics.MetricsRegistry` under the
+``server.`` namespace, so one registry can aggregate the server, the
+recovery subsystem, and anything else in a run.
+
+Percentiles use the nearest-rank method on the full sample set, and
+:meth:`ServerMetrics.to_json` serializes with sorted keys and fixed float
+rounding — two runs that made the same decisions produce byte-identical
+JSON, which is what the deterministic-replay guarantee of the sim driver
+is asserted against.
 """
 
 from __future__ import annotations
 
 import json
-import math
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    stable_round as _round,
+)
 
-def _round(value: float) -> float:
-    """Fixed rounding so serialized metrics are stable across runs."""
-    return round(value, 6)
-
-
-class LatencyRecorder:
-    """Collects samples for one pipeline stage (milliseconds by convention)."""
-
-    def __init__(self) -> None:
-        self._samples: List[float] = []
-
-    def record(self, value: float) -> None:
-        self._samples.append(value)
-
-    @property
-    def count(self) -> int:
-        return len(self._samples)
-
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile; 0.0 when empty."""
-        if not self._samples:
-            return 0.0
-        if not 0 < p <= 100:
-            raise ValueError("percentile must be in (0, 100]")
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
-
-    def summary(self) -> Dict[str, float]:
-        if not self._samples:
-            return {"count": 0}
-        return {
-            "count": len(self._samples),
-            "mean": _round(sum(self._samples) / len(self._samples)),
-            "p50": _round(self.percentile(50)),
-            "p90": _round(self.percentile(90)),
-            "p99": _round(self.percentile(99)),
-            "max": _round(max(self._samples)),
-        }
-
+#: Backwards-compatible alias: the stage recorder is now the registry's
+#: histogram type (identical record/percentile/summary semantics).
+LatencyRecorder = Histogram
 
 #: Every counter the service maintains, in reporting order.
 COUNTER_NAMES = (
@@ -81,20 +55,32 @@ STAGE_NAMES = (
 
 
 class ServerMetrics:
-    """Thread-safe counters + per-stage latency percentiles."""
+    """Thread-safe counters + per-stage latency percentiles.
 
-    def __init__(self) -> None:
+    A facade over a :class:`MetricsRegistry` (a private one by default;
+    pass ``registry=`` to share one across subsystems). Instrument names
+    are prefixed ``server.`` inside the registry; this class's own API is
+    unprefixed and unchanged.
+    """
+
+    NAMESPACE = "server"
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
-        self._stages: Dict[str, LatencyRecorder] = {
-            name: LatencyRecorder() for name in STAGE_NAMES
+        self.registry = registry if registry is not None else MetricsRegistry()
+        prefix = self.NAMESPACE + "."
+        self._counters: Dict[str, Counter] = {
+            name: self.registry.counter(prefix + name) for name in COUNTER_NAMES
+        }
+        self._stages: Dict[str, Histogram] = {
+            name: self.registry.histogram(prefix + name) for name in STAGE_NAMES
         }
 
     def incr(self, counter: str, by: int = 1) -> None:
         with self._lock:
             if counter not in self._counters:
                 raise KeyError(f"unknown counter {counter!r}")
-            self._counters[counter] += by
+            self._counters[counter].incr(by)
 
     def record(self, stage: str, value_ms: float) -> None:
         with self._lock:
@@ -104,24 +90,26 @@ class ServerMetrics:
 
     def count(self, counter: str) -> int:
         with self._lock:
-            return self._counters[counter]
+            return self._counters[counter].value
 
     @property
     def shed_total(self) -> int:
         with self._lock:
             return (
-                self._counters["shed_queue_full"]
-                + self._counters["shed_overload"]
-                + self._counters["shed_deadline"]
+                self._counters["shed_queue_full"].value
+                + self._counters["shed_overload"].value
+                + self._counters["shed_deadline"].value
             )
 
-    def stage(self, name: str) -> LatencyRecorder:
+    def stage(self, name: str) -> Histogram:
         return self._stages[name]
 
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict view: counters, derived rates, stage summaries."""
         with self._lock:
-            counters = dict(self._counters)
+            counters = {
+                name: counter.value for name, counter in self._counters.items()
+            }
             stages = {
                 name: recorder.summary()
                 for name, recorder in self._stages.items()

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.composition.composer import CompositionRequest
+from repro.observability.tracing import get_tracer
 from repro.runtime.configurator import ServiceConfigurator
 from repro.runtime.degradation import DegradationLadder
 from repro.runtime.session import ApplicationSession, ConfigurationRecord
@@ -187,26 +188,32 @@ class DomainConfigurationService:
 
     def _serve(self, queued: QueuedRequest) -> RequestOutcome:
         request: ServerRequest = queued.request  # type: ignore[assignment]
-        now = self._clock()
-        wait_s = max(0.0, now - queued.enqueued_at)
-        self.metrics.record("queue_wait_ms", wait_s * 1000.0)
-        if queued.expired(now):
-            self.metrics.incr("shed_deadline")
-            return self._finish(
-                RequestOutcome(
-                    request_id=request.request_id,
-                    status=RequestStatus.SHED,
-                    shed_reason="deadline",
-                    queue_wait_s=wait_s,
-                    duration_s=request.duration_s,
+        with get_tracer().span(
+            "server.serve", request_id=request.request_id
+        ) as span:
+            now = self._clock()
+            wait_s = max(0.0, now - queued.enqueued_at)
+            self.metrics.record("queue_wait_ms", wait_s * 1000.0)
+            if queued.expired(now):
+                self.metrics.incr("shed_deadline")
+                span.set("status", RequestStatus.SHED.value)
+                return self._finish(
+                    RequestOutcome(
+                        request_id=request.request_id,
+                        status=RequestStatus.SHED,
+                        shed_reason="deadline",
+                        queue_wait_s=wait_s,
+                        duration_s=request.duration_s,
+                    )
                 )
+            result = self.admission.admit(
+                request.composition,
+                user_id=request.user_id,
+                session_id=f"{request.request_id}/session",
             )
-        result = self.admission.admit(
-            request.composition,
-            user_id=request.user_id,
-            session_id=f"{request.request_id}/session",
-        )
-        return self._finish(self._outcome_from(request, wait_s, result))
+            outcome = self._outcome_from(request, wait_s, result)
+            span.set("status", outcome.status.value)
+            return self._finish(outcome)
 
     def _outcome_from(
         self,

@@ -162,31 +162,14 @@ class TestBudget:
         result = OptimalDistributor().distribute(graph, two_device_env)
         assert not result.budget_exhausted
 
-    def test_deprecated_instance_flag_still_readable(self, two_device_env):
-        graph = random_service_graph(
-            random.Random(1), RandomGraphConfig(node_count=(12, 12))
-        )
-        strategy = OptimalDistributor(max_nodes=3)
-        strategy.distribute(graph, two_device_env)
-        with pytest.deprecated_call():
-            assert strategy.budget_exhausted
-
-    def test_deprecated_flag_mirrors_result_when_exhausted(self, two_device_env):
-        graph = random_service_graph(
-            random.Random(1), RandomGraphConfig(node_count=(12, 12))
-        )
-        strategy = OptimalDistributor(max_nodes=3)
-        result = strategy.distribute(graph, two_device_env)
-        with pytest.deprecated_call():
-            assert strategy.budget_exhausted == result.budget_exhausted
-
-    def test_deprecated_flag_mirrors_result_when_clean(self, two_device_env):
+    def test_instance_mirror_removed(self, two_device_env):
+        # The deprecated instance-level mirror is gone: the flag lives only
+        # on the returned DistributionResult.
         graph = chain_graph("a", "b")
         strategy = OptimalDistributor()
         result = strategy.distribute(graph, two_device_env)
         assert not result.budget_exhausted
-        with pytest.deprecated_call():
-            assert strategy.budget_exhausted == result.budget_exhausted
+        assert not hasattr(strategy, "budget_exhausted")
 
     def test_invalid_budget_rejected(self):
         with pytest.raises(ValueError):

@@ -7,7 +7,7 @@ from repro.events.types import Topics
 from repro.faults.detector import FailureDetector
 from repro.faults.injector import FaultInjector
 from repro.faults.model import FaultKind, FaultSpec
-from repro.faults.scheduling import SimScheduler
+from repro.runtime.clock import SimScheduler
 from repro.sim.kernel import Simulator
 
 

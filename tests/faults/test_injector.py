@@ -6,7 +6,7 @@ from repro.apps.audio_on_demand import build_audio_testbed
 from repro.events.types import Topics
 from repro.faults.injector import FaultInjector
 from repro.faults.model import FaultKind, FaultSchedule, FaultSpec
-from repro.faults.scheduling import SimScheduler
+from repro.runtime.clock import SimScheduler
 from repro.sim.kernel import Simulator
 
 

@@ -10,7 +10,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.metrics import RecoveryMetrics
 from repro.faults.model import FaultKind, FaultSchedule, FaultSpec
 from repro.faults.recovery import RecoveryManager, RecoveryPolicy
-from repro.faults.scheduling import SimScheduler
+from repro.runtime.clock import SimScheduler
 from repro.runtime.session import SessionState
 from repro.server.ledger import ReservationLedger
 from repro.sim.kernel import Simulator

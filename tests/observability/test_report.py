@@ -1,0 +1,99 @@
+"""Parsing NDJSON traces and rendering the trace report."""
+
+import pytest
+
+from repro.observability.report import TraceReport, load_spans
+from repro.observability.tracing import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def sample_trace() -> str:
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.span("root"):
+        clock.advance(0.010)
+        with tracer.span("fast"):
+            clock.advance(0.002)
+        with tracer.span("slow"):
+            clock.advance(0.030)
+            with tracer.span("leaf"):
+                clock.advance(0.005)
+    return tracer.export_ndjson()
+
+
+class TestLoadSpans:
+    def test_round_trip(self):
+        spans = load_spans(sample_trace())
+        assert len(spans) == 4
+        assert {span.name for span in spans} == {"root", "fast", "slow", "leaf"}
+
+    def test_blank_lines_ignored(self):
+        assert load_spans("\n\n" + sample_trace() + "\n") == load_spans(
+            sample_trace()
+        )
+
+    def test_invalid_json_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_spans('{"trace_id":1,"span_id":1,"parent_id":null,'
+                       '"name":"a","start_s":0}\nnot-json')
+
+
+class TestTraceReport:
+    def test_roots_and_children(self):
+        report = TraceReport.from_ndjson(sample_trace())
+        assert [root.name for root in report.roots] == ["root"]
+        assert report.trace_count == 1
+        root = report.roots[0]
+        assert [child.name for child in report.children(root)] == [
+            "fast",
+            "slow",
+        ]
+
+    def test_phase_stats_self_time_excludes_children(self):
+        report = TraceReport.from_ndjson(sample_trace())
+        stats = {stat.name: stat for stat in report.phase_stats()}
+        # slow spans 35ms total but 5ms belong to leaf.
+        assert stats["slow"].total_ms == pytest.approx(35.0)
+        assert stats["slow"].self_ms == pytest.approx(30.0)
+        assert stats["leaf"].self_ms == pytest.approx(5.0)
+        # Sorted by total duration, root first.
+        assert report.phase_stats()[0].name == "root"
+
+    def test_critical_path_follows_longest_child(self):
+        report = TraceReport.from_ndjson(sample_trace())
+        path = report.critical_path(report.roots[0])
+        assert [span.name for span in path] == ["root", "slow", "leaf"]
+
+    def test_format_report_renders_phases_and_paths(self):
+        text = TraceReport.from_ndjson(sample_trace()).format_report()
+        assert "trace report: 1 trace(s), 4 span(s), 1 root(s)" in text
+        assert "per-phase latency (ms)" in text
+        for name in ("root", "fast", "slow", "leaf"):
+            assert name in text
+        assert "critical path (trace 1, root 'root'" in text
+
+    def test_format_report_empty_trace(self):
+        text = TraceReport.from_ndjson("").format_report()
+        assert "0 trace(s), 0 span(s), 0 root(s)" in text
+
+    def test_error_spans_marked_on_critical_path(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        try:
+            with tracer.span("root"):
+                clock.advance(0.01)
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        text = TraceReport.from_ndjson(tracer.export_ndjson()).format_report()
+        assert "error root" in text

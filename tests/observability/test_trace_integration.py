@@ -1,0 +1,129 @@
+"""End-to-end traces: one rooted tree per run, byte-identical per seed."""
+
+import json
+
+from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.experiments.chaos_sweep import run_chaos_once
+from repro.experiments.server_sweep import run_server_once
+from repro.observability.report import TraceReport
+from repro.observability.tracing import Tracer, activated
+from repro.server.ledger import ReservationLedger
+
+
+def configure_trace() -> str:
+    """One traced configure→deploy pass through the full stack."""
+    testbed = build_audio_testbed()
+    testbed.configurator.ledger = ReservationLedger(testbed.server)
+    tracer = Tracer()
+    with activated(tracer):
+        session = testbed.configurator.create_session(
+            audio_request(testbed, "jornada"), user_id="tracee"
+        )
+        record = session.start(label="traced", skip_downloads=True)
+        assert record.success
+    return tracer.export_ndjson()
+
+
+class TestConfigureSpanTree:
+    def test_single_rooted_trace(self):
+        report = TraceReport.from_ndjson(configure_trace())
+        assert report.trace_count == 1
+        assert len(report.roots) == 1
+        assert report.roots[0].name == "configure"
+
+    def test_tree_covers_every_tier(self):
+        report = TraceReport.from_ndjson(configure_trace())
+        names = {span.name for span in report.spans}
+        assert {
+            "configure",
+            "composition.compose",
+            "composition.oc_pass",
+            "discovery.lookup",
+            "distribution.search",
+            "deployment.deploy",
+            "ledger.prepare",
+            "ledger.commit",
+        } <= names
+
+    def test_parent_links_follow_the_call_structure(self):
+        report = TraceReport.from_ndjson(configure_trace())
+        root = report.roots[0]
+        child_names = {span.name for span in report.children(root)}
+        assert "composition.compose" in child_names
+        assert "distribution.search" in child_names
+        assert "deployment.deploy" in child_names
+        deploy = next(
+            span for span in report.spans if span.name == "deployment.deploy"
+        )
+        under_deploy = {span.name for span in report.children(deploy)}
+        assert "ledger.prepare" in under_deploy
+        assert "ledger.commit" in under_deploy
+
+    def test_jornada_session_records_transcoder_correction(self):
+        report = TraceReport.from_ndjson(configure_trace())
+        corrections = [
+            span for span in report.spans if span.name == "composition.correction"
+        ]
+        assert corrections, "PDA session should trigger a format correction"
+        assert all(span.attributes.get("applied") for span in corrections)
+
+
+class TestSimTraceDeterminism:
+    def test_chaos_trace_is_byte_identical_per_seed(self):
+        kwargs = dict(seed=42, horizon_s=240.0, driver="sim", trace=True)
+        first = run_chaos_once(4.0, **kwargs)
+        second = run_chaos_once(4.0, **kwargs)
+        assert first.trace_ndjson
+        assert first.trace_ndjson == second.trace_ndjson
+        assert first.metrics_json == second.metrics_json
+
+    def test_chaos_trace_is_one_tree_covering_recovery(self):
+        point = run_chaos_once(4.0, seed=42, horizon_s=240.0, trace=True)
+        report = TraceReport.from_ndjson(point.trace_ndjson)
+        assert len(report.roots) == 1
+        assert report.roots[0].name == "run.chaos"
+        assert report.trace_count == 1
+        names = {span.name for span in report.spans}
+        assert {
+            "configure",
+            "composition.compose",
+            "distribution.search",
+            "deployment.deploy",
+            "recovery.episode",
+            "recovery.attempt",
+        } <= names
+        episodes = [
+            span for span in report.spans if span.name == "recovery.episode"
+        ]
+        attempts = [
+            span for span in report.spans if span.name == "recovery.attempt"
+        ]
+        episode_ids = {span.span_id for span in episodes}
+        assert all(span.parent_id in episode_ids for span in attempts)
+
+    def test_tracing_does_not_perturb_the_golden_metrics(self):
+        kwargs = dict(seed=42, horizon_s=120.0, driver="sim")
+        plain = run_chaos_once(1.0, **kwargs)
+        traced = run_chaos_once(1.0, trace=True, **kwargs)
+        assert plain.trace_ndjson == ""
+        assert traced.trace_ndjson != ""
+        assert plain.metrics_json == traced.metrics_json
+        assert plain.as_dict() == traced.as_dict()
+
+    def test_server_sweep_trace_roots_and_determinism(self):
+        kwargs = dict(seed=42, horizon_s=60.0, trace=True)
+        first = run_server_once(1.0, **kwargs)
+        second = run_server_once(1.0, **kwargs)
+        assert first.trace_ndjson == second.trace_ndjson
+        report = TraceReport.from_ndjson(first.trace_ndjson)
+        assert [root.name for root in report.roots] == ["run.server_sweep"]
+        names = {span.name for span in report.spans}
+        assert "server.serve" in names
+        assert "admission.admit" in names
+
+    def test_trace_lines_are_canonical_json(self):
+        point = run_chaos_once(1.0, seed=42, horizon_s=120.0, trace=True)
+        for line in point.trace_ndjson.splitlines():
+            assert line == json.dumps(
+                json.loads(line), sort_keys=True, separators=(",", ":")
+            )

@@ -50,3 +50,49 @@ class TestCommands:
         assert main(["load-sweep", "--requests", "60", "--horizon", "12"]) == 0
         out = capsys.readouterr().out
         assert "Load sensitivity" in out
+
+    def test_chaos_sweep_trace_then_report(self, capsys, tmp_path):
+        trace_path = tmp_path / "chaos.ndjson"
+        assert (
+            main(
+                [
+                    "chaos-sweep",
+                    "--multipliers",
+                    "1.0",
+                    "--horizon",
+                    "90",
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"span trace NDJSON written to {trace_path}" in out
+        assert trace_path.read_text().strip()
+
+        assert main(["trace-report", str(trace_path)]) == 0
+        report = capsys.readouterr().out
+        assert "trace report:" in report
+        assert "per-phase latency (ms)" in report
+        assert "run.chaos" in report
+        assert "critical path" in report
+
+    def test_server_sweep_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "server.ndjson"
+        assert (
+            main(
+                [
+                    "server-sweep",
+                    "--multipliers",
+                    "1.0",
+                    "--horizon",
+                    "45",
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert "run.server_sweep" in trace_path.read_text()

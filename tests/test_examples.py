@@ -21,7 +21,7 @@ def test_example_runs(example, capsys, monkeypatch):
     assert out.strip(), f"{example.name} produced no output"
 
 
-def test_all_six_examples_present():
+def test_all_examples_present():
     names = {path.stem for path in EXAMPLES}
     assert names == {
         "quickstart",
@@ -30,4 +30,5 @@ def test_all_six_examples_present():
         "smart_space_simulation",
         "capacity_planning",
         "multi_domain_roaming",
+        "traced_configuration",
     }
