@@ -22,7 +22,8 @@ Public API tour (see README.md for the full quickstart):
 - :mod:`repro.runtime.clock` — the Scheduler protocol with deterministic
   (sim) and wall-clock implementations shared by every timed subsystem;
 - :mod:`repro.server` — the domain configuration service (reservation
-  ledger, bounded queue, admission control, overload shedding);
+  ledger, bounded queue, admission control, overload shedding) and the
+  sharded multi-domain serving cluster;
 - :mod:`repro.faults` — fault injection, heartbeat failure detection and
   self-healing session recovery;
 - :mod:`repro.observability` — structured span tracing, the unified
@@ -95,10 +96,15 @@ from repro.runtime import (
     WallClockScheduler,
 )
 from repro.server import (
+    ClusterMetrics,
+    ConsistentHashRouter,
+    DomainCluster,
     DomainConfigurationService,
+    LeastLoadedRouter,
     ReservationLedger,
     ServerMetrics,
     ServerRequest,
+    ShardRouter,
 )
 from repro.sim import Simulator
 
@@ -160,10 +166,15 @@ __all__ = [
     "ServiceConfigurator",
     "SimScheduler",
     "WallClockScheduler",
+    "ClusterMetrics",
+    "ConsistentHashRouter",
+    "DomainCluster",
     "DomainConfigurationService",
+    "LeastLoadedRouter",
     "ReservationLedger",
     "ServerMetrics",
     "ServerRequest",
+    "ShardRouter",
     "Simulator",
     "__version__",
 ]

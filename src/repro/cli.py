@@ -8,6 +8,7 @@ Usage::
     python -m repro figure5  [--requests N] [--horizon H]
     python -m repro ablations [--cases N]
     python -m repro server-sweep [--multipliers M ...] [--json PATH] [--trace PATH]
+    python -m repro cluster-sweep [--shards N ...] [--multipliers M ...] [--router hash|least-loaded] [--driver sim|thread] [--json PATH] [--trace PATH]
     python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--json PATH] [--trace PATH]
     python -m repro trace-report PATH
     python -m repro all
@@ -28,6 +29,11 @@ from typing import List, Optional
 
 from repro.experiments.ablations import run_all_ablations
 from repro.experiments.chaos_sweep import run_chaos_sweep
+from repro.experiments.cluster_sweep import (
+    ROUTERS,
+    run_cluster_sweep,
+    run_cluster_thread_once,
+)
 from repro.experiments.figure3 import run_prototype_scenario
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
@@ -98,6 +104,43 @@ def _cmd_server_sweep(args: argparse.Namespace) -> None:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json() + "\n")
         print(f"\nmetrics JSON written to {args.json}")
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(result.trace_ndjson())
+        print(f"span trace NDJSON written to {args.trace}")
+
+
+def _cmd_cluster_sweep(args: argparse.Namespace) -> None:
+    if args.driver == "thread":
+        for shard_count in args.shards:
+            report = run_cluster_thread_once(
+                shard_count,
+                request_count=args.requests,
+                router=args.router,
+            )
+            cluster = report["snapshot"]["cluster"]
+            print(
+                f"{shard_count} shard(s): submitted {cluster['submitted']}, "
+                f"admitted {cluster['admitted']}, "
+                f"shed {cluster['shed_final']} "
+                f"({100.0 * report['shed_rate']:.1f}%), "
+                f"drained={report['drained']}, "
+                f"audit={'clean' if not report['audit'] else report['audit']}"
+            )
+        return
+    result = run_cluster_sweep(
+        shard_counts=tuple(args.shards),
+        multipliers=tuple(args.multipliers),
+        seed=args.seed,
+        horizon_s=args.horizon,
+        router=args.router,
+        trace=args.trace is not None,
+    )
+    print(result.format_table())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"\ncluster metrics JSON written to {args.json}")
     if args.trace is not None:
         with open(args.trace, "w", encoding="utf-8") as handle:
             handle.write(result.trace_ndjson())
@@ -193,6 +236,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, help="also write the span trace as NDJSON"
     )
     server_sweep.set_defaults(handler=_cmd_server_sweep)
+
+    cluster_sweep = subparsers.add_parser(
+        "cluster-sweep",
+        help="sharded-cluster throughput scaling (extension)",
+    )
+    cluster_sweep.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4]
+    )
+    cluster_sweep.add_argument(
+        "--multipliers", type=float, nargs="+", default=[1.0, 2.0, 4.0]
+    )
+    cluster_sweep.add_argument("--seed", type=int, default=42)
+    cluster_sweep.add_argument("--horizon", type=float, default=300.0)
+    cluster_sweep.add_argument(
+        "--router",
+        choices=ROUTERS,
+        default="hash",
+        help="hash: consistent hashing (session affinity); "
+        "least-loaded: power-of-two-choices on queue depth + utilization",
+    )
+    cluster_sweep.add_argument(
+        "--driver",
+        choices=("sim", "thread"),
+        default="sim",
+        help="sim: deterministic logical time; thread: one real worker "
+        "pool per shard, burst-submitted",
+    )
+    cluster_sweep.add_argument(
+        "--requests",
+        type=int,
+        default=120,
+        help="burst size per shard count (thread driver only)",
+    )
+    cluster_sweep.add_argument(
+        "--json", default=None, help="also write deterministic cluster metrics JSON"
+    )
+    cluster_sweep.add_argument(
+        "--trace", default=None, help="also write the span trace as NDJSON"
+    )
+    cluster_sweep.set_defaults(handler=_cmd_cluster_sweep)
 
     chaos_sweep = subparsers.add_parser(
         "chaos-sweep",

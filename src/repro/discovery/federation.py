@@ -38,10 +38,26 @@ class FederatedDiscoveryService:
         """The most-local tier."""
         return self.tiers[0]
 
+    def _unique_tiers(self) -> List[DiscoveryService]:
+        """Tiers deduplicated by identity, first occurrence winning.
+
+        Tier lists are often assembled by concatenating per-scope chains
+        (office → building → campus), so one shared instance — a building
+        tier under two office federations, say — can appear more than
+        once; aggregate metrics must count it once.
+        """
+        seen = set()
+        unique: List[DiscoveryService] = []
+        for tier in self.tiers:
+            if id(tier) not in seen:
+                seen.add(id(tier))
+                unique.append(tier)
+        return unique
+
     @property
     def query_count(self) -> int:
-        """Total lookups across all tiers (the composer's overhead metric)."""
-        return sum(tier.query_count for tier in self.tiers)
+        """Total lookups across all distinct tiers (the overhead metric)."""
+        return sum(tier.query_count for tier in self._unique_tiers())
 
     @property
     def escalations(self) -> int:
@@ -50,8 +66,8 @@ class FederatedDiscoveryService:
 
     @property
     def registry_version(self):
-        """Combined content token across all tiers (see DiscoveryService)."""
-        return tuple(tier.registry_version for tier in self.tiers)
+        """Combined content token across distinct tiers (see DiscoveryService)."""
+        return tuple(tier.registry_version for tier in self._unique_tiers())
 
     def discover(
         self,

@@ -76,6 +76,10 @@ class Histogram:
     def record(self, value: float) -> None:
         self._samples.append(value)
 
+    def samples(self) -> List[float]:
+        """A copy of the raw samples (cluster reports merge shards with it)."""
+        return list(self._samples)
+
     @property
     def count(self) -> int:
         return len(self._samples)

@@ -17,7 +17,10 @@ package is the serving layer in front of
   exported as deterministic JSON;
 - :mod:`repro.server.service` — the front end tying the pieces together;
 - :mod:`repro.server.drivers` — a thread-pool driver (real concurrency)
-  and a sim-kernel driver (deterministic trace replay).
+  and a sim-kernel driver (deterministic trace replay);
+- :mod:`repro.server.cluster` — the sharded multi-domain cluster: a
+  pluggable shard router (consistent hashing / power-of-two-choices),
+  cross-shard overflow, and merged cluster metrics.
 """
 
 from repro.server.ledger import (
@@ -28,6 +31,7 @@ from repro.server.ledger import (
 )
 from repro.server.queue import (
     BoundedRequestQueue,
+    PutResult,
     QueuedRequest,
     QueuePolicy,
 )
@@ -44,6 +48,16 @@ from repro.server.service import (
     ServerRequest,
 )
 from repro.server.drivers import SimulatedServerDriver, ThreadPoolDriver
+from repro.server.cluster import (
+    ClusterMetrics,
+    ClusterOutcome,
+    ClusterSimulatedDriver,
+    ClusterThreadPoolDriver,
+    ConsistentHashRouter,
+    DomainCluster,
+    LeastLoadedRouter,
+    ShardRouter,
+)
 
 __all__ = [
     "LedgerConflictError",
@@ -51,6 +65,7 @@ __all__ = [
     "ReservationTransaction",
     "TransactionState",
     "BoundedRequestQueue",
+    "PutResult",
     "QueuedRequest",
     "QueuePolicy",
     "LatencyRecorder",
@@ -64,4 +79,12 @@ __all__ = [
     "ServerRequest",
     "SimulatedServerDriver",
     "ThreadPoolDriver",
+    "ClusterMetrics",
+    "ClusterOutcome",
+    "ClusterSimulatedDriver",
+    "ClusterThreadPoolDriver",
+    "ConsistentHashRouter",
+    "DomainCluster",
+    "LeastLoadedRouter",
+    "ShardRouter",
 ]

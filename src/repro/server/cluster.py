@@ -1,0 +1,513 @@
+"""The sharded multi-domain serving cluster.
+
+One :class:`~repro.server.service.DomainConfigurationService` serves one
+domain; the paper's ubiquitous-computing premise is many domains (office →
+building → campus) serving many concurrent users. :class:`DomainCluster`
+fronts N such services ("shards") behind a pluggable :class:`ShardRouter`:
+
+- :class:`ConsistentHashRouter` — a hash ring over the shards (virtual
+  nodes, deterministic SHA-1 digests, no process-seeded ``hash()``), so a
+  given ``user_id`` lands on the same shard on every run and on every
+  replay — session affinity;
+- :class:`LeastLoadedRouter` — power-of-two-choices: two deterministic
+  hash probes nominate candidate shards and the less-loaded one (queue
+  occupancy + ledger utilization) wins, trading affinity for balance
+  without ever scanning the whole cluster.
+
+Cross-shard **overflow** mirrors federated discovery's local-miss
+escalation: a request shed by its home shard for capacity reasons
+(``queue_full``/``overload``) is retried once on the least-loaded sibling
+before the shed becomes final.
+
+All shards report into one shared
+:class:`~repro.observability.metrics.MetricsRegistry` under
+``cluster.shard<i>.*`` namespaces, the router emits ``cluster.route`` /
+``cluster.overflow`` tracing spans, and :class:`ClusterMetrics` merges the
+per-shard counters and raw latency samples into a whole-cluster JSON
+report (nearest-rank percentiles over the union of samples, deterministic
+serialization).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.observability.metrics import Histogram, MetricsRegistry, stable_round
+from repro.observability.tracing import get_tracer
+from repro.server.metrics import COUNTER_NAMES, STAGE_NAMES, ServerMetrics
+from repro.server.service import (
+    DomainConfigurationService,
+    RequestOutcome,
+    RequestStatus,
+    ServerRequest,
+)
+
+#: Shed reasons that mean "the home shard had no room", i.e. a sibling
+#: might still have some. Deadline sheds and admission failures are not
+#: capacity signals and never overflow.
+OVERFLOW_REASONS = ("queue_full", "overload")
+
+
+def _digest(key: str) -> int:
+    """A deterministic 64-bit hash (Python's ``hash`` is process-seeded)."""
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def shard_load(shard: DomainConfigurationService) -> float:
+    """The routing load signal: queue occupancy plus ledger utilization.
+
+    Both terms live in [0, 1], so the sum weighs "work waiting" and "work
+    admitted" equally; an idle shard scores 0.0, a saturated one ~2.0.
+    """
+    occupancy = shard.queue.depth / shard.queue.capacity
+    return occupancy + shard.ledger.utilization()
+
+
+class ShardRouter:
+    """Chooses a home shard for each request (pluggable policy)."""
+
+    def route(
+        self, request: ServerRequest, shards: Sequence[DomainConfigurationService]
+    ) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def affinity_key(request: ServerRequest) -> str:
+        """The routing key: user identity when known, else the request id."""
+        return request.user_id or request.request_id
+
+
+class ConsistentHashRouter(ShardRouter):
+    """Session affinity via a consistent-hash ring with virtual nodes.
+
+    Each shard owns ``replicas`` points on the ring; a request maps to the
+    first point at or after its key's digest (wrapping). Adding or
+    removing one shard therefore remaps only the keys in the arcs that
+    shard owned, not the whole population.
+    """
+
+    def __init__(self, shard_count: int, replicas: int = 64) -> None:
+        if shard_count < 1:
+            raise ValueError("need at least one shard")
+        if replicas < 1:
+            raise ValueError("need at least one virtual node per shard")
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for index in range(shard_count):
+            for replica in range(replicas):
+                points.append((_digest(f"shard-{index}#{replica}"), index))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def route(
+        self, request: ServerRequest, shards: Sequence[DomainConfigurationService]
+    ) -> int:
+        position = bisect.bisect_right(self._hashes, _digest(self.affinity_key(request)))
+        if position == len(self._hashes):
+            position = 0
+        return self._owners[position]
+
+
+class LeastLoadedRouter(ShardRouter):
+    """Power-of-two-choices with deterministic hash probes.
+
+    Two independent digests of the affinity key nominate two candidate
+    shards; the one with the lower :func:`shard_load` wins (ties go to the
+    lower index). Using key-derived probes instead of an RNG keeps the
+    sim driver's byte-identical-replay guarantee intact while preserving
+    the load-balancing behaviour of classic power-of-two-choices.
+    """
+
+    def route(
+        self, request: ServerRequest, shards: Sequence[DomainConfigurationService]
+    ) -> int:
+        key = self.affinity_key(request)
+        first = _digest(key + "#probe-0") % len(shards)
+        second = _digest(key + "#probe-1") % len(shards)
+        if first == second:
+            return first
+        candidates = sorted((first, second))
+        return min(candidates, key=lambda index: (shard_load(shards[index]), index))
+
+
+@dataclass
+class ClusterOutcome:
+    """Where a request landed and what the serving shard decided.
+
+    ``outcome`` is the submit-time disposition from the shard that kept
+    the request (QUEUED, or the *final* SHED after overflow was tried);
+    the eventual served outcome lands in that shard's outcome table.
+    """
+
+    request_id: str
+    home_shard: int
+    shard: int
+    outcome: RequestOutcome
+    overflowed: bool = False
+
+    @property
+    def status(self) -> RequestStatus:
+        return self.outcome.status
+
+
+class DomainCluster:
+    """N domain-service shards behind one routing front door."""
+
+    def __init__(
+        self,
+        shards: Sequence[DomainConfigurationService],
+        router: Optional[ShardRouter] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("cluster needs at least one shard")
+        self.shards: List[DomainConfigurationService] = list(shards)
+        self.router = router or ConsistentHashRouter(len(self.shards))
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._placement: Dict[str, int] = {}
+        self._submitted = self.registry.counter("cluster.submitted")
+        self._shed_at_submit = self.registry.counter("cluster.shed_at_submit")
+        self._overflow_attempts = self.registry.counter("cluster.overflow_attempts")
+        self._overflow_rescued = self.registry.counter("cluster.overflow_rescued")
+        self._overflow_reshed = self.registry.counter("cluster.overflow_reshed")
+        self._routed = [
+            self.registry.counter(f"cluster.shard{index}.routed")
+            for index in range(len(self.shards))
+        ]
+
+    @classmethod
+    def build(
+        cls,
+        configurators: Sequence[object],
+        router: Optional[ShardRouter] = None,
+        registry: Optional[MetricsRegistry] = None,
+        **service_kwargs: object,
+    ) -> "DomainCluster":
+        """Construct one service per configurator, wired into one registry.
+
+        Each shard's :class:`ServerMetrics` registers its instruments
+        under ``cluster.shard<i>`` in the shared registry, so one
+        registry snapshot covers the whole cluster.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        shards = [
+            DomainConfigurationService(
+                configurator,  # type: ignore[arg-type]
+                metrics=ServerMetrics(
+                    registry=registry, namespace=f"cluster.shard{index}"
+                ),
+                **service_kwargs,  # type: ignore[arg-type]
+            )
+            for index, configurator in enumerate(configurators)
+        ]
+        return cls(shards, router=router, registry=registry)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    # -- the front door ------------------------------------------------------------
+
+    def submit(self, request: ServerRequest) -> ClusterOutcome:
+        """Route, submit, and overflow once on a capacity shed."""
+        self._submitted.incr()
+        with get_tracer().span(
+            "cluster.route", request_id=request.request_id
+        ) as span:
+            home = self.router.route(request, self.shards)
+            span.set("shard", home)
+            span.set("policy", type(self.router).__name__)
+            self._routed[home].incr()
+            outcome = self.shards[home].submit(request)
+            span.set("status", outcome.status.value)
+            placed = ClusterOutcome(
+                request_id=request.request_id,
+                home_shard=home,
+                shard=home,
+                outcome=outcome,
+            )
+            if (
+                outcome.status is RequestStatus.SHED
+                and outcome.shed_reason in OVERFLOW_REASONS
+                and self.shard_count > 1
+            ):
+                placed = self._overflow(request, home, outcome)
+                span.set("overflowed", placed.overflowed)
+        if placed.outcome.status is RequestStatus.SHED:
+            self._shed_at_submit.incr()
+        with self._lock:
+            self._placement[request.request_id] = placed.shard
+        return placed
+
+    def _overflow(
+        self,
+        request: ServerRequest,
+        home: int,
+        home_outcome: RequestOutcome,
+    ) -> ClusterOutcome:
+        """Retry a capacity-shed request once on the least-loaded sibling."""
+        self._overflow_attempts.incr()
+        target = self.least_loaded(exclude={home})
+        with get_tracer().span(
+            "cluster.overflow",
+            request_id=request.request_id,
+            from_shard=home,
+            to_shard=target,
+        ) as span:
+            span.set("reason", home_outcome.shed_reason or "")
+            retried = self.shards[target].submit(request)
+            span.set("status", retried.status.value)
+            if retried.status is RequestStatus.SHED:
+                self._overflow_reshed.incr()
+            else:
+                self._overflow_rescued.incr()
+            return ClusterOutcome(
+                request_id=request.request_id,
+                home_shard=home,
+                shard=target,
+                outcome=retried,
+                overflowed=True,
+            )
+
+    def least_loaded(self, exclude: Optional[Set[int]] = None) -> int:
+        """The shard index with the lowest load signal (ties → lowest index)."""
+        exclude = exclude or set()
+        candidates = [
+            index for index in range(self.shard_count) if index not in exclude
+        ]
+        if not candidates:
+            raise ValueError("no candidate shards left after exclusions")
+        return min(candidates, key=lambda index: (shard_load(self.shards[index]), index))
+
+    # -- results -------------------------------------------------------------------
+
+    def shard_of(self, request_id: str) -> Optional[int]:
+        """Which shard finally kept the request (None if never submitted)."""
+        with self._lock:
+            return self._placement.get(request_id)
+
+    def outcome(self, request_id: str) -> Optional[RequestOutcome]:
+        """The served outcome from the shard the request was placed on."""
+        shard = self.shard_of(request_id)
+        if shard is None:
+            return None
+        return self.shards[shard].outcome(request_id)
+
+    def audit(self) -> List[str]:
+        """Union of every shard's ledger audit, tagged by shard index."""
+        problems: List[str] = []
+        for index, shard in enumerate(self.shards):
+            problems.extend(
+                f"shard{index}: {problem}" for problem in shard.ledger.audit()
+            )
+        return problems
+
+    @property
+    def metrics(self) -> "ClusterMetrics":
+        return ClusterMetrics(self)
+
+
+class ClusterMetrics:
+    """Merged per-shard and whole-cluster view over the shared registry.
+
+    Whole-cluster counters correct for overflow double-submission: an
+    overflow attempt re-submits the same request to a sibling, so shard
+    ``submitted`` (and one home-shard shed) counters each carry one extra
+    increment per attempt. Whole-cluster percentiles are nearest-rank over
+    the union of the shards' raw stage samples — not an average of
+    per-shard percentiles.
+    """
+
+    def __init__(self, cluster: DomainCluster) -> None:
+        self.cluster = cluster
+
+    def snapshot(self) -> Dict[str, object]:
+        shards = [shard.metrics.snapshot() for shard in self.cluster.shards]
+        registry = self.cluster.registry
+        overflow_attempts = registry.counter("cluster.overflow_attempts").value
+        counters: Dict[str, int] = {
+            name: sum(s["counters"][name] for s in shards)  # type: ignore[index]
+            for name in COUNTER_NAMES
+        }
+        submitted = counters["submitted"] - overflow_attempts
+        shed_raw = (
+            counters["shed_queue_full"]
+            + counters["shed_overload"]
+            + counters["shed_deadline"]
+        )
+        shed_final = shed_raw - overflow_attempts
+        latency: Dict[str, Dict[str, float]] = {}
+        for stage in STAGE_NAMES:
+            merged = Histogram(stage)
+            for shard in self.cluster.shards:
+                for sample in shard.metrics.stage(stage).samples():
+                    merged.record(sample)
+            latency[stage] = merged.summary()
+        routing = {
+            "policy": type(self.cluster.router).__name__,
+            "routed": [
+                registry.counter(f"cluster.shard{i}.routed").value
+                for i in range(self.cluster.shard_count)
+            ],
+            "overflow_attempts": overflow_attempts,
+            "overflow_rescued": registry.counter("cluster.overflow_rescued").value,
+            "overflow_reshed": registry.counter("cluster.overflow_reshed").value,
+        }
+        derived = {
+            "shed_rate": stable_round(shed_final / submitted) if submitted else 0.0,
+            "admit_rate": (
+                stable_round(counters["admitted"] / submitted) if submitted else 0.0
+            ),
+            "overflow_rescue_rate": (
+                stable_round(
+                    registry.counter("cluster.overflow_rescued").value
+                    / overflow_attempts
+                )
+                if overflow_attempts
+                else 0.0
+            ),
+        }
+        return {
+            "cluster": {
+                "shard_count": self.cluster.shard_count,
+                "submitted": submitted,
+                "admitted": counters["admitted"],
+                "degraded": counters["admitted_degraded"],
+                "failed": counters["failed"],
+                "shed_final": shed_final,
+                "conflict_retries": counters["conflict_retries"],
+                "derived": derived,
+                "latency": latency,
+            },
+            "routing": routing,
+            "shards": shards,
+        }
+
+    def shed_rate(self) -> float:
+        """Whole-cluster final-shed fraction of distinct submitted requests."""
+        snapshot = self.snapshot()
+        return snapshot["cluster"]["derived"]["shed_rate"]  # type: ignore[index]
+
+    def to_json(self, extra: Optional[Dict[str, object]] = None) -> str:
+        """Deterministic JSON serialization of :meth:`snapshot`."""
+        payload = self.snapshot()
+        if extra:
+            payload = {**payload, **extra}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- cluster drivers ---------------------------------------------------------------
+
+
+class ClusterSimulatedDriver:
+    """Deterministic cluster replay: one sim driver per shard, one kernel.
+
+    Every shard's :class:`~repro.server.drivers.SimulatedServerDriver`
+    shares the same :class:`~repro.sim.kernel.Simulator`, and arrivals go
+    through :meth:`DomainCluster.submit`, so routing, overflow, queueing
+    and session departures are all logical-time events — the same seed
+    yields byte-identical cluster metrics JSON on every run.
+    """
+
+    def __init__(
+        self,
+        cluster: DomainCluster,
+        simulator: "Simulator",
+        workers: int = 1,
+        min_service_s: float = 1e-3,
+    ) -> None:
+        from repro.server.drivers import SimulatedServerDriver
+
+        self.cluster = cluster
+        self.sim = simulator
+        self.drivers = [
+            SimulatedServerDriver(
+                shard, simulator, workers=workers, min_service_s=min_service_s
+            )
+            for shard in cluster.shards
+        ]
+        self.placements: List[ClusterOutcome] = []
+
+    def schedule_trace(
+        self,
+        trace: "ArrivalTrace",
+        request_factory: Callable[["ArrivalEvent"], ServerRequest],
+    ) -> None:
+        """Schedule one cluster-submit event per arrival in the trace."""
+        for event in trace:
+            self.sim.schedule_at(
+                event.arrival_s,
+                lambda e=event: self._arrive(request_factory(e)),
+            )
+
+    def run(self, until: Optional[float] = None) -> List[RequestOutcome]:
+        """Run to completion (or ``until``); return all served outcomes."""
+        if until is None:
+            self.sim.run()
+        else:
+            self.sim.run_until(until)
+        return self.outcomes()
+
+    def outcomes(self) -> List[RequestOutcome]:
+        """Submit-time sheds plus every shard driver's served outcomes."""
+        outcomes = [
+            placed.outcome
+            for placed in self.placements
+            if placed.outcome.status is RequestStatus.SHED
+        ]
+        for driver in self.drivers:
+            outcomes.extend(driver.outcomes)
+        return outcomes
+
+    def _arrive(self, request: ServerRequest) -> None:
+        placed = self.cluster.submit(request)
+        self.placements.append(placed)
+        if placed.outcome.status is RequestStatus.QUEUED:
+            self.drivers[placed.shard]._dispatch()
+
+
+class ClusterThreadPoolDriver:
+    """One real worker pool per shard (genuine cross-shard interleaving)."""
+
+    def __init__(self, cluster: DomainCluster, workers_per_shard: int = 4) -> None:
+        from repro.server.drivers import ThreadPoolDriver
+
+        self.cluster = cluster
+        self.drivers = [
+            ThreadPoolDriver(shard, workers=workers_per_shard)
+            for shard in cluster.shards
+        ]
+
+    def start(self) -> None:
+        for driver in self.drivers:
+            driver.start()
+
+    def stop(self) -> None:
+        for driver in self.drivers:
+            driver.stop()
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until every shard's queue is empty and workers are idle."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        for driver in self.drivers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not driver.wait_idle(timeout=remaining):
+                return False
+        return True
+
+    def outcomes(self) -> List[RequestOutcome]:
+        outcomes: List[RequestOutcome] = []
+        for driver in self.drivers:
+            outcomes.extend(driver.outcomes)
+        return outcomes

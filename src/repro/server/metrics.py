@@ -59,16 +59,23 @@ class ServerMetrics:
 
     A facade over a :class:`MetricsRegistry` (a private one by default;
     pass ``registry=`` to share one across subsystems). Instrument names
-    are prefixed ``server.`` inside the registry; this class's own API is
-    unprefixed and unchanged.
+    are prefixed ``server.`` inside the registry — or ``namespace=`` when
+    given, which is how cluster shards register as ``cluster.shard<i>.*``
+    in one shared registry; this class's own API is unprefixed and
+    unchanged either way.
     """
 
     NAMESPACE = "server"
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        namespace: Optional[str] = None,
+    ) -> None:
         self._lock = threading.Lock()
         self.registry = registry if registry is not None else MetricsRegistry()
-        prefix = self.NAMESPACE + "."
+        self.namespace = namespace if namespace is not None else self.NAMESPACE
+        prefix = self.namespace + "."
         self._counters: Dict[str, Counter] = {
             name: self.registry.counter(prefix + name) for name in COUNTER_NAMES
         }

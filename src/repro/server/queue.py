@@ -20,6 +20,24 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 
+@dataclass(frozen=True)
+class PutResult:
+    """What an atomic :meth:`BoundedRequestQueue.try_put` decided.
+
+    ``depth`` is the queue depth the decision was actually made against
+    (post-enqueue when the item was accepted), so backpressure hints are
+    never computed from a stale reading.
+    """
+
+    item: Optional["QueuedRequest"]
+    depth: int
+    shed_reason: Optional[str] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.item is not None
+
+
 class QueuePolicy(enum.Enum):
     FIFO = "fifo"
     PRIORITY = "priority"
@@ -72,9 +90,30 @@ class BoundedRequestQueue:
         deadline_s: Optional[float] = None,
     ) -> Optional[QueuedRequest]:
         """Enqueue; returns the queued item, or None when full (shed)."""
+        return self.try_put(request, priority=priority, deadline_s=deadline_s).item
+
+    def try_put(
+        self,
+        request: object,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+        shed_if: Optional[Callable[[int], bool]] = None,
+    ) -> PutResult:
+        """Atomically decide shed-vs-enqueue under the queue lock.
+
+        ``shed_if`` receives the live depth and may veto the enqueue (the
+        overload policy's TOCTOU-free hook: the depth it sees is the depth
+        the item would queue behind, not a snapshot that concurrent
+        submitters can invalidate). Returns a :class:`PutResult` whose
+        ``depth`` reflects the decision point, so retry-after hints stay
+        honest under contention.
+        """
         with self._lock:
-            if len(self._heap) >= self.capacity:
-                return None
+            depth = len(self._heap)
+            if shed_if is not None and shed_if(depth):
+                return PutResult(item=None, depth=depth, shed_reason="overload")
+            if depth >= self.capacity:
+                return PutResult(item=None, depth=depth, shed_reason="queue_full")
             now = self._clock()
             item = QueuedRequest(
                 request=request,
@@ -85,7 +124,7 @@ class BoundedRequestQueue:
             )
             heapq.heappush(self._heap, (self._key(item), item))
             self._not_empty.notify()
-            return item
+            return PutResult(item=item, depth=depth + 1)
 
     def pop(self) -> Optional[QueuedRequest]:
         """Dequeue the next item per policy; None when empty (non-blocking).
@@ -100,12 +139,23 @@ class BoundedRequestQueue:
             return heapq.heappop(self._heap)[1]
 
     def get(self, timeout: Optional[float] = None) -> Optional[QueuedRequest]:
-        """Blocking dequeue for thread drivers; None on timeout."""
+        """Blocking dequeue for thread drivers; None on timeout.
+
+        Waits in a loop: a woken waiter whose item was already popped by a
+        faster consumer (a stolen wakeup) re-waits for whatever remains of
+        its timeout — recomputed from the injected clock — instead of
+        reporting a premature timeout while time remains.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
         with self._not_empty:
-            if not self._heap and not self._not_empty.wait(timeout):
-                return None
-            if not self._heap:
-                return None
+            while not self._heap:
+                if deadline is None:
+                    self._not_empty.wait()
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
             return heapq.heappop(self._heap)[1]
 
     def _key(self, item: QueuedRequest) -> Tuple[float, int]:

@@ -89,6 +89,7 @@ class DomainConfigurationService:
         clock: Optional[Callable[[], float]] = None,
         skip_downloads: bool = False,
         max_conflict_retries: int = 2,
+        metrics: Optional[ServerMetrics] = None,
     ) -> None:
         if configurator.ledger is None:
             configurator.ledger = ReservationLedger(configurator.server)
@@ -105,39 +106,41 @@ class DomainConfigurationService:
             max_conflict_retries=max_conflict_retries,
             skip_downloads=skip_downloads,
         )
-        self.metrics = ServerMetrics()
+        self.metrics = metrics if metrics is not None else ServerMetrics()
         self._lock = threading.Lock()
         self._outcomes: Dict[str, RequestOutcome] = {}
 
     # -- the front door ------------------------------------------------------------
 
     def submit(self, request: ServerRequest) -> RequestOutcome:
-        """Queue the request, or shed it immediately with backpressure."""
+        """Queue the request, or shed it immediately with backpressure.
+
+        The shed decision and the enqueue happen atomically under the
+        queue lock (:meth:`BoundedRequestQueue.try_put`), so concurrent
+        submits can neither blow past the overload high-water mark nor
+        compute retry-after hints from a stale depth.
+        """
         self.metrics.incr("submitted")
-        depth = self.queue.depth
-        if self.overload.should_shed(
-            depth, self.queue.capacity, self.ledger.utilization()
-        ):
-            self.metrics.incr("shed_overload")
-            return self._finish(
-                RequestOutcome(
-                    request_id=request.request_id,
-                    status=RequestStatus.SHED,
-                    shed_reason="overload",
-                    retry_after_s=self.overload.retry_after_s(depth),
-                )
-            )
-        queued = self.queue.put(
-            request, priority=request.priority, deadline_s=request.deadline_s
+        result = self.queue.try_put(
+            request,
+            priority=request.priority,
+            deadline_s=request.deadline_s,
+            shed_if=lambda depth: self.overload.should_shed(
+                depth, self.queue.capacity, self.ledger.utilization()
+            ),
         )
-        if queued is None:
-            self.metrics.incr("shed_queue_full")
+        if result.item is None:
+            self.metrics.incr(
+                "shed_overload"
+                if result.shed_reason == "overload"
+                else "shed_queue_full"
+            )
             return self._finish(
                 RequestOutcome(
                     request_id=request.request_id,
                     status=RequestStatus.SHED,
-                    shed_reason="queue_full",
-                    retry_after_s=self.overload.retry_after_s(depth),
+                    shed_reason=result.shed_reason,
+                    retry_after_s=self.overload.retry_after_s(result.depth),
                 )
             )
         return RequestOutcome(

@@ -81,6 +81,39 @@ class TestFederation:
         with pytest.raises(ValueError):
             FederatedDiscoveryService([])
 
+    def test_shared_tier_counted_once(self, tiers):
+        """A tier instance appearing twice must not double its lookups.
+
+        Tier chains assembled by concatenation (office chain + building
+        chain, both ending in the same campus instance) can list one
+        DiscoveryService twice; ``query_count`` previously summed that
+        instance's cumulative counter once per appearance.
+        """
+        room, building, campus = tiers
+        federation = FederatedDiscoveryService([room, campus, building, campus])
+        federation.discover(AbstractComponentSpec("s", "player"))  # local hit
+        assert room.query_count == 1
+        # One lookup total; the duplicate campus entry must not inflate it.
+        assert federation.query_count == 1
+
+    def test_shared_tier_miss_counts_actual_lookups(self, tiers):
+        room, building, campus = tiers
+        federation = FederatedDiscoveryService([room, campus, building, campus])
+        federation.discover(AbstractComponentSpec("s", "ghost"))  # miss everywhere
+        # Four tier queries really happened (campus was asked twice) —
+        # the dedupe reads each instance's counter exactly once.
+        assert campus.query_count == 2
+        assert federation.query_count == 4
+
+    def test_shared_tier_registry_version_deduped(self, tiers):
+        room, building, campus = tiers
+        federation = FederatedDiscoveryService([room, campus, building, campus])
+        assert federation.registry_version == (
+            room.registry_version,
+            campus.registry_version,
+            building.registry_version,
+        )
+
     def test_composer_accepts_federation(self, tiers):
         federation = FederatedDiscoveryService(tiers)
         composer = ServiceComposer(federation)

@@ -1,0 +1,118 @@
+"""Determinism and scaling tests for the cluster sweep experiment."""
+
+import json
+
+import pytest
+
+from repro.experiments.cluster_sweep import (
+    make_router,
+    run_cluster_once,
+    run_cluster_sweep,
+)
+from repro.server.cluster import ConsistentHashRouter, LeastLoadedRouter
+
+HORIZON_S = 120.0
+
+
+class TestDeterminism:
+    def test_sim_metrics_json_is_byte_identical_across_replays(self):
+        first = run_cluster_once(2, 2.0, seed=11, horizon_s=HORIZON_S)
+        second = run_cluster_once(2, 2.0, seed=11, horizon_s=HORIZON_S)
+        assert first.metrics_json == second.metrics_json
+        assert first.as_dict() == second.as_dict()
+
+    def test_sim_trace_ndjson_is_byte_identical_across_replays(self):
+        first = run_cluster_once(
+            2, 2.0, seed=11, horizon_s=HORIZON_S, trace=True
+        )
+        second = run_cluster_once(
+            2, 2.0, seed=11, horizon_s=HORIZON_S, trace=True
+        )
+        assert first.trace_ndjson
+        assert first.trace_ndjson == second.trace_ndjson
+        names = {
+            json.loads(line)["name"]
+            for line in first.trace_ndjson.splitlines()
+        }
+        assert "run.cluster_sweep" in names
+        assert "cluster.route" in names
+
+    def test_sweep_to_json_is_byte_identical_across_replays(self):
+        kwargs = dict(
+            shard_counts=(1, 2),
+            multipliers=(2.0,),
+            seed=11,
+            horizon_s=HORIZON_S,
+        )
+        assert (
+            run_cluster_sweep(**kwargs).to_json()
+            == run_cluster_sweep(**kwargs).to_json()
+        )
+
+    def test_different_seeds_differ(self):
+        first = run_cluster_once(2, 2.0, seed=11, horizon_s=HORIZON_S)
+        second = run_cluster_once(2, 2.0, seed=12, horizon_s=HORIZON_S)
+        assert first.metrics_json != second.metrics_json
+
+
+class TestScaling:
+    def test_more_shards_shed_less_at_the_same_offered_load(self):
+        one = run_cluster_once(1, 6.0, seed=42, horizon_s=HORIZON_S)
+        two = run_cluster_once(2, 6.0, seed=42, horizon_s=HORIZON_S)
+        assert one.submitted == two.submitted  # same arrival trace
+        assert one.shed_rate > 0.0
+        assert two.shed_rate < one.shed_rate
+        assert two.admitted > one.admitted
+
+    def test_overflow_rescues_under_imbalance(self):
+        point = run_cluster_once(2, 10.0, seed=42, horizon_s=HORIZON_S)
+        assert point.overflow_attempts > 0
+        assert point.overflow_rescued > 0
+
+    def test_dispositions_partition_submissions(self):
+        for shards in (1, 2):
+            point = run_cluster_once(shards, 6.0, seed=42, horizon_s=HORIZON_S)
+            assert (
+                point.admitted + point.failed + point.shed_final
+                == point.submitted
+            )
+
+    def test_ledgers_stay_clean(self):
+        # run_cluster_once raises AssertionError on any audit problem.
+        run_cluster_once(4, 10.0, seed=42, horizon_s=HORIZON_S)
+
+
+class TestPlumbing:
+    def test_point_lookup_and_table(self):
+        result = run_cluster_sweep(
+            shard_counts=(1, 2),
+            multipliers=(2.0,),
+            seed=11,
+            horizon_s=HORIZON_S,
+        )
+        assert result.point(2, 2.0).shards == 2
+        with pytest.raises(KeyError):
+            result.point(8, 2.0)
+        table = result.format_table()
+        assert "shards" in table and "shed%" in table
+
+    def test_least_loaded_router_also_deterministic(self):
+        first = run_cluster_once(
+            2, 6.0, seed=11, horizon_s=HORIZON_S, router="least-loaded"
+        )
+        second = run_cluster_once(
+            2, 6.0, seed=11, horizon_s=HORIZON_S, router="least-loaded"
+        )
+        assert first.metrics_json == second.metrics_json
+
+    def test_make_router(self):
+        assert isinstance(make_router("hash", 2), ConsistentHashRouter)
+        assert isinstance(make_router("least-loaded", 2), LeastLoadedRouter)
+        with pytest.raises(ValueError):
+            make_router("random", 2)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_cluster_once(0, 1.0)
+        with pytest.raises(ValueError):
+            run_cluster_once(1, 0.0)

@@ -1,6 +1,7 @@
 """Unit tests for the bounded request queue."""
 
 import threading
+import time
 
 import pytest
 
@@ -87,6 +88,102 @@ class TestBlockingGet:
         queue.put("x")
         thread.join(timeout=2.0)
         assert results and results[0].request == "x"
+
+
+class TestLostWakeupRegression:
+    def test_get_survives_stolen_wakeup(self):
+        """A woken waiter whose item was poached must re-wait, not timeout.
+
+        The old ``get`` returned None as soon as ``wait`` returned if the
+        heap was empty — even when another consumer had popped the item
+        and plenty of the timeout remained. Here the main thread poaches
+        the first item with a non-blocking ``pop`` (it usually wins the
+        lock race against the woken waiter) and then supplies a second
+        item well within the waiter's window; the waiter must get it.
+        """
+        for _ in range(20):
+            queue = BoundedRequestQueue(4)
+            got = []
+
+            def consumer():
+                got.append(queue.get(timeout=5.0))
+
+            thread = threading.Thread(target=consumer)
+            thread.start()
+            time.sleep(0.01)  # let the consumer reach wait()
+            queue.put("bait")
+            queue.pop()  # poach it (None if the consumer won the race)
+            queue.put("real")
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert got and got[0] is not None
+
+    def test_get_still_times_out_when_nothing_arrives(self):
+        queue = BoundedRequestQueue(1)
+        start = time.monotonic()
+        assert queue.get(timeout=0.05) is None
+        assert time.monotonic() - start < 2.0
+
+
+class TestTryPut:
+    def test_accept_reports_post_enqueue_depth(self):
+        queue = BoundedRequestQueue(4)
+        result = queue.try_put("a")
+        assert result.accepted
+        assert result.depth == 1
+        assert result.shed_reason is None
+        assert queue.try_put("b").depth == 2
+
+    def test_full_reports_queue_full_and_live_depth(self):
+        queue = BoundedRequestQueue(2)
+        queue.put("a")
+        queue.put("b")
+        result = queue.try_put("c")
+        assert not result.accepted
+        assert result.shed_reason == "queue_full"
+        assert result.depth == 2
+
+    def test_shed_predicate_vetoes_before_capacity_check(self):
+        queue = BoundedRequestQueue(4)
+        seen = []
+
+        def shed_if(depth):
+            seen.append(depth)
+            return True
+
+        result = queue.try_put("a", shed_if=shed_if)
+        assert not result.accepted
+        assert result.shed_reason == "overload"
+        assert seen == [0]
+        assert queue.depth == 0
+
+    def test_predicate_sees_live_depth_under_contention(self):
+        """Concurrent try_put calls can never overshoot a predicate cap.
+
+        The racy submit path read depth, decided, then enqueued — two
+        racers could both pass the check and both enqueue. The atomic
+        path makes that impossible: with a cap of 3, 16 racing threads
+        enqueue exactly 3 items on every run.
+        """
+        queue = BoundedRequestQueue(64)
+        barrier = threading.Barrier(16)
+        results = []
+        lock = threading.Lock()
+
+        def racer():
+            barrier.wait()
+            result = queue.try_put("x", shed_if=lambda depth: depth >= 3)
+            with lock:
+                results.append(result)
+
+        threads = [threading.Thread(target=racer) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert queue.depth == 3
+        assert sum(1 for r in results if r.accepted) == 3
+        assert all(r.shed_reason == "overload" for r in results if not r.accepted)
 
 
 class TestValidation:

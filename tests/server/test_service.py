@@ -131,6 +131,50 @@ class TestShedding:
         assert shed.shed_reason == "overload"
         assert service.metrics.count("shed_overload") == 1
 
+    def test_concurrent_submits_respect_high_water_atomically(self):
+        """The shed decision and the enqueue are one atomic step.
+
+        With utilization pinned at 1.0 and ``queue_high_water`` 0.75 on a
+        capacity-8 queue, sheds must begin at depth 6 (6/8 = 0.75): the
+        old read-decide-enqueue path let racing submitters blow past the
+        mark. 16 threads submitting at once must leave exactly 6 queued,
+        and every shed's retry-after hint must reflect a depth a shed
+        could actually have been decided at (≤ 6).
+        """
+        import threading
+
+        testbed = build_audio_testbed()
+        service = make_service(testbed, queue_capacity=8)
+        service.ledger.utilization = lambda: 1.0  # saturate the overload signal
+        barrier = threading.Barrier(16)
+        outcomes = []
+        lock = threading.Lock()
+
+        def submitter(index):
+            req = request(testbed, f"r{index}")
+            barrier.wait()
+            outcome = service.submit(req)
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [
+            threading.Thread(target=submitter, args=(i,)) for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert service.queue.depth == 6
+        queued = [o for o in outcomes if o.status is RequestStatus.QUEUED]
+        shed = [o for o in outcomes if o.status is RequestStatus.SHED]
+        assert len(queued) == 6
+        assert len(shed) == 10
+        max_hint = service.overload.retry_after_s(6)
+        for outcome in shed:
+            assert outcome.shed_reason == "overload"
+            assert outcome.retry_after_s <= max_hint + 1e-9
+
     def test_deadline_expired_in_queue_is_shed(self):
         testbed = build_audio_testbed()
         clock = FakeClock()

@@ -78,6 +78,53 @@ class TestCommands:
         assert "run.chaos" in report
         assert "critical path" in report
 
+    def test_cluster_sweep_json_and_trace(self, capsys, tmp_path):
+        json_path = tmp_path / "cluster.json"
+        trace_path = tmp_path / "cluster.ndjson"
+        assert (
+            main(
+                [
+                    "cluster-sweep",
+                    "--shards",
+                    "1",
+                    "2",
+                    "--multipliers",
+                    "2.0",
+                    "--horizon",
+                    "60",
+                    "--json",
+                    str(json_path),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Sharded cluster under offered-load multipliers" in out
+        assert f"cluster metrics JSON written to {json_path}" in out
+        assert json_path.read_text().strip()
+        assert "run.cluster_sweep" in trace_path.read_text()
+
+    def test_cluster_sweep_thread_driver(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster-sweep",
+                    "--driver",
+                    "thread",
+                    "--shards",
+                    "1",
+                    "--requests",
+                    "24",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 shard(s):" in out
+        assert "audit=clean" in out
+
     def test_server_sweep_trace(self, capsys, tmp_path):
         trace_path = tmp_path / "server.ndjson"
         assert (
