@@ -8,8 +8,9 @@ Usage::
     python -m repro figure5  [--requests N] [--horizon H]
     python -m repro ablations [--cases N]
     python -m repro server-sweep [--multipliers M ...] [--json PATH] [--trace PATH]
-    python -m repro cluster-sweep [--shards N ...] [--multipliers M ...] [--router hash|least-loaded] [--driver sim|thread] [--json PATH] [--trace PATH]
+    python -m repro cluster-sweep [--shards N ...] [--multipliers M ...] [--router hash|least-loaded] [--driver sim|thread] [--batched] [--batch-size B] [--linger S] [--json PATH] [--trace PATH]
     python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--json PATH] [--trace PATH]
+    python -m repro bench [--quick] [--baseline PATH] [--tolerance F]
     python -m repro trace-report PATH
     python -m repro all
 
@@ -28,12 +29,19 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.ablations import run_all_ablations
+from repro.experiments.bench_serving import (
+    compare_to_baseline,
+    load_baseline,
+    run_distribution_bench,
+    run_serving_bench,
+)
 from repro.experiments.chaos_sweep import run_chaos_sweep
 from repro.experiments.cluster_sweep import (
     ROUTERS,
     run_cluster_sweep,
     run_cluster_thread_once,
 )
+from repro.server.batching import BatchPolicy
 from repro.experiments.figure3 import run_prototype_scenario
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
@@ -111,12 +119,19 @@ def _cmd_server_sweep(args: argparse.Namespace) -> None:
 
 
 def _cmd_cluster_sweep(args: argparse.Namespace) -> None:
+    batch = (
+        BatchPolicy(max_batch_size=args.batch_size, max_linger_s=args.linger)
+        if args.batched
+        else None
+    )
     if args.driver == "thread":
         for shard_count in args.shards:
             report = run_cluster_thread_once(
                 shard_count,
                 request_count=args.requests,
                 router=args.router,
+                batched=args.batched,
+                batch=batch,
             )
             cluster = report["snapshot"]["cluster"]
             print(
@@ -135,6 +150,8 @@ def _cmd_cluster_sweep(args: argparse.Namespace) -> None:
         horizon_s=args.horizon,
         router=args.router,
         trace=args.trace is not None,
+        batched=args.batched,
+        batch=batch,
     )
     print(result.format_table())
     if args.json is not None:
@@ -164,6 +181,38 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> None:
         with open(args.trace, "w", encoding="utf-8") as handle:
             handle.write(result.trace_ndjson())
         print(f"span trace NDJSON written to {args.trace}")
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    serving = run_serving_bench(quick=args.quick)
+    print(serving.format_table())
+    with open(args.serving_json, "w", encoding="utf-8") as handle:
+        handle.write(serving.to_json())
+    print(f"\nserving bench JSON written to {args.serving_json}")
+    if not args.no_distribution:
+        print()
+        distribution = run_distribution_bench(quick=args.quick)
+        print(distribution.format_table())
+        with open(args.distribution_json, "w", encoding="utf-8") as handle:
+            handle.write(distribution.to_json())
+        print(f"\ndistribution bench JSON written to {args.distribution_json}")
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        if baseline is None:
+            print(f"\nno baseline at {args.baseline}; gate skipped")
+            return
+        regressions = compare_to_baseline(
+            serving, baseline, tolerance=args.tolerance
+        )
+        if regressions:
+            print("\nTHROUGHPUT REGRESSION vs committed baseline:")
+            for message in regressions:
+                print(f"  - {message}")
+            raise SystemExit(1)
+        print(
+            f"\nthroughput gate passed "
+            f"(within {100.0 * args.tolerance:.0f}% of {args.baseline})"
+        )
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> None:
@@ -275,6 +324,24 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_sweep.add_argument(
         "--trace", default=None, help="also write the span trace as NDJSON"
     )
+    cluster_sweep.add_argument(
+        "--batched",
+        action="store_true",
+        help="serve each shard through the batched admission core "
+        "(grouped ledger prepare/commit rounds)",
+    )
+    cluster_sweep.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="max requests drained per batch (with --batched)",
+    )
+    cluster_sweep.add_argument(
+        "--linger",
+        type=float,
+        default=0.02,
+        help="seconds an under-full batch waits for company (with --batched)",
+    )
     cluster_sweep.set_defaults(handler=_cmd_cluster_sweep)
 
     chaos_sweep = subparsers.add_parser(
@@ -300,6 +367,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, help="also write the span trace as NDJSON"
     )
     chaos_sweep.set_defaults(handler=_cmd_chaos_sweep)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="standing perf benchmarks (serving core + distributor search)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: fewer waves and repeats",
+    )
+    bench.add_argument(
+        "--serving-json",
+        default="BENCH_serving.json",
+        help="where to write the serving bench artifact",
+    )
+    bench.add_argument(
+        "--distribution-json",
+        default="BENCH_distribution.json",
+        help="where to write the distribution bench artifact",
+    )
+    bench.add_argument(
+        "--no-distribution",
+        action="store_true",
+        help="skip the distribution-search bench",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_serving.json to gate requests/sec against",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional throughput drop vs the baseline",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     trace_report = subparsers.add_parser(
         "trace-report",

@@ -41,6 +41,7 @@ from repro.server.cluster import (
     LeastLoadedRouter,
     ShardRouter,
 )
+from repro.server.batching import BatchingDomainService, BatchPolicy
 from repro.server.drivers import SimulatedServerDriver
 from repro.server.metrics import ServerMetrics
 from repro.server.service import DomainConfigurationService, ServerRequest
@@ -166,18 +167,24 @@ def build_cluster(
     clock=None,
     ladder: Optional[DegradationLadder] = None,
     registry: Optional[MetricsRegistry] = None,
+    batched: bool = False,
+    batch: Optional[BatchPolicy] = None,
 ):
     """One audio testbed + service per shard behind a shared registry.
 
     Returns ``(cluster, testbeds)``; requests must be composed against the
     testbed of the shard they land on, so the request factory resolves the
     testbed per shard at submit time via the cluster's router — see
-    :func:`run_cluster_once`.
+    :func:`run_cluster_once`. With ``batched=True`` each shard is a
+    :class:`~repro.server.batching.BatchingDomainService` and the cluster
+    drivers serve grouped admission rounds.
     """
     registry = registry if registry is not None else MetricsRegistry()
     testbeds = [build_audio_testbed() for _ in range(shard_count)]
+    service_cls = BatchingDomainService if batched else DomainConfigurationService
+    extra_kwargs = {"batch": batch or BatchPolicy()} if batched else {}
     shards = [
-        DomainConfigurationService(
+        service_cls(
             testbed.configurator,
             ladder=ladder or audio_degradation_ladder(),
             queue_capacity=queue_capacity,
@@ -186,6 +193,7 @@ def build_cluster(
             metrics=ServerMetrics(
                 registry=registry, namespace=f"cluster.shard{index}"
             ),
+            **extra_kwargs,
         )
         for index, testbed in enumerate(testbeds)
     ]
@@ -209,13 +217,15 @@ def run_cluster_once(
     deadline_s: Optional[float] = 20.0,
     router: str = "hash",
     trace: bool = False,
+    batched: bool = False,
+    batch: Optional[BatchPolicy] = None,
 ) -> ClusterSweepPoint:
     """Replay one seeded trace through a ``shard_count``-shard sim cluster.
 
     Fresh testbeds, simulator and cluster per call: repeated calls with
     identical arguments produce byte-identical metrics JSON (and, with
     ``trace=True``, byte-identical span NDJSON under a ``run.cluster_sweep``
-    root).
+    root) — batched or not.
     """
     if shard_count < 1:
         raise ValueError("need at least one shard")
@@ -227,6 +237,8 @@ def run_cluster_once(
         router=router,
         queue_capacity=queue_capacity,
         clock=SimulatedServerDriver.clock(simulator),
+        batched=batched,
+        batch=batch,
     )
     driver = ClusterSimulatedDriver(
         cluster, simulator, workers=workers, min_service_s=min_service_s
@@ -319,6 +331,8 @@ def run_cluster_thread_once(
     queue_capacity: int = 16,
     router: str = "hash",
     timeout_s: float = 60.0,
+    batched: bool = False,
+    batch: Optional[BatchPolicy] = None,
 ) -> Dict[str, object]:
     """Burst-submit ``request_count`` requests at a real thread cluster.
 
@@ -330,7 +344,11 @@ def run_cluster_thread_once(
     across shard counts are meaningful.
     """
     cluster, testbeds = build_cluster(
-        shard_count, router=router, queue_capacity=queue_capacity
+        shard_count,
+        router=router,
+        queue_capacity=queue_capacity,
+        batched=batched,
+        batch=batch,
     )
     driver = ClusterThreadPoolDriver(cluster, workers_per_shard=workers_per_shard)
     driver.start()
@@ -363,11 +381,16 @@ def run_cluster_sweep(
     horizon_s: float = 300.0,
     router: str = "hash",
     trace: bool = False,
+    batched: bool = False,
+    batch: Optional[BatchPolicy] = None,
     **kwargs,
 ) -> ClusterSweepResult:
     """Run :func:`run_cluster_once` across shard counts × multipliers."""
     result = ClusterSweepResult(
-        seed=seed, horizon_s=horizon_s, router=router, driver="sim"
+        seed=seed,
+        horizon_s=horizon_s,
+        router=router,
+        driver="sim-batched" if batched else "sim",
     )
     for shard_count in shard_counts:
         for multiplier in multipliers:
@@ -379,6 +402,8 @@ def run_cluster_sweep(
                     horizon_s=horizon_s,
                     router=router,
                     trace=trace,
+                    batched=batched,
+                    batch=batch,
                     **kwargs,
                 )
             )

@@ -17,12 +17,40 @@ from __future__ import annotations
 import json
 import math
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 
 def stable_round(value: float) -> float:
     """Fixed rounding so serialized metrics are stable across runs."""
     return round(value, 6)
+
+
+def summarize_samples(samples: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank summary of a raw sample sequence, with a single sort.
+
+    The one summary shape used everywhere (``{count, mean, p50, p90, p99,
+    max}``); :meth:`Histogram.summary` delegates here, and cluster reports
+    call it directly on the lazily merged union of shard samples instead
+    of re-recording every sample into a scratch histogram. The mean sums
+    in the sequence's own order, so a merge that concatenates shards in
+    shard order reproduces the historical float-sum byte-for-byte.
+    """
+    count = len(samples)
+    if not count:
+        return {"count": 0}
+    ordered = sorted(samples)
+
+    def nearest_rank(p: float) -> float:
+        return ordered[max(1, math.ceil(p / 100.0 * count)) - 1]
+
+    return {
+        "count": count,
+        "mean": stable_round(sum(samples) / count),
+        "p50": stable_round(nearest_rank(50)),
+        "p90": stable_round(nearest_rank(90)),
+        "p99": stable_round(nearest_rank(99)),
+        "max": stable_round(ordered[-1]),
+    }
 
 
 class Counter:
@@ -77,8 +105,17 @@ class Histogram:
         self._samples.append(value)
 
     def samples(self) -> List[float]:
-        """A copy of the raw samples (cluster reports merge shards with it)."""
+        """A copy of the raw samples (safe to mutate)."""
         return list(self._samples)
+
+    def iter_samples(self) -> Iterator[float]:
+        """Read-only iteration over the raw samples, no copy.
+
+        Cluster exports merge thousands of shard samples per stage; this
+        keeps that merge allocation-free per shard. Callers must not
+        record into this histogram while iterating.
+        """
+        return iter(self._samples)
 
     @property
     def count(self) -> int:
@@ -95,16 +132,7 @@ class Histogram:
         return ordered[rank - 1]
 
     def summary(self) -> Dict[str, float]:
-        if not self._samples:
-            return {"count": 0}
-        return {
-            "count": len(self._samples),
-            "mean": stable_round(sum(self._samples) / len(self._samples)),
-            "p50": stable_round(self.percentile(50)),
-            "p90": stable_round(self.percentile(90)),
-            "p99": stable_round(self.percentile(99)),
-            "max": stable_round(max(self._samples)),
-        }
+        return summarize_samples(self._samples)
 
 
 class MetricsRegistry:

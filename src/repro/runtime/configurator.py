@@ -47,6 +47,28 @@ class ConfigurationOutcome:
     label: str
 
 
+@dataclass
+class PlannedConfiguration:
+    """Tiers 1+2 done, resources not yet acquired.
+
+    The output of :meth:`ServiceConfigurator.plan`: a composed and
+    distributed configuration that still needs its capacity committed and
+    its components deployed. The batched serving core plans many of these
+    against one shared environment snapshot and then commits them in
+    grouped ledger rounds; :meth:`ServiceConfigurator.configure` planning
+    goes through the same method, so the two paths cannot drift.
+    """
+
+    label: str
+    composition: CompositionResult
+    graph: ServiceGraph
+    distribution: DistributionResult
+    assignment: Assignment
+    devices: Dict[str, object]
+    composition_s: float
+    distribution_s: float
+
+
 class ServiceConfigurator:
     """Domain-level entry point of the service configuration model.
 
@@ -221,10 +243,46 @@ class ServiceConfigurator:
         skip_downloads: bool,
         graph_transform,
     ) -> ConfigurationRecord:
+        planned, failure = self.plan(
+            session, request, label, graph_transform=graph_transform
+        )
+        if planned is None:
+            assert failure is not None
+            return failure
+
+        deployment, conflict = self._deploy(
+            session,
+            planned.graph,
+            planned.assignment,
+            planned.devices,
+            skip_downloads,
+        )
+        if deployment is None:
+            return self.fail_planned(session, planned, conflict=conflict)
+        return self._complete_planned(session, planned, deployment)
+
+    def plan(
+        self,
+        session: ApplicationSession,
+        request: CompositionRequest,
+        label: str,
+        graph_transform=None,
+    ) -> Tuple[Optional[PlannedConfiguration], Optional[ConfigurationRecord]]:
+        """Run tiers 1+2 (compose + distribute) without acquiring resources.
+
+        Returns ``(planned, None)`` on success, or ``(None, failure_record)``
+        when composition or distribution fails — the failure record is
+        already emitted on the bus exactly as a failed :meth:`configure`
+        would. The environment snapshot comes from :meth:`_environment`,
+        which memoizes on the domain/ledger version counters: a batch of
+        plans taken between ledger commits shares one snapshot.
+        """
         composition = self.composer.compose(request)
         composition_s = self.cost_model.composition_time_s(composition)
         if not composition.success or composition.graph is None:
-            return self._failure(session, label, composition_s, composition, None)
+            return None, self._failure(
+                session, label, composition_s, composition, None
+            )
         if graph_transform is not None:
             composition.graph = graph_transform(composition.graph)
 
@@ -237,34 +295,95 @@ class ServiceConfigurator:
             # No candidate devices at all (everything crashed or is
             # quarantined), or a pinned device left the environment: report
             # a clean failure instead of leaking the substrate error.
-            return self._failure(session, label, composition_s, composition, None)
+            return None, self._failure(
+                session, label, composition_s, composition, None
+            )
         distribution_s = self.cost_model.distribution_time_s(distribution)
         if not distribution.feasible or distribution.assignment is None:
-            return self._failure(
+            return None, self._failure(
                 session, label, composition_s, composition, distribution
             )
-
-        deployment, conflict = self._deploy(
-            session,
-            composition.graph,
-            distribution.assignment,
-            devices,
-            skip_downloads,
+        return (
+            PlannedConfiguration(
+                label=label,
+                composition=composition,
+                graph=composition.graph,
+                distribution=distribution,
+                assignment=distribution.assignment,
+                devices=devices,
+                composition_s=composition_s,
+                distribution_s=distribution_s,
+            ),
+            None,
         )
-        if deployment is None:
-            return self._failure(
-                session,
-                label,
-                composition_s,
-                composition,
-                distribution,
-                conflict=conflict,
-            )
-        session.graph = composition.graph
+
+    def deploy_planned(
+        self,
+        session: ApplicationSession,
+        planned: PlannedConfiguration,
+        preacquired,
+        txn,
+        skip_downloads: bool = False,
+    ) -> ConfigurationRecord:
+        """Finish a plan whose capacity was already committed by the ledger.
+
+        The grouped-commit half of the batched admission path: the caller
+        ran ``prepare_many``/``commit_many`` and hands over the committed
+        transaction plus its acquisition tokens; this method only deploys
+        components and assembles the success record. A deployment error
+        releases the transaction and reports a non-conflict failure, the
+        same contract as the single-request ledger path.
+        """
+        with get_tracer().span(
+            "deployment.deploy", ledger=True, batched=True
+        ) as span:
+            try:
+                deployment = self.deployer.deploy(
+                    planned.graph,
+                    planned.assignment,
+                    planned.devices,
+                    self.server.network,
+                    skip_downloads=skip_downloads,
+                    preacquired=preacquired,
+                )
+            except DeploymentError:
+                if self.ledger is not None and txn is not None:
+                    self.ledger.release(txn)
+                span.set("success", False)
+                span.set("conflict", False)
+                return self.fail_planned(session, planned)
+            deployment.ledger_txn = txn
+            span.set("success", True)
+            span.set("conflict", False)
+            return self._complete_planned(session, planned, deployment)
+
+    def fail_planned(
+        self,
+        session: ApplicationSession,
+        planned: PlannedConfiguration,
+        conflict: bool = False,
+    ) -> ConfigurationRecord:
+        """The failure record for a plan that could not be committed."""
+        return self._failure(
+            session,
+            planned.label,
+            planned.composition_s,
+            planned.composition,
+            planned.distribution,
+            conflict=conflict,
+        )
+
+    def _complete_planned(
+        self,
+        session: ApplicationSession,
+        planned: PlannedConfiguration,
+        deployment,
+    ) -> ConfigurationRecord:
+        session.graph = planned.graph
         session.deployment = deployment
         timing = ConfigurationTiming(
-            composition_ms=composition_s * 1000.0,
-            distribution_ms=distribution_s * 1000.0,
+            composition_ms=planned.composition_s * 1000.0,
+            distribution_ms=planned.distribution_s * 1000.0,
             download_ms=deployment.download_s * 1000.0,
             initialization_ms=deployment.initialization_s * 1000.0,
         )
@@ -273,15 +392,15 @@ class ServiceConfigurator:
             timestamp=self.now,
             source=session.session_id,
             session_id=session.session_id,
-            label=label,
+            label=planned.label,
             total_ms=timing.total_ms,
         )
         return ConfigurationRecord(
-            label=label,
+            label=planned.label,
             timing=timing,
             success=True,
-            composition=composition,
-            distribution=distribution,
+            composition=planned.composition,
+            distribution=planned.distribution,
         )
 
     def reconfigure(

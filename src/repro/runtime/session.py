@@ -154,6 +154,17 @@ class ApplicationSession:
             skip_downloads=skip_downloads,
             graph_transform=graph_transform,
         )
+        return self.absorb_record(record)
+
+    def absorb_record(self, record: ConfigurationRecord) -> ConfigurationRecord:
+        """Adopt an externally produced configuration attempt.
+
+        The batched serving core drives the configurator's plan/commit
+        phases itself (grouped across many sessions) instead of calling
+        :meth:`start`; this applies the same timeline/state bookkeeping a
+        ``start`` attempt would, so downstream consumers cannot tell the
+        two admission paths apart.
+        """
         self.timeline.append(record)
         self.state = SessionState.RUNNING if record.success else SessionState.FAILED
         if record.success:

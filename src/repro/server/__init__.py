@@ -18,6 +18,9 @@ package is the serving layer in front of
 - :mod:`repro.server.service` — the front end tying the pieces together;
 - :mod:`repro.server.drivers` — a thread-pool driver (real concurrency)
   and a sim-kernel driver (deterministic trace replay);
+- :mod:`repro.server.batching` — the batched admission core: drains the
+  queue in chunks and admits each chunk through grouped ledger
+  prepare/commit rounds against one shared environment snapshot;
 - :mod:`repro.server.cluster` — the sharded multi-domain cluster: a
   pluggable shard router (consistent hashing / power-of-two-choices),
   cross-shard overflow, and merged cluster metrics.
@@ -48,6 +51,12 @@ from repro.server.service import (
     ServerRequest,
 )
 from repro.server.drivers import SimulatedServerDriver, ThreadPoolDriver
+from repro.server.batching import (
+    BatchingDomainService,
+    BatchingSimulatedDriver,
+    BatchingThreadPoolDriver,
+    BatchPolicy,
+)
 from repro.server.cluster import (
     ClusterMetrics,
     ClusterOutcome,
@@ -79,6 +88,10 @@ __all__ = [
     "ServerRequest",
     "SimulatedServerDriver",
     "ThreadPoolDriver",
+    "BatchingDomainService",
+    "BatchingSimulatedDriver",
+    "BatchingThreadPoolDriver",
+    "BatchPolicy",
     "ClusterMetrics",
     "ClusterOutcome",
     "ClusterSimulatedDriver",

@@ -37,7 +37,11 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.observability.metrics import Histogram, MetricsRegistry, stable_round
+from repro.observability.metrics import (
+    MetricsRegistry,
+    stable_round,
+    summarize_samples,
+)
 from repro.observability.tracing import get_tracer
 from repro.server.metrics import COUNTER_NAMES, STAGE_NAMES, ServerMetrics
 from repro.server.service import (
@@ -65,9 +69,12 @@ def shard_load(shard: DomainConfigurationService) -> float:
 
     Both terms live in [0, 1], so the sum weighs "work waiting" and "work
     admitted" equally; an idle shard scores 0.0, a saturated one ~2.0.
+    Delegates to the shard's version-memoized
+    :meth:`~repro.server.service.DomainConfigurationService.load_score`,
+    so repeated probes between state changes are O(1) instead of a
+    device walk under the ledger lock.
     """
-    occupancy = shard.queue.depth / shard.queue.capacity
-    return occupancy + shard.ledger.utilization()
+    return shard.load_score()
 
 
 class ShardRouter:
@@ -190,17 +197,30 @@ class DomainCluster:
         configurators: Sequence[object],
         router: Optional[ShardRouter] = None,
         registry: Optional[MetricsRegistry] = None,
+        batched: bool = False,
+        batch: Optional[object] = None,
         **service_kwargs: object,
     ) -> "DomainCluster":
         """Construct one service per configurator, wired into one registry.
 
         Each shard's :class:`ServerMetrics` registers its instruments
         under ``cluster.shard<i>`` in the shared registry, so one
-        registry snapshot covers the whole cluster.
+        registry snapshot covers the whole cluster. With ``batched=True``
+        every shard is a
+        :class:`~repro.server.batching.BatchingDomainService` (``batch``
+        passes a :class:`~repro.server.batching.BatchPolicy` through), and
+        the cluster drivers pick the batch-aware driver per shard.
         """
         registry = registry if registry is not None else MetricsRegistry()
+        service_cls = DomainConfigurationService
+        if batched:
+            from repro.server.batching import BatchingDomainService
+
+            service_cls = BatchingDomainService
+            if batch is not None:
+                service_kwargs["batch"] = batch
         shards = [
-            DomainConfigurationService(
+            service_cls(
                 configurator,  # type: ignore[arg-type]
                 metrics=ServerMetrics(
                     registry=registry, namespace=f"cluster.shard{index}"
@@ -347,11 +367,13 @@ class ClusterMetrics:
         shed_final = shed_raw - overflow_attempts
         latency: Dict[str, Dict[str, float]] = {}
         for stage in STAGE_NAMES:
-            merged = Histogram(stage)
+            # Chain the shards' sample iterators instead of copying each
+            # shard's list: one union list per stage (needed for the
+            # sort), zero per-shard copies, zero scratch histograms.
+            merged: List[float] = []
             for shard in self.cluster.shards:
-                for sample in shard.metrics.stage(stage).samples():
-                    merged.record(sample)
-            latency[stage] = merged.summary()
+                merged.extend(shard.metrics.stage(stage).iter_samples())
+            latency[stage] = summarize_samples(merged)
         routing = {
             "policy": type(self.cluster.router).__name__,
             "routed": [
@@ -425,14 +447,20 @@ class ClusterSimulatedDriver:
         workers: int = 1,
         min_service_s: float = 1e-3,
     ) -> None:
+        from repro.server.batching import (
+            BatchingDomainService,
+            BatchingSimulatedDriver,
+        )
         from repro.server.drivers import SimulatedServerDriver
 
         self.cluster = cluster
         self.sim = simulator
         self.drivers = [
-            SimulatedServerDriver(
-                shard, simulator, workers=workers, min_service_s=min_service_s
-            )
+            (
+                BatchingSimulatedDriver
+                if isinstance(shard, BatchingDomainService)
+                else SimulatedServerDriver
+            )(shard, simulator, workers=workers, min_service_s=min_service_s)
             for shard in cluster.shards
         ]
         self.placements: List[ClusterOutcome] = []
@@ -479,11 +507,19 @@ class ClusterThreadPoolDriver:
     """One real worker pool per shard (genuine cross-shard interleaving)."""
 
     def __init__(self, cluster: DomainCluster, workers_per_shard: int = 4) -> None:
+        from repro.server.batching import (
+            BatchingDomainService,
+            BatchingThreadPoolDriver,
+        )
         from repro.server.drivers import ThreadPoolDriver
 
         self.cluster = cluster
         self.drivers = [
-            ThreadPoolDriver(shard, workers=workers_per_shard)
+            (
+                BatchingThreadPoolDriver
+                if isinstance(shard, BatchingDomainService)
+                else ThreadPoolDriver
+            )(shard, workers=workers_per_shard)
             for shard in cluster.shards
         ]
 

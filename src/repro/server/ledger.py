@@ -32,7 +32,7 @@ import enum
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.distribution.fit import CandidateDevice, DistributionEnvironment
 from repro.domain.device import ResourceAllocation
@@ -137,6 +137,35 @@ class ReservationLedger:
             span.set("devices", len(txn.device_holds))
             span.set("links", len(txn.link_holds))
 
+    def prepare_many(
+        self,
+        items: Sequence[
+            Tuple[ReservationTransaction, ServiceGraph, Assignment]
+        ],
+    ) -> List[Optional[LedgerConflictError]]:
+        """Validate and hold a whole batch under ONE lock acquisition.
+
+        Items are processed in order; each sees live availability minus the
+        pending holds of everything already prepared — including earlier
+        items of the same batch, so a batch can never over-book even when
+        its members were all planned against the same snapshot. Returns one
+        entry per item: ``None`` when the transaction is now PREPARED, or
+        the :class:`LedgerConflictError` that left it PENDING (re-plan it
+        against a fresh snapshot, exactly as for a single conflict).
+        """
+        with get_tracer().span("ledger.prepare_many", size=len(items)) as span:
+            results: List[Optional[LedgerConflictError]] = []
+            with self._lock:
+                for txn, graph, assignment in items:
+                    try:
+                        self._prepare_locked(txn, graph, assignment)
+                        results.append(None)
+                    except LedgerConflictError as exc:
+                        results.append(exc)
+            span.set("prepared", sum(1 for r in results if r is None))
+            span.set("conflicts", sum(1 for r in results if r is not None))
+            return results
+
     def _prepare(
         self,
         txn: ReservationTransaction,
@@ -144,54 +173,62 @@ class ReservationLedger:
         assignment: Assignment,
     ) -> None:
         with self._lock:
-            self._require(txn, TransactionState.PENDING)
-            loads = assignment.device_loads(graph)
-            links = self._link_demand(assignment, graph)
-            conflicts: List[str] = []
-            for device_id in sorted(loads):
-                load = loads[device_id]
-                try:
-                    device = self.server.domain.device(device_id)
-                except KeyError:
-                    conflicts.append(f"device {device_id!r} left the domain")
-                    continue
-                if not device.online:
-                    conflicts.append(f"device {device_id!r} is offline")
-                    continue
-                pending = self._pending_device.get(device_id, ResourceVector())
-                if not load.fits_within(device.available() - pending):
-                    conflicts.append(
-                        f"device {device_id!r}: load {dict(load)!r} exceeds "
-                        f"effective availability"
-                    )
-            network = self.server.network
-            for pair in sorted(links):
-                demand = links[pair]
-                headroom = network.available_bandwidth(
-                    *pair
-                ) - self._pending_link.get(pair, 0.0)
-                if demand > headroom + 1e-9:
-                    conflicts.append(
-                        f"link {pair[0]}<->{pair[1]}: {demand:g} Mbps exceeds "
-                        f"{max(0.0, headroom):g} Mbps headroom"
-                    )
-            if conflicts:
-                raise LedgerConflictError(
-                    f"transaction {txn.txn_id} cannot be prepared: "
-                    + "; ".join(conflicts),
-                    tuple(conflicts),
+            self._prepare_locked(txn, graph, assignment)
+
+    def _prepare_locked(
+        self,
+        txn: ReservationTransaction,
+        graph: ServiceGraph,
+        assignment: Assignment,
+    ) -> None:
+        self._require(txn, TransactionState.PENDING)
+        loads = assignment.device_loads(graph)
+        links = self._link_demand(assignment, graph)
+        conflicts: List[str] = []
+        for device_id in sorted(loads):
+            load = loads[device_id]
+            try:
+                device = self.server.domain.device(device_id)
+            except KeyError:
+                conflicts.append(f"device {device_id!r} left the domain")
+                continue
+            if not device.online:
+                conflicts.append(f"device {device_id!r} is offline")
+                continue
+            pending = self._pending_device.get(device_id, ResourceVector())
+            if not load.fits_within(device.available() - pending):
+                conflicts.append(
+                    f"device {device_id!r}: load {dict(load)!r} exceeds "
+                    f"effective availability"
                 )
-            txn.device_holds = loads
-            txn.link_holds = links
-            for device_id, load in loads.items():
-                current = self._pending_device.get(device_id, ResourceVector())
-                self._pending_device[device_id] = current + load
-            for pair, demand in links.items():
-                self._pending_link[pair] = (
-                    self._pending_link.get(pair, 0.0) + demand
+        network = self.server.network
+        for pair in sorted(links):
+            demand = links[pair]
+            headroom = network.available_bandwidth(
+                *pair
+            ) - self._pending_link.get(pair, 0.0)
+            if demand > headroom + 1e-9:
+                conflicts.append(
+                    f"link {pair[0]}<->{pair[1]}: {demand:g} Mbps exceeds "
+                    f"{max(0.0, headroom):g} Mbps headroom"
                 )
-            txn.state = TransactionState.PREPARED
-            self._version += 1
+        if conflicts:
+            raise LedgerConflictError(
+                f"transaction {txn.txn_id} cannot be prepared: "
+                + "; ".join(conflicts),
+                tuple(conflicts),
+            )
+        txn.device_holds = loads
+        txn.link_holds = links
+        for device_id, load in loads.items():
+            current = self._pending_device.get(device_id, ResourceVector())
+            self._pending_device[device_id] = current + load
+        for pair, demand in links.items():
+            self._pending_link[pair] = (
+                self._pending_link.get(pair, 0.0) + demand
+            )
+        txn.state = TransactionState.PREPARED
+        self._version += 1
 
     def commit(
         self, txn: ReservationTransaction
@@ -211,46 +248,81 @@ class ReservationLedger:
             span.set("reservations", len(reservations))
             return allocations, reservations
 
+    def commit_many(
+        self, txns: Sequence[ReservationTransaction]
+    ) -> List[object]:
+        """Commit a whole batch of PREPARED transactions under ONE lock.
+
+        Returns one entry per transaction: the ``(allocations,
+        reservations)`` token pair on success, or the
+        :class:`LedgerConflictError` that aborted it (a device went offline
+        between prepare and commit — partial acquisitions are rolled back
+        per transaction, so one member's failure never poisons its batch
+        mates).
+        """
+        with get_tracer().span("ledger.commit_many", size=len(txns)) as span:
+            results: List[object] = []
+            with self._lock:
+                for txn in txns:
+                    try:
+                        results.append(self._commit_locked(txn))
+                    except LedgerConflictError as exc:
+                        results.append(exc)
+            span.set(
+                "committed",
+                sum(1 for r in results if not isinstance(r, LedgerConflictError)),
+            )
+            span.set(
+                "conflicts",
+                sum(1 for r in results if isinstance(r, LedgerConflictError)),
+            )
+            return results
+
     def _commit(
         self, txn: ReservationTransaction
     ) -> Tuple[List[ResourceAllocation], List[BandwidthReservation]]:
         with self._lock:
-            self._require(txn, TransactionState.PREPARED)
-            allocations: List[ResourceAllocation] = []
-            reservations: List[BandwidthReservation] = []
-            try:
-                for device_id in sorted(txn.device_holds):
-                    device = self.server.domain.device(device_id)
-                    allocations.append(
-                        device.allocate(
-                            txn.device_holds[device_id], owner=txn.owner
-                        )
+            return self._commit_locked(txn)
+
+    def _commit_locked(
+        self, txn: ReservationTransaction
+    ) -> Tuple[List[ResourceAllocation], List[BandwidthReservation]]:
+        self._require(txn, TransactionState.PREPARED)
+        allocations: List[ResourceAllocation] = []
+        reservations: List[BandwidthReservation] = []
+        try:
+            for device_id in sorted(txn.device_holds):
+                device = self.server.domain.device(device_id)
+                allocations.append(
+                    device.allocate(
+                        txn.device_holds[device_id], owner=txn.owner
                     )
-                for pair in sorted(txn.link_holds):
-                    reservations.append(
-                        self.server.network.reserve(*pair, txn.link_holds[pair])
-                    )
-            except Exception as exc:
-                for reservation in reservations:
-                    self.server.network.release(reservation)
-                for allocation in allocations:
-                    try:
-                        device = self.server.domain.device(allocation.device_id)
-                    except KeyError:
-                        continue
-                    device.release(allocation)
-                self._drop_pending(txn)
-                txn.state = TransactionState.ABORTED
-                self._version += 1
-                raise LedgerConflictError(
-                    f"transaction {txn.txn_id} failed to commit: {exc}"
-                ) from exc
+                )
+            for pair in sorted(txn.link_holds):
+                reservations.append(
+                    self.server.network.reserve(*pair, txn.link_holds[pair])
+                )
+        except Exception as exc:
+            for reservation in reservations:
+                self.server.network.release(reservation)
+            for allocation in allocations:
+                try:
+                    device = self.server.domain.device(allocation.device_id)
+                except KeyError:
+                    continue
+                device.release(allocation)
             self._drop_pending(txn)
-            txn.allocations = allocations
-            txn.reservations = reservations
-            txn.state = TransactionState.COMMITTED
+            txn.state = TransactionState.ABORTED
             self._version += 1
-            return list(allocations), list(reservations)
+            raise LedgerConflictError(
+                f"transaction {txn.txn_id} failed to commit: {exc}"
+            ) from exc
+        self._drop_pending(txn)
+        txn.allocations = allocations
+        txn.reservations = reservations
+        txn.state = TransactionState.COMMITTED
+        self._version += 1
+        return list(allocations), list(reservations)
 
     def abort(self, txn: ReservationTransaction) -> None:
         """Drop a not-yet-committed transaction (idempotent)."""

@@ -109,6 +109,8 @@ class DomainConfigurationService:
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self._lock = threading.Lock()
         self._outcomes: Dict[str, RequestOutcome] = {}
+        # Memoized routing-load score: (token, score). See load_score().
+        self._load_cache: Optional[tuple] = None
 
     # -- the front door ------------------------------------------------------------
 
@@ -146,6 +148,32 @@ class DomainConfigurationService:
         return RequestOutcome(
             request_id=request.request_id, status=RequestStatus.QUEUED
         )
+
+    def load_score(self) -> float:
+        """Queue occupancy plus ledger utilization, memoized on versions.
+
+        The routing load signal (both terms in [0, 1]: an idle shard scores
+        0.0, a saturated one ~2.0). Recomputing ledger utilization walks
+        every device under the ledger lock, so the score is cached behind
+        an O(1) staleness token — the queue and ledger version counters
+        plus the domain snapshot version (membership changes move device
+        capacity without touching the ledger). Power-of-two-choices probes
+        between state changes therefore cost two tuple compares, not two
+        domain walks.
+        """
+        token = (
+            self.queue.version,
+            self.ledger.version,
+            self.configurator.server.snapshot_version(),
+        )
+        cached = self._load_cache
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        score = (
+            self.queue.depth / self.queue.capacity + self.ledger.utilization()
+        )
+        self._load_cache = (token, score)
+        return score
 
     # -- the worker side -----------------------------------------------------------
 

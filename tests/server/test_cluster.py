@@ -243,6 +243,42 @@ class TestClusterMetrics:
         cluster.submit(request(testbeds[0], "r1", user_id="alice"))
         assert cluster.metrics.to_json() == cluster.metrics.to_json()
 
+    def test_percentile_merge_neither_copies_nor_mutates_shard_samples(self):
+        """The cluster merge must iterate shard samples, not snapshot them.
+
+        Histogram.samples() returns a defensive copy per call; merging a
+        large cluster through it would duplicate every shard's latency
+        history on every snapshot. Assert the merge path never calls it
+        and leaves the underlying sample storage untouched.
+        """
+        from repro.observability.metrics import Histogram
+
+        cluster, _ = make_cluster(2)
+        cluster.shards[0].metrics.record("total_ms", 10.0)
+        cluster.shards[0].metrics.record("total_ms", 20.0)
+        cluster.shards[1].metrics.record("total_ms", 30.0)
+        storages = [
+            shard.metrics.stage("total_ms")._samples for shard in cluster.shards
+        ]
+        before = [list(storage) for storage in storages]
+
+        def forbidden_copy(self):
+            raise AssertionError("merge must not copy via Histogram.samples()")
+
+        original = Histogram.samples
+        Histogram.samples = forbidden_copy
+        try:
+            snapshot = cluster.metrics.snapshot()
+        finally:
+            Histogram.samples = original
+        latency = snapshot["cluster"]["latency"]["total_ms"]
+        assert latency["count"] == 3
+        assert latency["mean"] == pytest.approx(20.0)
+        # Same storage objects, same contents: no mutation, no swap.
+        for storage, shard, expected in zip(storages, cluster.shards, before):
+            assert shard.metrics.stage("total_ms")._samples is storage
+            assert list(storage) == expected
+
 
 class TestClusterThreadStress:
     def test_four_shards_shed_strictly_less_than_one_at_same_load(self):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.graph.cuts import Assignment
 from repro.resources.vectors import ResourceVector
 from repro.server.ledger import (
     LedgerConflictError,
@@ -186,3 +187,76 @@ class TestColocation:
         assert pair_server.domain.device("d1").allocated == ResourceVector(
             memory=40.0, cpu=1.0
         )
+
+
+class TestGroupedRounds:
+    def test_prepare_many_later_items_see_earlier_holds(self, pair_server, ledger):
+        """Two 60MB plans against 100MB devices: exactly one holds."""
+        txn_a, txn_b = ledger.begin(owner="a"), ledger.begin(owner="b")
+        results = ledger.prepare_many(
+            [
+                (txn_a, stream_graph(memory=60.0), split_assignment()),
+                (txn_b, stream_graph(memory=60.0), split_assignment()),
+            ]
+        )
+        assert results[0] is None
+        assert isinstance(results[1], LedgerConflictError)
+        assert txn_a.state is TransactionState.PREPARED
+        # The loser is left un-prepared for the caller to abort.
+        assert txn_b.state is TransactionState.PENDING
+        ledger.abort(txn_b)
+        ledger.commit(txn_a)
+        assert ledger.audit() == []
+
+    def test_commit_many_returns_token_pairs(self, pair_server, ledger):
+        txns = [ledger.begin(owner=f"t{i}") for i in range(2)]
+        prepare_results = ledger.prepare_many(
+            [
+                (txn, stream_graph(memory=30.0), split_assignment())
+                for txn in txns
+            ]
+        )
+        assert prepare_results == [None, None]
+        commit_results = ledger.commit_many(txns)
+        for txn, result in zip(txns, commit_results):
+            assert txn.state is TransactionState.COMMITTED
+            allocations, reservations = result
+            assert {a.device_id for a in allocations} == {"d1", "d2"}
+            assert len(reservations) == 1
+        d1 = pair_server.domain.device("d1")
+        assert d1.allocated == ResourceVector(memory=60.0, cpu=1.0)
+        for txn in txns:
+            ledger.release(txn)
+        assert d1.allocated.is_zero()
+        assert ledger.audit() == []
+
+    def test_commit_many_isolates_a_mid_batch_failure(self, pair_server, ledger):
+        """An offline device aborts only its own transaction in the group."""
+        txns = [ledger.begin(owner=f"t{i}") for i in range(2)]
+        ledger.prepare_many(
+            [
+                (txns[0], stream_graph(memory=20.0), split_assignment()),
+                (
+                    txns[1],
+                    stream_graph(memory=20.0),
+                    Assignment({"src": "d2", "sink": "d2"}),
+                ),
+            ]
+        )
+        pair_server.domain.device("d2").go_offline()
+        results = ledger.commit_many(txns)
+        # d1+d2 txn fails on the offline device; both of its partial
+        # acquisitions roll back. The d2-only txn also fails.
+        assert all(isinstance(r, LedgerConflictError) for r in results)
+        assert all(t.state is TransactionState.ABORTED for t in txns)
+        assert pair_server.domain.device("d1").allocated.is_zero()
+        assert ledger.audit() == []
+
+    def test_grouped_rounds_bump_versions(self, ledger):
+        before = ledger.version
+        txn = ledger.begin()
+        ledger.prepare_many([(txn, stream_graph(), split_assignment())])
+        mid = ledger.version
+        assert mid > before
+        ledger.commit_many([txn])
+        assert ledger.version > mid

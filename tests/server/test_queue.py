@@ -190,3 +190,54 @@ class TestValidation:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             BoundedRequestQueue(0)
+
+
+class TestPopMany:
+    def test_drains_in_policy_order(self):
+        queue = BoundedRequestQueue(8, policy=QueuePolicy.PRIORITY)
+        queue.put("low", priority=1)
+        queue.put("high", priority=5)
+        queue.put("mid", priority=3)
+        batch = queue.pop_many(2)
+        assert [item.request for item in batch] == ["high", "mid"]
+        assert queue.depth == 1
+
+    def test_caps_at_queue_depth(self):
+        queue = BoundedRequestQueue(8)
+        queue.put("a")
+        queue.put("b")
+        assert [i.request for i in queue.pop_many(10)] == ["a", "b"]
+        assert queue.pop_many(10) == []
+
+    def test_non_positive_max_returns_empty(self):
+        queue = BoundedRequestQueue(4)
+        queue.put("a")
+        assert queue.pop_many(0) == []
+        assert queue.pop_many(-1) == []
+        assert queue.depth == 1
+
+
+class TestVersionCounter:
+    def test_version_moves_on_put_and_pop(self):
+        queue = BoundedRequestQueue(8)
+        v0 = queue.version
+        queue.put("a")
+        v1 = queue.version
+        assert v1 > v0
+        queue.pop()
+        assert queue.version > v1
+
+    def test_version_moves_once_per_pop_many_batch(self):
+        queue = BoundedRequestQueue(8)
+        for name in ("a", "b", "c"):
+            queue.put(name)
+        before = queue.version
+        queue.pop_many(3)
+        assert queue.version == before + 1
+
+    def test_no_op_drains_leave_version_alone(self):
+        queue = BoundedRequestQueue(8)
+        before = queue.version
+        assert queue.pop() is None
+        assert queue.pop_many(4) == []
+        assert queue.version == before
