@@ -24,6 +24,9 @@ Public API tour (see README.md for the full quickstart):
 - :mod:`repro.server` — the domain configuration service (reservation
   ledger, bounded queue, admission control, overload shedding) and the
   sharded multi-domain serving cluster;
+- :mod:`repro.federation` — the geo-federated multi-cluster tier:
+  digest-routed admission across clusters and two-phase cross-cluster
+  session migration;
 - :mod:`repro.faults` — fault injection, heartbeat failure detection and
   self-healing session recovery;
 - :mod:`repro.observability` — structured span tracing, the unified
@@ -78,6 +81,13 @@ from repro.faults import (
     RecoveryManager,
     RecoveryMetrics,
     RecoveryPolicy,
+)
+from repro.federation import (
+    ClusterDigest,
+    FederatedRequest,
+    FederationMember,
+    FederationTier,
+    SessionMigrator,
 )
 from repro.observability import (
     MetricsRegistry,
@@ -154,6 +164,11 @@ __all__ = [
     "RecoveryManager",
     "RecoveryMetrics",
     "RecoveryPolicy",
+    "ClusterDigest",
+    "FederatedRequest",
+    "FederationMember",
+    "FederationTier",
+    "SessionMigrator",
     "MetricsRegistry",
     "Span",
     "TraceReport",

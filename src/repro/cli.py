@@ -10,6 +10,7 @@ Usage::
     python -m repro server-sweep [--multipliers M ...] [--json PATH] [--trace PATH]
     python -m repro cluster-sweep [--shards N ...] [--multipliers M ...] [--router hash|least-loaded] [--driver sim|thread] [--batched] [--batch-size B] [--linger S] [--json PATH] [--trace PATH]
     python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--json PATH] [--trace PATH]
+    python -m repro federation-sweep [--clusters N ...] [--multipliers M ...] [--roam-rates R ...] [--driver sim|thread] [--json PATH] [--trace PATH]
     python -m repro bench [--quick] [--baseline PATH] [--tolerance F]
     python -m repro trace-report PATH
     python -m repro all
@@ -40,6 +41,11 @@ from repro.experiments.cluster_sweep import (
     ROUTERS,
     run_cluster_sweep,
     run_cluster_thread_once,
+)
+from repro.experiments.bench_federation import run_federation_bench
+from repro.experiments.federation_sweep import (
+    run_federation_sweep,
+    run_federation_thread_once,
 )
 from repro.server.batching import BatchPolicy
 from repro.experiments.figure3 import run_prototype_scenario
@@ -183,6 +189,43 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> None:
         print(f"span trace NDJSON written to {args.trace}")
 
 
+def _cmd_federation_sweep(args: argparse.Namespace) -> None:
+    if args.driver == "thread":
+        for cluster_count in args.clusters:
+            report = run_federation_thread_once(
+                cluster_count, request_count=args.requests
+            )
+            whole = report["snapshot"]["federation"]
+            print(
+                f"{cluster_count} cluster(s): "
+                f"submitted {whole['submitted']}, "
+                f"admitted {whole['admitted']}, "
+                f"shed {whole['shed_final']} "
+                f"({100.0 * report['shed_rate']:.1f}%), "
+                f"drained={report['drained']}, "
+                f"audit={'clean' if not report['audit'] else report['audit']}"
+            )
+        return
+    result = run_federation_sweep(
+        cluster_counts=tuple(args.clusters),
+        multipliers=tuple(args.multipliers),
+        roam_rates=tuple(args.roam_rates),
+        seed=args.seed,
+        horizon_s=args.horizon,
+        queue_capacity=args.queue_capacity,
+        trace=args.trace is not None,
+    )
+    print(result.format_table())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"\nfederation metrics JSON written to {args.json}")
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(result.trace_ndjson())
+        print(f"span trace NDJSON written to {args.trace}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
     serving = run_serving_bench(quick=args.quick)
     print(serving.format_table())
@@ -196,6 +239,13 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         with open(args.distribution_json, "w", encoding="utf-8") as handle:
             handle.write(distribution.to_json())
         print(f"\ndistribution bench JSON written to {args.distribution_json}")
+    if not args.no_federation:
+        print()
+        federation = run_federation_bench(quick=args.quick)
+        print(federation.format_table())
+        with open(args.federation_json, "w", encoding="utf-8") as handle:
+            handle.write(federation.to_json())
+        print(f"\nfederation bench JSON written to {args.federation_json}")
     if args.baseline is not None:
         baseline = load_baseline(args.baseline)
         if baseline is None:
@@ -368,6 +418,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_sweep.set_defaults(handler=_cmd_chaos_sweep)
 
+    federation_sweep = subparsers.add_parser(
+        "federation-sweep",
+        help="geo-federated clusters with cross-cluster roaming (extension)",
+    )
+    federation_sweep.add_argument(
+        "--clusters", type=int, nargs="+", default=[1, 3]
+    )
+    federation_sweep.add_argument(
+        "--multipliers", type=float, nargs="+", default=[1.0, 2.0]
+    )
+    federation_sweep.add_argument(
+        "--roam-rates", type=float, nargs="+", default=[0.0, 0.2]
+    )
+    federation_sweep.add_argument("--seed", type=int, default=42)
+    federation_sweep.add_argument("--horizon", type=float, default=300.0)
+    federation_sweep.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=16,
+        help="per-shard bounded queue capacity in every member cluster",
+    )
+    federation_sweep.add_argument(
+        "--driver",
+        choices=("sim", "thread"),
+        default="sim",
+        help="sim: deterministic logical time; thread: one real worker "
+        "pool per shard per cluster, burst-submitted",
+    )
+    federation_sweep.add_argument(
+        "--requests",
+        type=int,
+        default=90,
+        help="burst size per cluster count (thread driver only)",
+    )
+    federation_sweep.add_argument(
+        "--json",
+        default=None,
+        help="also write deterministic federation metrics JSON",
+    )
+    federation_sweep.add_argument(
+        "--trace", default=None, help="also write the span trace as NDJSON"
+    )
+    federation_sweep.set_defaults(handler=_cmd_federation_sweep)
+
     bench = subparsers.add_parser(
         "bench",
         help="standing perf benchmarks (serving core + distributor search)",
@@ -391,6 +485,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-distribution",
         action="store_true",
         help="skip the distribution-search bench",
+    )
+    bench.add_argument(
+        "--federation-json",
+        default="BENCH_federation.json",
+        help="where to write the federation bench artifact",
+    )
+    bench.add_argument(
+        "--no-federation",
+        action="store_true",
+        help="skip the isolated-vs-federated clusters bench",
     )
     bench.add_argument(
         "--baseline",

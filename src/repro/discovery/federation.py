@@ -74,8 +74,14 @@ class FederatedDiscoveryService:
         spec: AbstractComponentSpec,
         context: Optional[DiscoveryContext] = None,
     ) -> Optional[ServiceDescription]:
-        """First tier with any admissible candidate wins."""
-        for index, tier in enumerate(self.tiers):
+        """First tier with any admissible candidate wins.
+
+        Consults each *distinct* tier once, in first-occurrence order: a
+        shared instance appearing twice in the chain (a building tier
+        under two office federations, say) would otherwise be queried —
+        and counted as an escalation — a second time on the same miss.
+        """
+        for index, tier in enumerate(self._unique_tiers()):
             found = tier.discover(spec, context)
             if found is not None:
                 if index > 0:
@@ -88,8 +94,13 @@ class FederatedDiscoveryService:
         spec: AbstractComponentSpec,
         context: Optional[DiscoveryContext] = None,
     ) -> List[DiscoveryResult]:
-        """All candidates from the first tier that has any."""
-        for index, tier in enumerate(self.tiers):
+        """All candidates from the first tier that has any.
+
+        Deduplicated like :meth:`discover`: distinct tiers only, so
+        ``escalations`` and ``query_count`` stay identity-deduped even
+        when scope chains share instances.
+        """
+        for index, tier in enumerate(self._unique_tiers()):
             results = tier.discover_all(spec, context)
             if results:
                 if index > 0:

@@ -1,0 +1,207 @@
+"""Standing federation benchmark: isolated vs federated clusters.
+
+The third committed bench artifact (``BENCH_federation.json``, next to
+``BENCH_serving.json`` and ``BENCH_distribution.json``): the same 3
+member clusters replay the same seeded hot-spot trace twice — once with
+escalation off (three isolated smart spaces, each eating its own
+overload) and once as a federation (digest-routed escalation plus
+cross-cluster roaming) — and the artifact records what federation buys:
+
+- **shed relief** — the federated run must shed measurably fewer
+  requests than the isolated run (the hot cluster's overflow lands in
+  its siblings' headroom instead of on the floor);
+- **cross-cluster admit throughput** — wall-clock requests/sec through
+  the federated front door (routing + digest upkeep included);
+- **migration latency** — p50/p95 total handoff of committed
+  cross-cluster migrations (destination configuration + WAN state
+  transfer), in logical milliseconds.
+
+Dispositions are sim-deterministic per seed; only the elapsed/rps
+numbers vary run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.experiments.federation_sweep import (
+    FederationSweepPoint,
+    run_federation_once,
+)
+
+#: Bench modes, in reporting order.
+MODES = ("isolated", "federated")
+
+#: Member clusters in the bench federation.
+CLUSTER_COUNT = 3
+
+#: Offered-load multiplier per cluster (hot-spot mix on cluster0).
+MULTIPLIER = 4.0
+
+#: Per-shard queue capacity (small enough that the hot cluster sheds).
+QUEUE_CAPACITY = 8
+
+#: Fraction of requests that roam mid-session (federated mode only).
+ROAM_RATE = 0.2
+
+
+@dataclass(frozen=True)
+class FederationBenchCell:
+    """One mode's measurement over the shared hot-spot trace."""
+
+    mode: str
+    clusters: int
+    submitted: int
+    admitted: int
+    degraded: int
+    failed: int
+    shed: int
+    escalations: int
+    escalation_rescued: int
+    migrations_committed: int
+    migrations_rolled_back: int
+    migration_p50_ms: float
+    migration_p95_ms: float
+    elapsed_s: float
+    admit_per_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "clusters": self.clusters,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "failed": self.failed,
+            "shed": self.shed,
+            "escalations": self.escalations,
+            "escalation_rescued": self.escalation_rescued,
+            "migrations_committed": self.migrations_committed,
+            "migrations_rolled_back": self.migrations_rolled_back,
+            "migration_p50_ms": round(self.migration_p50_ms, 6),
+            "migration_p95_ms": round(self.migration_p95_ms, 6),
+            "elapsed_s": round(self.elapsed_s, 6),
+            "admit_per_s": round(self.admit_per_s, 3),
+        }
+
+
+@dataclass
+class FederationBenchResult:
+    """Both modes over the same trace, plus the relief they differ by."""
+
+    seed: int
+    horizon_s: float
+    quick: bool
+    cells: List[FederationBenchCell] = field(default_factory=list)
+
+    def cell(self, mode: str) -> FederationBenchCell:
+        for cell in self.cells:
+            if cell.mode == mode:
+                return cell
+        raise KeyError(f"no federation bench cell for mode {mode!r}")
+
+    def shed_reduction(self) -> float:
+        """Fraction of the isolated sheds the federation avoided."""
+        isolated = self.cell("isolated").shed
+        if isolated <= 0:
+            return 0.0
+        return (isolated - self.cell("federated").shed) / isolated
+
+    def format_table(self) -> str:
+        header = (
+            f"{'mode':>10}{'submitted':>11}{'admitted':>10}{'shed':>7}"
+            f"{'escal':>7}{'rescued':>9}{'migr':>6}{'p50 ms':>9}"
+            f"{'p95 ms':>9}{'admit/s':>9}"
+        )
+        lines = [
+            "Federation vs isolated clusters under one hot-spot trace",
+            f"(seed {self.seed}, horizon {self.horizon_s:g}s, "
+            f"{CLUSTER_COUNT} clusters, load x{MULTIPLIER:g}, "
+            f"queue {QUEUE_CAPACITY}, roam {ROAM_RATE:g})",
+            "",
+            header,
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.mode:>10}{cell.submitted:>11d}{cell.admitted:>10d}"
+                f"{cell.shed:>7d}{cell.escalations:>7d}"
+                f"{cell.escalation_rescued:>9d}"
+                f"{cell.migrations_committed:>6d}"
+                f"{cell.migration_p50_ms:>9.2f}{cell.migration_p95_ms:>9.2f}"
+                f"{cell.admit_per_s:>9.1f}"
+            )
+        lines.append("")
+        lines.append(
+            f"federation sheds {100.0 * self.shed_reduction():.1f}% fewer "
+            f"requests than isolated clusters"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "benchmark": "federation",
+            "config": {
+                "clusters": CLUSTER_COUNT,
+                "multiplier": MULTIPLIER,
+                "queue_capacity": QUEUE_CAPACITY,
+                "roam_rate": ROAM_RATE,
+                "seed": self.seed,
+                "horizon_s": self.horizon_s,
+                "quick": self.quick,
+            },
+            "cells": [cell.as_dict() for cell in self.cells],
+            "derived": {
+                "shed_reduction": round(self.shed_reduction(), 6),
+            },
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _cell_from_point(
+    mode: str, point: FederationSweepPoint, elapsed_s: float
+) -> FederationBenchCell:
+    return FederationBenchCell(
+        mode=mode,
+        clusters=point.clusters,
+        submitted=point.submitted,
+        admitted=point.admitted,
+        degraded=point.degraded,
+        failed=point.failed,
+        shed=point.shed_final,
+        escalations=point.escalations,
+        escalation_rescued=point.escalation_rescued,
+        migrations_committed=point.migrations_committed,
+        migrations_rolled_back=point.migrations_rolled_back,
+        migration_p50_ms=point.migration_p50_ms,
+        migration_p95_ms=point.migration_p95_ms,
+        elapsed_s=elapsed_s,
+        admit_per_s=point.admitted / elapsed_s if elapsed_s > 0 else 0.0,
+    )
+
+
+def run_federation_bench(
+    seed: int = 42, quick: bool = False
+) -> FederationBenchResult:
+    """Replay the hot-spot trace isolated, then federated."""
+    horizon_s = 120.0 if quick else 300.0
+    result = FederationBenchResult(
+        seed=seed, horizon_s=horizon_s, quick=quick
+    )
+    for mode in MODES:
+        federated = mode == "federated"
+        start = time.perf_counter()
+        point = run_federation_once(
+            CLUSTER_COUNT,
+            MULTIPLIER,
+            roam_rate=ROAM_RATE if federated else 0.0,
+            seed=seed,
+            horizon_s=horizon_s,
+            queue_capacity=QUEUE_CAPACITY,
+            escalation=federated,
+        )
+        elapsed = time.perf_counter() - start
+        result.cells.append(_cell_from_point(mode, point, elapsed))
+    return result

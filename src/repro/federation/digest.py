@@ -1,0 +1,111 @@
+"""Summarized per-cluster capacity views (the federation's only gossip).
+
+The tier never sees a member cluster's registry, topology or ledger; it
+routes on :class:`ClusterDigest` — a handful of aggregates each cluster
+computes against its own shards and publishes to the shared
+:class:`DigestBoard` when its combined version counter has advanced far
+enough (the "version-counter cadence"). Digests can therefore be a little
+stale between publishes, which is exactly the decentralized-composition
+premise: escalation decisions run on aggregate QoS views, admission still
+happens against the target cluster's own live snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ClusterDigest:
+    """One cluster's summarized capacity and reachability.
+
+    ``headroom`` is the raw capacity signal in [0, 1] (1.0 = idle,
+    0.0 = saturated queue *and* ledger); ``ladder_headroom`` scales it by
+    the cluster's deepest degradation rung — a cluster whose economy
+    level runs at 0.45x demand can stretch 10% of raw headroom into ~22%
+    worth of full-rate admissions, so it stays a viable escalation target
+    longer than its raw number suggests. ``service_types`` is the coarse
+    QoS-reachability filter: the sorted union of the shards' advertised
+    registry types, enough to rule a sibling out without shipping its
+    registry.
+    """
+
+    cluster: str
+    version: int
+    shard_count: int
+    queue_depth: int
+    queue_capacity: int
+    utilization: float
+    load_score: float
+    headroom: float
+    ladder_headroom: float
+    service_types: Tuple[str, ...]
+
+    @property
+    def occupancy(self) -> float:
+        """Queue occupancy across the cluster, in [0, 1]."""
+        if self.queue_capacity <= 0:
+            return 1.0
+        return self.queue_depth / self.queue_capacity
+
+    def can_serve(self, service_type: Optional[str]) -> bool:
+        """Coarse reachability: does any shard advertise the type?"""
+        if service_type is None:
+            return True
+        return service_type in self.service_types
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cluster": self.cluster,
+            "version": self.version,
+            "shard_count": self.shard_count,
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "utilization": round(self.utilization, 6),
+            "load_score": round(self.load_score, 6),
+            "headroom": round(self.headroom, 6),
+            "ladder_headroom": round(self.ladder_headroom, 6),
+            "service_types": list(self.service_types),
+        }
+
+
+class DigestBoard:
+    """The shared digest bulletin board (latest digest per cluster).
+
+    A deliberately tiny abstraction: ``publish`` replaces a cluster's
+    digest, ``get``/``digests`` read it. In a real deployment this would
+    be a gossip mesh or a directory service; here it is the seam the tier
+    routes through — and the only cross-cluster state the tier holds.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._digests: Dict[str, ClusterDigest] = {}
+
+    def publish(self, digest: ClusterDigest) -> None:
+        """Replace the cluster's digest with a fresher one."""
+        with self._lock:
+            self._digests[digest.cluster] = digest
+
+    def get(self, cluster: str) -> Optional[ClusterDigest]:
+        """The latest published digest of one cluster, if any."""
+        with self._lock:
+            return self._digests.get(cluster)
+
+    def digests(self) -> List[ClusterDigest]:
+        """All published digests, ordered by cluster name (deterministic)."""
+        with self._lock:
+            return [
+                self._digests[name] for name in sorted(self._digests)
+            ]
+
+    def published_version(self, cluster: str) -> Optional[int]:
+        """The version the cluster's current digest was computed at."""
+        digest = self.get(cluster)
+        return None if digest is None else digest.version
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._digests)

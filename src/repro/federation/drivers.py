@@ -1,0 +1,181 @@
+"""Execution drivers for a whole federation.
+
+:class:`FederationSimulatedDriver` threads every member cluster's
+simulated shard drivers through one shared
+:class:`~repro.sim.kernel.Simulator`, so federated routing, escalation,
+queueing, departures *and cross-cluster migrations* are all logical-time
+events — the same seed replays byte-identical federation metrics JSON.
+:class:`FederationThreadDriver` runs one real worker pool per shard per
+cluster for wall-clock smoke coverage of the same paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.federation.migration import MigrationOutcome, SessionMigrator
+from repro.federation.tier import (
+    FederatedRequest,
+    FederationOutcome,
+    FederationTier,
+)
+from repro.server.cluster import (
+    ClusterSimulatedDriver,
+    ClusterThreadPoolDriver,
+)
+from repro.server.service import RequestOutcome, RequestStatus
+from repro.sim.kernel import Simulator
+from repro.workloads.arrivals import ArrivalEvent, ArrivalTrace
+
+
+class FederationSimulatedDriver:
+    """Deterministic federation replay on one logical clock."""
+
+    def __init__(
+        self,
+        tier: FederationTier,
+        simulator: Simulator,
+        workers: int = 1,
+        min_service_s: float = 1e-3,
+        migrator: Optional[SessionMigrator] = None,
+    ) -> None:
+        self.tier = tier
+        self.sim = simulator
+        self.cluster_drivers: Dict[str, ClusterSimulatedDriver] = {
+            member.name: ClusterSimulatedDriver(
+                member.cluster,
+                simulator,
+                workers=workers,
+                min_service_s=min_service_s,
+            )
+            for member in tier.members
+        }
+        self.migrator = (
+            migrator
+            if migrator is not None
+            else SessionMigrator(fabric=tier.fabric, registry=tier.registry)
+        )
+        self.submissions: List[FederationOutcome] = []
+        self.migrations: List[MigrationOutcome] = []
+
+    def schedule_trace(
+        self,
+        trace: ArrivalTrace,
+        request_factory: Callable[[ArrivalEvent], FederatedRequest],
+    ) -> None:
+        """Schedule one federated-submit event per arrival in the trace."""
+        for event in trace:
+            self.sim.schedule_at(
+                event.arrival_s,
+                lambda e=event: self._arrive(request_factory(e)),
+            )
+
+    def schedule_migration(
+        self,
+        at_s: float,
+        request_id: str,
+        destination: str,
+        new_client_device: str,
+    ) -> None:
+        """Schedule a cross-cluster migration of a served request's session.
+
+        A no-op at fire time when the request was shed, never admitted,
+        already stopped, or already lives in the destination cluster — a
+        roam hint against a dead session is simply dropped, matching how
+        a real tier would treat a stale mobility prediction.
+        """
+        self.sim.schedule_at(
+            at_s,
+            lambda: self._migrate(request_id, destination, new_client_device),
+        )
+
+    def run(self, until: Optional[float] = None) -> List[RequestOutcome]:
+        """Run to completion (or ``until``); return all served outcomes."""
+        if until is None:
+            self.sim.run()
+        else:
+            self.sim.run_until(until)
+        return self.outcomes()
+
+    def outcomes(self) -> List[RequestOutcome]:
+        """Final sheds plus every member cluster's served outcomes."""
+        outcomes = [
+            placed.placed.outcome
+            for placed in self.submissions
+            if placed.placed.outcome.status is RequestStatus.SHED
+        ]
+        for name in sorted(self.cluster_drivers):
+            driver = self.cluster_drivers[name]
+            for shard_driver in driver.drivers:
+                outcomes.extend(shard_driver.outcomes)
+        return outcomes
+
+    def _arrive(self, request: FederatedRequest) -> None:
+        placed = self.tier.submit(request)
+        self.submissions.append(placed)
+        if placed.placed.outcome.status is RequestStatus.QUEUED:
+            driver = self.cluster_drivers[placed.member]
+            driver.drivers[placed.placed.shard]._dispatch()
+
+    def _migrate(
+        self, request_id: str, destination: str, new_client_device: str
+    ) -> None:
+        origin_name = self.tier.member_of(request_id)
+        if origin_name is None or origin_name == destination:
+            return
+        outcome = self.tier.outcome(request_id)
+        if outcome is None or not outcome.admitted:
+            return
+        session = outcome.session
+        if session is None or not session.running:
+            return
+        self.migrations.append(
+            self.migrator.migrate(
+                session,
+                origin=self.tier.member(origin_name),
+                destination=self.tier.member(destination),
+                new_client_device=new_client_device,
+            )
+        )
+
+
+class FederationThreadDriver:
+    """One real worker pool per shard per member cluster."""
+
+    def __init__(
+        self, tier: FederationTier, workers_per_shard: int = 2
+    ) -> None:
+        self.tier = tier
+        self.cluster_drivers: Dict[str, ClusterThreadPoolDriver] = {
+            member.name: ClusterThreadPoolDriver(
+                member.cluster, workers_per_shard=workers_per_shard
+            )
+            for member in tier.members
+        }
+
+    def start(self) -> None:
+        for name in sorted(self.cluster_drivers):
+            self.cluster_drivers[name].start()
+
+    def stop(self) -> None:
+        for name in sorted(self.cluster_drivers):
+            self.cluster_drivers[name].stop()
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until every member cluster's shards drain and go idle."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        for name in sorted(self.cluster_drivers):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self.cluster_drivers[name].wait_idle(
+                timeout=remaining
+            ):
+                return False
+        return True
+
+    def outcomes(self) -> List[RequestOutcome]:
+        outcomes: List[RequestOutcome] = []
+        for name in sorted(self.cluster_drivers):
+            outcomes.extend(self.cluster_drivers[name].outcomes())
+        return outcomes

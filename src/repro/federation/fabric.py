@@ -1,0 +1,122 @@
+"""The inter-cluster WAN fabric.
+
+Member clusters' topologies are disjoint (each models one smart space),
+so cross-cluster traffic — digest publishes, escalated submissions,
+migration state handoffs — crosses a modeled wide-area link instead. The
+fabric keeps one :class:`InterClusterLink` per unordered cluster pair
+(bandwidth + latency for the transfer-cost model, plus a ``partitioned``
+fault flag the chaos tests flip mid-migration, mirroring
+``NetworkTopology.set_link_health`` at the intra-domain layer).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.network.links import transfer_time_s
+
+
+def _pair(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class InterClusterLink:
+    """One WAN link between two clusters' gateways."""
+
+    a: str
+    b: str
+    bandwidth_mbps: float = 50.0
+    latency_ms: float = 30.0
+    partitioned: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("inter-cluster bandwidth must be positive")
+        if self.latency_ms < 0:
+            raise ValueError("inter-cluster latency cannot be negative")
+
+    def transfer_time_s(self, size_kb: float) -> float:
+        """Time to move ``size_kb`` of checkpoint state across the link."""
+        return transfer_time_s(size_kb, self.bandwidth_mbps, self.latency_ms)
+
+
+class FederationFabric:
+    """All pairwise inter-cluster links, created on demand."""
+
+    def __init__(
+        self,
+        default_bandwidth_mbps: float = 50.0,
+        default_latency_ms: float = 30.0,
+    ) -> None:
+        if default_bandwidth_mbps <= 0:
+            raise ValueError("inter-cluster bandwidth must be positive")
+        if default_latency_ms < 0:
+            raise ValueError("inter-cluster latency cannot be negative")
+        self.default_bandwidth_mbps = default_bandwidth_mbps
+        self.default_latency_ms = default_latency_ms
+        self._lock = threading.Lock()
+        self._links: Dict[Tuple[str, str], InterClusterLink] = {}
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bandwidth_mbps: float = None,  # type: ignore[assignment]
+        latency_ms: float = None,  # type: ignore[assignment]
+    ) -> InterClusterLink:
+        """Create (or replace) the link between two clusters."""
+        if a == b:
+            raise ValueError("a cluster needs no link to itself")
+        link = InterClusterLink(
+            *_pair(a, b),
+            bandwidth_mbps=(
+                self.default_bandwidth_mbps
+                if bandwidth_mbps is None
+                else bandwidth_mbps
+            ),
+            latency_ms=(
+                self.default_latency_ms if latency_ms is None else latency_ms
+            ),
+        )
+        with self._lock:
+            self._links[_pair(a, b)] = link
+        return link
+
+    def link(self, a: str, b: str) -> InterClusterLink:
+        """The link between two clusters, created with defaults if absent."""
+        if a == b:
+            raise ValueError("a cluster needs no link to itself")
+        with self._lock:
+            key = _pair(a, b)
+            found = self._links.get(key)
+            if found is None:
+                found = InterClusterLink(
+                    *key,
+                    bandwidth_mbps=self.default_bandwidth_mbps,
+                    latency_ms=self.default_latency_ms,
+                )
+                self._links[key] = found
+            return found
+
+    def set_partition(self, a: str, b: str, partitioned: bool = True) -> None:
+        """Cut (or heal) the WAN between two clusters — the chaos hook."""
+        self.link(a, b).partitioned = partitioned
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore a previously partitioned pair (idempotent)."""
+        self.set_partition(a, b, partitioned=False)
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Can a message cross between the two clusters right now?"""
+        if a == b:
+            return True
+        return not self.link(a, b).partitioned
+
+    def transfer_time_s(self, a: str, b: str, size_kb: float) -> float:
+        """Cost of moving ``size_kb`` between the two clusters' gateways."""
+        if a == b:
+            return 0.0
+        return self.link(a, b).transfer_time_s(size_kb)

@@ -11,7 +11,8 @@ walk descend.
 
 :class:`OverloadPolicy` decides when the front end stops queueing and
 sheds instead, and how long it tells the client to back off (retry-after
-grows linearly with queue depth — simple, deterministic backpressure).
+grows linearly with queue depth up to a configurable ceiling — simple,
+deterministic backpressure).
 """
 
 from __future__ import annotations
@@ -45,6 +46,10 @@ class OverloadPolicy:
     utilization_threshold: float = 0.98
     retry_after_base_s: float = 0.25
     retry_after_per_queued_s: float = 0.05
+    #: Ceiling on the hinted backoff: the linear depth term would
+    #: otherwise tell clients behind a deep queue to go away for minutes,
+    #: long after the congestion that shed them has drained.
+    retry_after_max_s: float = 5.0
 
     def should_shed(
         self, queue_depth: int, queue_capacity: int, utilization: float
@@ -58,7 +63,11 @@ class OverloadPolicy:
         )
 
     def retry_after_s(self, queue_depth: int) -> float:
-        return self.retry_after_base_s + self.retry_after_per_queued_s * queue_depth
+        return min(
+            self.retry_after_base_s
+            + self.retry_after_per_queued_s * queue_depth,
+            self.retry_after_max_s,
+        )
 
 
 @dataclass

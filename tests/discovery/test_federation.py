@@ -96,14 +96,36 @@ class TestFederation:
         # One lookup total; the duplicate campus entry must not inflate it.
         assert federation.query_count == 1
 
-    def test_shared_tier_miss_counts_actual_lookups(self, tiers):
+    def test_shared_tier_miss_consults_each_instance_once(self, tiers):
         room, building, campus = tiers
         federation = FederatedDiscoveryService([room, campus, building, campus])
         federation.discover(AbstractComponentSpec("s", "ghost"))  # miss everywhere
-        # Four tier queries really happened (campus was asked twice) —
-        # the dedupe reads each instance's counter exactly once.
-        assert campus.query_count == 2
-        assert federation.query_count == 4
+        # Three distinct tiers, three lookups: the duplicate campus entry
+        # is skipped on the walk, not re-queried on the same miss.
+        assert campus.query_count == 1
+        assert federation.query_count == 3
+
+    def test_shared_tier_escalation_counted_once(self, tiers):
+        """A hit on a duplicated tier escalates once, at its first spot.
+
+        With the campus instance listed twice, a lookup only the campus
+        can serve must count one escalation (local miss, served remotely)
+        — not consult the shared instance again via its second entry.
+        """
+        room, building, campus = tiers
+        federation = FederatedDiscoveryService([room, campus, building, campus])
+        found = federation.discover(AbstractComponentSpec("s", "archive"))
+        assert found.provider_id == "campus-archive"
+        assert federation.escalations == 1
+        assert campus.query_count == 1
+
+    def test_shared_tier_discover_all_deduped(self, tiers):
+        room, building, campus = tiers
+        federation = FederatedDiscoveryService([room, campus, building, campus])
+        results = federation.discover_all(AbstractComponentSpec("s", "ghost"))
+        assert results == []
+        assert campus.query_count == 1
+        assert federation.query_count == 3
 
     def test_shared_tier_registry_version_deduped(self, tiers):
         room, building, campus = tiers

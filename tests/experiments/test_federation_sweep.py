@@ -1,0 +1,127 @@
+"""Federation sweep + bench: determinism, relief shape, artifacts."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench_federation import run_federation_bench
+from repro.experiments.federation_sweep import (
+    build_federation,
+    run_federation_once,
+    run_federation_sweep,
+    run_federation_thread_once,
+)
+
+
+class TestBuildFederation:
+    def test_members_named_and_isolated(self):
+        tier, testbeds = build_federation(3, shards_per_cluster=2)
+        assert [m.name for m in tier.members] == [
+            "cluster0",
+            "cluster1",
+            "cluster2",
+        ]
+        assert len(testbeds["cluster0"]) == 2
+        # Each member keeps its own metrics registry (shard namespaces
+        # collide across members otherwise) — distinct from the tier's.
+        registries = {id(m.cluster.registry) for m in tier.members}
+        assert len(registries) == 3
+        assert id(tier.registry) not in registries
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_federation(0)
+        with pytest.raises(ValueError):
+            run_federation_once(2, 0.0)
+        with pytest.raises(ValueError):
+            run_federation_once(2, 1.0, roam_rate=1.5)
+
+
+class TestFederationSweep:
+    def test_point_replay_is_byte_identical(self):
+        kwargs = dict(
+            cluster_count=3,
+            multiplier=1.0,
+            roam_rate=0.2,
+            seed=11,
+            horizon_s=90.0,
+            trace=True,
+        )
+        a = run_federation_once(**kwargs)
+        b = run_federation_once(**kwargs)
+        assert a.metrics_json == b.metrics_json
+        assert a.trace_ndjson == b.trace_ndjson
+        assert a.as_dict() == b.as_dict()
+
+    def test_sweep_covers_grid_and_serializes(self):
+        result = run_federation_sweep(
+            cluster_counts=(1, 2),
+            multipliers=(1.0,),
+            roam_rates=(0.0, 0.2),
+            horizon_s=60.0,
+        )
+        assert len(result.points) == 4
+        point = result.point(2, 1.0, 0.2)
+        assert point.clusters == 2
+        with pytest.raises(KeyError):
+            result.point(9, 1.0, 0.0)
+        payload = json.loads(result.to_json())
+        assert len(payload["points"]) == 4
+        assert "clusters" in result.format_table()
+
+    def test_escalation_relieves_hot_spot(self):
+        shared = dict(
+            cluster_count=3,
+            multiplier=4.0,
+            seed=42,
+            horizon_s=120.0,
+            queue_capacity=8,
+        )
+        isolated = run_federation_once(escalation=False, **shared)
+        federated = run_federation_once(escalation=True, **shared)
+        assert isolated.submitted == federated.submitted
+        assert federated.shed_final < isolated.shed_final
+        assert federated.escalation_rescued > 0
+
+    def test_roaming_commits_migrations(self):
+        point = run_federation_once(
+            3, 1.0, roam_rate=0.3, horizon_s=120.0, seed=42
+        )
+        assert point.migrations_attempted >= point.migrations_committed
+        assert point.migrations_committed > 0
+        assert point.migration_p95_ms >= point.migration_p50_ms > 0.0
+
+    def test_single_cluster_never_escalates_or_roams(self):
+        point = run_federation_once(1, 1.0, roam_rate=0.5, horizon_s=60.0)
+        assert point.escalations == 0
+        assert point.migrations_attempted == 0
+
+    def test_thread_once_drains_balanced(self):
+        report = run_federation_thread_once(2, request_count=30)
+        assert report["drained"]
+        assert report["audit"] == []
+        assert report["snapshot"]["federation"]["submitted"] == 30
+
+
+class TestFederationBench:
+    def test_federation_sheds_less_than_isolated(self):
+        result = run_federation_bench(quick=True)
+        isolated = result.cell("isolated")
+        federated = result.cell("federated")
+        assert isolated.submitted == federated.submitted
+        assert federated.shed < isolated.shed
+        assert result.shed_reduction() > 0.0
+        assert federated.migrations_committed > 0
+        assert federated.migration_p95_ms >= federated.migration_p50_ms > 0.0
+
+    def test_bench_artifact_shape(self):
+        result = run_federation_bench(quick=True)
+        payload = json.loads(result.to_json())
+        assert payload["benchmark"] == "federation"
+        assert payload["config"]["clusters"] == 3
+        assert {cell["mode"] for cell in payload["cells"]} == {
+            "isolated",
+            "federated",
+        }
+        assert payload["derived"]["shed_reduction"] > 0.0
+        assert "admit/s" in result.format_table()

@@ -162,6 +162,43 @@ class TestRoaming:
             for device in testbed.devices.values()
         )
 
+    def test_total_handoff_ms_sums_record_and_transfer(self, lab_session):
+        testbed, session = lab_session
+        hotel, _devices = build_hotel_domain()
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assert report.success
+        assert report.total_handoff_ms == pytest.approx(
+            report.record.timing.total_ms + report.state_transfer_s * 1000.0
+        )
+        assert report.total_handoff_ms > report.record.timing.total_ms
+
+    def test_total_handoff_ms_on_failed_roam_is_record_only(self, lab_session):
+        testbed, session = lab_session
+        hotel, devices = build_hotel_domain()
+        for device in devices.values():
+            device.allocate(device.available())
+        report = SessionRoamer().roam(session, hotel, "hotel-pc")
+        assert not report.success
+        # No state ever crossed the WAN, so the handoff cost is exactly
+        # the destination's (failed) configuration attempt.
+        assert report.state_transfer_s == 0.0
+        assert report.total_handoff_ms == pytest.approx(
+            report.record.timing.total_ms
+        )
+
+    def test_total_handoff_ms_without_record_is_transfer_only(self):
+        from repro.runtime.roaming import RoamingReport
+
+        report = RoamingReport(
+            success=False,
+            old_domain="lab",
+            new_domain="hotel",
+            record=None,
+            state_transfer_s=0.25,
+            new_session=None,
+        )
+        assert report.total_handoff_ms == pytest.approx(250.0)
+
     def test_failed_roam_preserves_state_and_allows_retry(self, lab_session):
         testbed, session = lab_session
         hotel, devices = build_hotel_domain()

@@ -4,6 +4,7 @@ import pytest
 
 from repro.apps.audio_on_demand import audio_request, build_audio_testbed
 from repro.resources.vectors import ResourceVector
+from repro.server.admission import OverloadPolicy
 from repro.server.queue import QueuePolicy
 from repro.server.service import (
     DomainConfigurationService,
@@ -186,6 +187,34 @@ class TestShedding:
         assert outcome.shed_reason == "deadline"
         assert outcome.queue_wait_s == pytest.approx(10.0)
         assert service.metrics.count("shed_deadline") == 1
+
+
+class TestRetryAfterCap:
+    def test_shallow_queue_keeps_linear_hint(self):
+        policy = OverloadPolicy()
+        assert policy.retry_after_s(0) == pytest.approx(0.25)
+        assert policy.retry_after_s(10) == pytest.approx(0.75)
+
+    def test_deep_queue_hint_is_capped(self):
+        policy = OverloadPolicy()
+        # Linear: 0.25 + 0.05 * 1000 = 50.25s; the ceiling wins.
+        assert policy.retry_after_s(1000) == pytest.approx(5.0)
+        assert policy.retry_after_s(10_000) == pytest.approx(5.0)
+
+    def test_cap_is_configurable(self):
+        policy = OverloadPolicy(retry_after_max_s=1.0)
+        assert policy.retry_after_s(100) == pytest.approx(1.0)
+        # Below the cap the linear schedule is untouched.
+        assert policy.retry_after_s(5) == pytest.approx(0.5)
+
+    def test_shed_outcome_hint_respects_cap(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed, queue_capacity=1)
+        service.overload.retry_after_max_s = 0.25
+        service.submit(request(testbed, "r1"))
+        shed = service.submit(request(testbed, "r2"))
+        assert shed.status is RequestStatus.SHED
+        assert shed.retry_after_s == pytest.approx(0.25)
 
 
 class TestPolicies:

@@ -125,6 +125,54 @@ class TestCommands:
         assert "1 shard(s):" in out
         assert "audit=clean" in out
 
+    def test_federation_sweep_json_and_trace(self, capsys, tmp_path):
+        json_path = tmp_path / "federation.json"
+        trace_path = tmp_path / "federation.ndjson"
+        assert (
+            main(
+                [
+                    "federation-sweep",
+                    "--clusters",
+                    "2",
+                    "--multipliers",
+                    "1.0",
+                    "--roam-rates",
+                    "0.2",
+                    "--horizon",
+                    "60",
+                    "--json",
+                    str(json_path),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Federated clusters under hot-spot offered-load" in out
+        assert f"federation metrics JSON written to {json_path}" in out
+        assert json_path.read_text().strip()
+        assert "run.federation_sweep" in trace_path.read_text()
+
+    def test_federation_sweep_thread_driver(self, capsys):
+        assert (
+            main(
+                [
+                    "federation-sweep",
+                    "--driver",
+                    "thread",
+                    "--clusters",
+                    "2",
+                    "--requests",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 cluster(s):" in out
+        assert "audit=clean" in out
+
     def test_server_sweep_trace(self, capsys, tmp_path):
         trace_path = tmp_path / "server.ndjson"
         assert (
