@@ -8,9 +8,10 @@ Usage::
     python -m repro figure5  [--requests N] [--horizon H]
     python -m repro ablations [--cases N]
     python -m repro server-sweep [--multipliers M ...] [--json PATH] [--trace PATH]
-    python -m repro cluster-sweep [--shards N ...] [--multipliers M ...] [--router hash|least-loaded] [--driver sim|thread] [--batched] [--batch-size B] [--linger S] [--json PATH] [--trace PATH]
-    python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--json PATH] [--trace PATH]
+    python -m repro cluster-sweep [--shards N ...] [--multipliers M ...] [--router hash|least-loaded] [--driver sim|thread] [--batched] [--batch-size B] [--linger S] [--controlled] [--json PATH] [--trace PATH]
+    python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--controlled] [--json PATH] [--trace PATH]
     python -m repro federation-sweep [--clusters N ...] [--multipliers M ...] [--roam-rates R ...] [--driver sim|thread] [--json PATH] [--trace PATH]
+    python -m repro control-sweep [--quick] [--json PATH]
     python -m repro bench [--quick] [--baseline PATH] [--tolerance F]
     python -m repro trace-report PATH
     python -m repro all
@@ -30,6 +31,12 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.ablations import run_all_ablations
+from repro.experiments.bench_control import (
+    load_baseline as load_control_baseline,
+    run_control_bench,
+    verify as verify_control,
+    verify_payload as verify_control_payload,
+)
 from repro.experiments.bench_serving import (
     compare_to_baseline,
     load_baseline,
@@ -158,6 +165,7 @@ def _cmd_cluster_sweep(args: argparse.Namespace) -> None:
         trace=args.trace is not None,
         batched=args.batched,
         batch=batch,
+        controlled=args.controlled,
     )
     print(result.format_table())
     if args.json is not None:
@@ -177,6 +185,7 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> None:
         horizon_s=args.horizon,
         driver=args.driver,
         trace=args.trace is not None,
+        controlled=args.controlled,
     )
     print(result.format_table())
     if args.json is not None:
@@ -226,6 +235,22 @@ def _cmd_federation_sweep(args: argparse.Namespace) -> None:
         print(f"span trace NDJSON written to {args.trace}")
 
 
+def _cmd_control_sweep(args: argparse.Namespace) -> None:
+    result = run_control_bench(quick=args.quick, seed=args.seed)
+    print(result.format_table())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"\ncontrol bench JSON written to {args.json}")
+    problems = verify_control(result)
+    if problems:
+        print("\nCONTROL PLANE STOPPED HELPING:")
+        for message in problems:
+            print(f"  - {message}")
+        raise SystemExit(1)
+    print("\ncontrol gate passed (controlled beats reactive)")
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
     serving = run_serving_bench(quick=args.quick)
     print(serving.format_table())
@@ -246,6 +271,29 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         with open(args.federation_json, "w", encoding="utf-8") as handle:
             handle.write(federation.to_json())
         print(f"\nfederation bench JSON written to {args.federation_json}")
+    if not args.no_control:
+        print()
+        control = run_control_bench(quick=args.quick)
+        print(control.format_table())
+        with open(args.control_json, "w", encoding="utf-8") as handle:
+            handle.write(control.to_json())
+        print(f"\ncontrol bench JSON written to {args.control_json}")
+        problems = verify_control(control)
+        if args.control_baseline is not None:
+            committed = load_control_baseline(args.control_baseline)
+            if committed is None:
+                print(f"no control baseline at {args.control_baseline}")
+            else:
+                problems += [
+                    f"committed {args.control_baseline}: {message}"
+                    for message in verify_control_payload(committed)
+                ]
+        if problems:
+            print("\nCONTROL PLANE STOPPED HELPING:")
+            for message in problems:
+                print(f"  - {message}")
+            raise SystemExit(1)
+        print("control gate passed (controlled beats reactive)")
     if args.baseline is not None:
         baseline = load_baseline(args.baseline)
         if baseline is None:
@@ -392,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.02,
         help="seconds an under-full batch waits for company (with --batched)",
     )
+    cluster_sweep.add_argument(
+        "--controlled",
+        action="store_true",
+        help="attach the predictive QoS controller (proactive degradation, "
+        "router steering, queue rebalancing) to every run",
+    )
     cluster_sweep.set_defaults(handler=_cmd_cluster_sweep)
 
     chaos_sweep = subparsers.add_parser(
@@ -415,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_sweep.add_argument(
         "--trace", default=None, help="also write the span trace as NDJSON"
+    )
+    chaos_sweep.add_argument(
+        "--controlled",
+        action="store_true",
+        help="attach the predictive QoS controller (pre-emptive evacuation "
+        "of silence-trending devices) alongside the reactive stack",
     )
     chaos_sweep.set_defaults(handler=_cmd_chaos_sweep)
 
@@ -462,6 +522,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     federation_sweep.set_defaults(handler=_cmd_federation_sweep)
 
+    control_sweep = subparsers.add_parser(
+        "control-sweep",
+        help="predictive control plane: controlled vs reactive (extension)",
+    )
+    control_sweep.add_argument("--seed", type=int, default=42)
+    control_sweep.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: one load and one fault multiplier at a "
+        "shorter horizon",
+    )
+    control_sweep.add_argument(
+        "--json",
+        default=None,
+        help="also write the deterministic control bench artifact",
+    )
+    control_sweep.set_defaults(handler=_cmd_control_sweep)
+
     bench = subparsers.add_parser(
         "bench",
         help="standing perf benchmarks (serving core + distributor search)",
@@ -495,6 +573,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-federation",
         action="store_true",
         help="skip the isolated-vs-federated clusters bench",
+    )
+    bench.add_argument(
+        "--control-json",
+        default="BENCH_control.json",
+        help="where to write the control-plane bench artifact",
+    )
+    bench.add_argument(
+        "--no-control",
+        action="store_true",
+        help="skip the controlled-vs-reactive control-plane bench",
+    )
+    bench.add_argument(
+        "--control-baseline",
+        default=None,
+        help="committed BENCH_control.json whose claims must still hold",
     )
     bench.add_argument(
         "--baseline",

@@ -1,0 +1,231 @@
+"""Deterministic overload forecasting: linear trend × naive Bayes.
+
+Two complementary predictors, combined by :class:`OverloadEstimator`:
+
+- :class:`LinearTrendEstimator` extrapolates the windowed occupancy
+  trajectory ``horizon_s`` seconds ahead and asks whether it crosses the
+  overload limit — the *when* of the forecast;
+- :class:`NaiveBayesEstimator` scores how often shards that *looked* like
+  this (discretized occupancy / slope / utilization features) actually
+  shed in the next interval — the *how sure*. It starts from seeded
+  informative pseudo-counts (Huang & Shou's Bayesian QoS-guarantee idea,
+  reduced to a deterministic toy) and keeps learning online from the
+  controller's observed shed outcomes during the run.
+
+Everything is plain float arithmetic on seeded state: the same seed and
+the same signal stream produce byte-identical forecasts, which is what
+lets the controlled sweeps keep the sim driver's replay guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.control.signals import ShardSignals
+from repro.observability.metrics import stable_round
+
+#: Discretization edges for the three naive-Bayes features.
+OCCUPANCY_EDGES = (0.3, 0.6)
+UTILIZATION_EDGES = (0.5, 0.9)
+SLOPE_FLAT_BAND = 0.005  #: |slope| below this is "flat", per second
+
+
+def _bucket(value: float, edges: Tuple[float, ...]) -> int:
+    for index, edge in enumerate(edges):
+        if value < edge:
+            return index
+    return len(edges)
+
+
+def features_of(view: ShardSignals) -> Tuple[int, int, int]:
+    """Discretize a signal view into (occupancy, slope, utilization) buckets."""
+    if view.occupancy_slope > SLOPE_FLAT_BAND:
+        slope = 2  # rising
+    elif view.occupancy_slope < -SLOPE_FLAT_BAND:
+        slope = 0  # falling
+    else:
+        slope = 1  # flat
+    return (
+        _bucket(view.occupancy, OCCUPANCY_EDGES),
+        slope,
+        _bucket(view.utilization, UTILIZATION_EDGES),
+    )
+
+
+@dataclass(frozen=True)
+class OverloadForecast:
+    """A standing prediction that a target is about to overload."""
+
+    scope: str  #: "shard" | "cluster" | "member"
+    target: str  #: e.g. "shard0", "cluster", a member name
+    issued_at_s: float
+    horizon_s: float  #: seconds ahead the breach is predicted
+    predicted_occupancy: float  #: extrapolated occupancy at the horizon
+    confidence: float  #: posterior P(overload | features), in [0, 1]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scope": self.scope,
+            "target": self.target,
+            "issued_at_s": stable_round(self.issued_at_s),
+            "horizon_s": stable_round(self.horizon_s),
+            "predicted_occupancy": stable_round(self.predicted_occupancy),
+            "confidence": stable_round(self.confidence),
+        }
+
+
+class LinearTrendEstimator:
+    """Extrapolate the occupancy trajectory; fire when it crosses the limit."""
+
+    def __init__(
+        self,
+        horizon_s: float = 8.0,
+        occupancy_limit: float = 0.85,
+        min_samples: int = 3,
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError("forecast horizon must be positive")
+        if not 0.0 < occupancy_limit <= 1.0:
+            raise ValueError("occupancy limit must be in (0, 1]")
+        self.horizon_s = horizon_s
+        self.occupancy_limit = occupancy_limit
+        self.min_samples = min_samples
+
+    def predicted_occupancy(self, view: ShardSignals) -> float:
+        """The worse of the two pressure trajectories at the horizon.
+
+        Queue occupancy predicts ``queue_full`` sheds; ledger utilization
+        predicts ``overload`` sheds (the admission policy's high-water
+        test). Either one saturating is an overload, so the forecastable
+        signal is the max of the two linear extrapolations, clamped.
+        """
+        occupancy = view.occupancy + view.occupancy_slope * self.horizon_s
+        utilization = view.utilization + view.utilization_slope * self.horizon_s
+        return max(0.0, min(1.5, max(occupancy, utilization)))
+
+    def breach(self, view: ShardSignals) -> bool:
+        """Will (or does) the target exceed the limit within the horizon?
+
+        Requires either a current breach or a *rising* window with enough
+        samples — a single noisy point never fires a forecast.
+        """
+        if max(view.occupancy, view.utilization) >= self.occupancy_limit:
+            return True
+        if view.samples < self.min_samples:
+            return False
+        if view.occupancy_slope <= 0.0 and view.utilization_slope <= 0.0:
+            return False
+        return self.predicted_occupancy(view) >= self.occupancy_limit
+
+
+class NaiveBayesEstimator:
+    """Seeded two-class naive Bayes over discretized signal features.
+
+    Counts start from informative pseudo-counts — higher buckets lean
+    toward the overload class — plus a tiny seed-derived jitter so two
+    estimators with different seeds are distinguishable while one seed is
+    exactly reproducible. :meth:`observe` adds one observation per tick
+    (did the shard shed since the last tick?), so the posterior sharpens
+    on the live workload as the run progresses.
+    """
+
+    FEATURE_SIZES = (
+        len(OCCUPANCY_EDGES) + 1,
+        3,
+        len(UTILIZATION_EDGES) + 1,
+    )
+
+    def __init__(self, seed: int = 0) -> None:
+        rng = random.Random(f"nb-estimator:{seed}")
+        # _counts[label][feature][bucket]; label 1 = overloaded.
+        self._counts: List[List[List[float]]] = []
+        for label in (0, 1):
+            per_feature: List[List[float]] = []
+            for size in self.FEATURE_SIZES:
+                buckets = []
+                for value in range(size):
+                    lean = value if label == 1 else (size - 1 - value)
+                    buckets.append(0.5 + lean + rng.random() * 0.1)
+                per_feature.append(buckets)
+            self._counts.append(per_feature)
+        self.observations = 0
+
+    def observe(self, features: Tuple[int, int, int], overloaded: bool) -> None:
+        """Online update from one observed interval outcome."""
+        label = 1 if overloaded else 0
+        for index, bucket in enumerate(features):
+            self._counts[label][index][bucket] += 1.0
+        self.observations += 1
+
+    def posterior(self, features: Tuple[int, int, int]) -> float:
+        """P(overload | features) with *symmetric* label priors.
+
+        The label prior is deliberately fixed at 1:1 rather than learned:
+        shed intervals are rare events (most ticks shed nothing, even on a
+        doomed shard), so a learned base rate would vanish and veto every
+        forecast. What the controller needs is the likelihood-ratio
+        question — do these features look more like the ticks that
+        preceded sheds than the quiet ones? — which is exactly the
+        symmetric-prior posterior.
+        """
+        scores = []
+        for label in (0, 1):
+            score = 1.0
+            for index, bucket in enumerate(features):
+                buckets = self._counts[label][index]
+                score *= buckets[bucket] / sum(buckets)
+            scores.append(score)
+        denom = scores[0] + scores[1]
+        if denom <= 0.0:
+            return 0.5
+        return scores[1] / denom
+
+
+class OverloadEstimator:
+    """The default predictor: trend gates *when*, Bayes scores *how sure*."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        horizon_s: float = 8.0,
+        occupancy_limit: float = 0.85,
+        confidence_floor: float = 0.5,
+        min_samples: int = 3,
+    ) -> None:
+        if not 0.0 <= confidence_floor <= 1.0:
+            raise ValueError("confidence floor must be in [0, 1]")
+        self.trend = LinearTrendEstimator(
+            horizon_s=horizon_s,
+            occupancy_limit=occupancy_limit,
+            min_samples=min_samples,
+        )
+        self.bayes = NaiveBayesEstimator(seed=seed)
+        self.confidence_floor = confidence_floor
+
+    @property
+    def horizon_s(self) -> float:
+        return self.trend.horizon_s
+
+    def observe(self, view: ShardSignals, overloaded: bool) -> None:
+        """Train the Bayes layer on one observed interval outcome."""
+        self.bayes.observe(features_of(view), overloaded)
+
+    def forecast(
+        self, view: ShardSignals, now: float, scope: str, target: str
+    ) -> Optional[OverloadForecast]:
+        """An :class:`OverloadForecast`, or None when the outlook is clear."""
+        if not self.trend.breach(view):
+            return None
+        confidence = self.bayes.posterior(features_of(view))
+        if confidence < self.confidence_floor:
+            return None
+        return OverloadForecast(
+            scope=scope,
+            target=target,
+            issued_at_s=now,
+            horizon_s=self.trend.horizon_s,
+            predicted_occupancy=self.trend.predicted_occupancy(view),
+            confidence=confidence,
+        )

@@ -1,0 +1,237 @@
+"""Rolling-window signal views for the predictive control plane.
+
+Everything here is a *pure reader*: sampling never mutates serving state,
+so the signal layer can run on any cadence without perturbing the system
+it watches. Windows are bounded by the injected clock — the same logical
+clock the sim driver uses — which keeps every derived trend
+byte-deterministic per seed.
+
+Three kinds of signals feed the estimator:
+
+- per-shard trajectories (queue occupancy, ledger utilization, arrival
+  rate) sampled from the live cluster into :class:`TrendWindow`\\ s;
+- windowed metric views via
+  :meth:`~repro.observability.metrics.MetricsRegistry.windowed` when the
+  registry is clock-attached;
+- φ-accrual suspicion trends read from
+  :meth:`~repro.faults.detector.FailureDetector.suspicion_series`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.observability.metrics import stable_round
+
+
+def trend_slope(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of ``(t, value)`` points, per second.
+
+    0.0 for fewer than two points or a degenerate (zero-variance) time
+    axis. Plain arithmetic on the caller's floats — deterministic.
+    """
+    n = len(points)
+    if n < 2:
+        return 0.0
+    mean_t = sum(t for t, _ in points) / n
+    mean_v = sum(v for _, v in points) / n
+    var_t = sum((t - mean_t) ** 2 for t, _ in points)
+    if var_t <= 0.0:
+        return 0.0
+    cov = sum((t - mean_t) * (v - mean_v) for t, v in points)
+    return cov / var_t
+
+
+class TrendWindow:
+    """A clock-bounded series of ``(t, value)`` samples with a slope view."""
+
+    __slots__ = ("window_s", "_points")
+
+    def __init__(self, window_s: float) -> None:
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self._points: List[Tuple[float, float]] = []
+
+    def append(self, t: float, value: float) -> None:
+        self._points.append((t, value))
+        cutoff = t - self.window_s
+        drop = 0
+        for point_t, _ in self._points:
+            if point_t >= cutoff:
+                break
+            drop += 1
+        if drop:
+            del self._points[:drop]
+
+    def points(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(self._points)
+
+    @property
+    def count(self) -> int:
+        return len(self._points)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._points[-1] if self._points else None
+
+    def slope(self) -> float:
+        """Least-squares trend of the windowed values, per second."""
+        return trend_slope(self._points)
+
+    def delta_rate(self) -> float:
+        """(last − first) / elapsed — the windowed counter-rate view."""
+        if len(self._points) < 2:
+            return 0.0
+        (t0, v0), (t1, v1) = self._points[0], self._points[-1]
+        if t1 <= t0:
+            return 0.0
+        return (v1 - v0) / (t1 - t0)
+
+
+@dataclass(frozen=True)
+class ShardSignals:
+    """One shard's (or one aggregate's) windowed state at a sample instant."""
+
+    shard: int  #: shard index, or -1 for a cluster/member aggregate
+    occupancy: float  #: queue depth / capacity, in [0, 1]
+    utilization: float  #: worst-device ledger utilization, in [0, 1]
+    load: float  #: occupancy + utilization (the router's signal)
+    occupancy_slope: float  #: d(occupancy)/dt over the window, per second
+    utilization_slope: float
+    arrival_rate_per_s: float  #: submitted-counter delta rate over the window
+    samples: int  #: points currently in the window
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "occupancy": stable_round(self.occupancy),
+            "utilization": stable_round(self.utilization),
+            "load": stable_round(self.load),
+            "occupancy_slope": stable_round(self.occupancy_slope),
+            "utilization_slope": stable_round(self.utilization_slope),
+            "arrival_rate_per_s": stable_round(self.arrival_rate_per_s),
+            "samples": self.samples,
+        }
+
+
+class ClusterSignals:
+    """Per-shard rolling trajectories over a live :class:`DomainCluster`.
+
+    The controller calls :meth:`sample` once per tick; :meth:`shard_view`
+    and :meth:`cluster_view` then answer from the windows without touching
+    the shards again. Shed counters are tracked per shard so the
+    estimator can be trained online on *observed* overload outcomes
+    (did this shard shed since the last tick?).
+    """
+
+    def __init__(self, cluster, window_s: float = 30.0) -> None:
+        self.cluster = cluster
+        self.window_s = window_s
+        count = cluster.shard_count
+        self._occupancy = [TrendWindow(window_s) for _ in range(count)]
+        self._utilization = [TrendWindow(window_s) for _ in range(count)]
+        self._submitted = [TrendWindow(window_s) for _ in range(count)]
+        self._last_shed: List[int] = [0] * count
+        self._shed_delta: List[int] = [0] * count
+
+    def _shed_count(self, index: int) -> int:
+        metrics = self.cluster.shards[index].metrics
+        return (
+            metrics.count("shed_queue_full")
+            + metrics.count("shed_overload")
+            + metrics.count("shed_deadline")
+        )
+
+    def sample(self, now: float) -> None:
+        """Record one point per shard; cheap (no device walks off-cache)."""
+        for index, shard in enumerate(self.cluster.shards):
+            occupancy = shard.queue.depth / shard.queue.capacity
+            utilization = shard.ledger.utilization()
+            self._occupancy[index].append(now, occupancy)
+            self._utilization[index].append(now, utilization)
+            self._submitted[index].append(
+                now, float(shard.metrics.count("submitted"))
+            )
+            shed = self._shed_count(index)
+            self._shed_delta[index] = shed - self._last_shed[index]
+            self._last_shed[index] = shed
+
+    def shed_since_last_sample(self, index: int) -> int:
+        """Sheds the shard recorded between the last two samples."""
+        return self._shed_delta[index]
+
+    def shard_view(self, index: int) -> ShardSignals:
+        occupancy = self._occupancy[index]
+        utilization = self._utilization[index]
+        last_occ = occupancy.last()
+        last_util = utilization.last()
+        occ = last_occ[1] if last_occ else 0.0
+        util = last_util[1] if last_util else 0.0
+        return ShardSignals(
+            shard=index,
+            occupancy=occ,
+            utilization=util,
+            load=occ + util,
+            occupancy_slope=occupancy.slope(),
+            utilization_slope=utilization.slope(),
+            arrival_rate_per_s=self._submitted[index].delta_rate(),
+            samples=occupancy.count,
+        )
+
+    def cluster_view(self) -> ShardSignals:
+        """The whole cluster as one aggregate (mean over shards)."""
+        views = [
+            self.shard_view(index)
+            for index in range(self.cluster.shard_count)
+        ]
+        n = len(views)
+        return ShardSignals(
+            shard=-1,
+            occupancy=sum(v.occupancy for v in views) / n,
+            utilization=sum(v.utilization for v in views) / n,
+            load=sum(v.load for v in views) / n,
+            occupancy_slope=sum(v.occupancy_slope for v in views) / n,
+            utilization_slope=sum(v.utilization_slope for v in views) / n,
+            arrival_rate_per_s=sum(v.arrival_rate_per_s for v in views),
+            samples=min(v.samples for v in views),
+        )
+
+
+@dataclass(frozen=True)
+class SuspicionSignals:
+    """One device's φ-accrual level and trend at an instant."""
+
+    device_id: str
+    phi: float
+    slope: float  #: dφ/dt over the examined window, per second
+    rising: bool  #: strictly increasing over the last two detector ticks
+    samples: int
+
+
+def suspicion_view(
+    detector, device_id: str, window_s: float, now: float
+) -> SuspicionSignals:
+    """Windowed trend over a detector's per-device suspicion series.
+
+    A cold-start device (no heartbeat ever observed) yields the zero
+    signal: φ is *earned* through observed silence, never presumed.
+    """
+    series = [
+        point
+        for point in detector.suspicion_series(device_id)
+        if point[0] >= now - window_s
+    ]
+    if not series:
+        return SuspicionSignals(
+            device_id=device_id, phi=0.0, slope=0.0, rising=False, samples=0
+        )
+    phi = series[-1][1]
+    rising = len(series) >= 2 and series[-1][1] > series[-2][1]
+    return SuspicionSignals(
+        device_id=device_id,
+        phi=phi,
+        slope=trend_slope(series),
+        rising=rising,
+        samples=len(series),
+    )

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.control.controller import ControlPolicy, QoSController
 from repro.experiments.server_sweep import audio_degradation_ladder
 from repro.faults.detector import FailureDetector
 from repro.faults.injector import FaultInjector
@@ -93,6 +94,14 @@ class ChaosSweepPoint:
     #: NDJSON span export when the run was traced ("" otherwise). Kept out
     #: of ``as_dict`` so the golden sweep JSON stays byte-identical.
     trace_ndjson: str = ""
+    #: Predictive control plane, when the run was ``controlled=True``.
+    controlled: bool = False
+    control_evacuations: int = 0
+    control_sessions_moved: int = 0
+    control_evacuation_reverts: int = 0
+    #: Mean injection→repaired time for pre-emptively evacuated sessions
+    #: (the controlled counterpart of detection + MTTR), 0.0 when none.
+    mean_control_repair_ms: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -108,6 +117,11 @@ class ChaosSweepPoint:
             "mean_detection_ms": round(self.mean_detection_ms, 6),
             "mean_mttr_ms": round(self.mean_mttr_ms, 6),
             "mean_interruption_ms": round(self.mean_interruption_ms, 6),
+            "controlled": self.controlled,
+            "control_evacuations": self.control_evacuations,
+            "control_sessions_moved": self.control_sessions_moved,
+            "control_evacuation_reverts": self.control_evacuation_reverts,
+            "mean_control_repair_ms": round(self.mean_control_repair_ms, 6),
             "reports": list(self.reports),
             "metrics": json.loads(self.metrics_json),
         }
@@ -121,6 +135,7 @@ class ChaosSweepResult:
     horizon_s: float
     driver: str
     points: List[ChaosSweepPoint] = field(default_factory=list)
+    controlled: bool = False
 
     def point(self, fault_multiplier: float) -> ChaosSweepPoint:
         for point in self.points:
@@ -158,6 +173,7 @@ class ChaosSweepResult:
             "seed": self.seed,
             "horizon_s": self.horizon_s,
             "driver": self.driver,
+            "controlled": self.controlled,
             "base_crash_rate_per_min": BASE_CRASH_RATE_PER_MIN,
             "points": [p.as_dict() for p in self.points],
         }
@@ -213,8 +229,18 @@ def run_chaos_once(
     suspicion_threshold: float = 3.0,
     policy: Optional[RecoveryPolicy] = None,
     trace: bool = False,
+    controlled: bool = False,
+    control_policy: Optional[ControlPolicy] = None,
 ) -> ChaosSweepPoint:
     """Run one seeded fault storm at ``fault_multiplier`` × the base rates.
+
+    With ``controlled=True`` a :class:`~repro.control.controller.QoSController`
+    runs alongside the reactive stack, watching the detector's φ-accrual
+    trends and pre-emptively evacuating sessions off silence-trending
+    devices *before* the detector's suspicion verdict — the reactive
+    :class:`RecoveryManager` still owns every confirmed incident. Control
+    counters share the recovery registry under ``control.*`` names, so
+    ``metrics_json`` stays byte-identical per seed in both modes.
 
     Builds a fresh testbed per call. Under ``driver="sim"`` everything runs
     in logical time and repeated calls with identical arguments produce
@@ -280,6 +306,21 @@ def run_chaos_once(
             policy=policy,
             metrics=metrics,
         )
+        controller: Optional[QoSController] = None
+        if controlled:
+            if control_policy is None:
+                # Match the run's compressed timescale so thread-driver
+                # storms see the same tick/heartbeat ratio as sim ones.
+                control_policy = ControlPolicy(
+                    tick_interval_s=1.0 * scale, window_s=30.0 * scale
+                )
+            controller = QoSController(
+                scheduler,
+                policy=control_policy,
+                detector=detector,
+                configurator=testbed.configurator,
+                registry=metrics.registry,
+            )
 
         sessions = []
         for client in SESSION_CLIENTS:
@@ -300,6 +341,8 @@ def run_chaos_once(
             + policy.max_backoff_s * policy.max_attempts
         )
         detector.start(horizon_s=horizon_s * scale + drain_s)
+        if controller is not None:
+            controller.start(horizon_s=horizon_s * scale + drain_s)
         injector.arm(
             _scaled(chaos_fault_schedule(seed, horizon_s, fault_multiplier), scale)
         )
@@ -310,6 +353,8 @@ def run_chaos_once(
             time.sleep(horizon_s * scale + drain_s + 0.2)
 
         detector.stop()
+        if controller is not None:
+            controller.stop()
         manager.close()
         injector.disarm()
         if isinstance(scheduler, WallClockScheduler):
@@ -333,7 +378,17 @@ def run_chaos_once(
             "seed": seed,
             "horizon_s": horizon_s,
             "driver": driver,
+            "controlled": controlled,
         }
+    )
+
+    def _control_count(name: str) -> int:
+        return metrics.registry.counter(f"control.{name}").value if controlled else 0
+
+    control_repair = (
+        metrics.registry.histogram("control.time_to_repair_ms").summary()
+        if controlled
+        else {}
     )
     return ChaosSweepPoint(
         fault_multiplier=fault_multiplier,
@@ -351,6 +406,11 @@ def run_chaos_once(
         reports=tuple(report.to_dict() for report in manager.reports),
         metrics_json=metrics_json,
         trace_ndjson=tracer.export_ndjson() if tracer is not None else "",
+        controlled=controlled,
+        control_evacuations=_control_count("evacuations"),
+        control_sessions_moved=_control_count("sessions_moved"),
+        control_evacuation_reverts=_control_count("evacuation_reverted"),
+        mean_control_repair_ms=float(control_repair.get("mean", 0.0)),
     )
 
 
@@ -359,14 +419,22 @@ def run_chaos_sweep(
     seed: int = 42,
     horizon_s: float = 300.0,
     driver: str = "sim",
+    controlled: bool = False,
     **kwargs,
 ) -> ChaosSweepResult:
     """Run :func:`run_chaos_once` across fault-rate multipliers."""
-    result = ChaosSweepResult(seed=seed, horizon_s=horizon_s, driver=driver)
+    result = ChaosSweepResult(
+        seed=seed, horizon_s=horizon_s, driver=driver, controlled=controlled
+    )
     for multiplier in multipliers:
         result.points.append(
             run_chaos_once(
-                multiplier, seed=seed, horizon_s=horizon_s, driver=driver, **kwargs
+                multiplier,
+                seed=seed,
+                horizon_s=horizon_s,
+                driver=driver,
+                controlled=controlled,
+                **kwargs,
             )
         )
     return result

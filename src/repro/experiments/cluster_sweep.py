@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.control.controller import ControlPolicy
 from repro.experiments.server_sweep import (
     BASE_RATE_PER_S,
     CLIENT_CYCLE,
@@ -32,6 +33,7 @@ from repro.experiments.server_sweep import (
 )
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Tracer, activated
+from repro.runtime.clock import SimScheduler
 from repro.runtime.degradation import DegradationLadder
 from repro.server.cluster import (
     ClusterSimulatedDriver,
@@ -82,6 +84,11 @@ class ClusterSweepPoint:
     #: NDJSON span export when the run was traced ("" otherwise); kept out
     #: of ``as_dict`` so the sweep JSON artifact is trace-independent.
     trace_ndjson: str = ""
+    controlled: bool = False
+    control_forecasts: int = 0
+    control_actuations: int = 0
+    control_reverts: int = 0
+    control_rebalanced: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -99,6 +106,11 @@ class ClusterSweepPoint:
             "throughput_per_min": round(self.throughput_per_min, 6),
             "p50_total_ms": round(self.p50_total_ms, 6),
             "p99_total_ms": round(self.p99_total_ms, 6),
+            "controlled": self.controlled,
+            "control_forecasts": self.control_forecasts,
+            "control_actuations": self.control_actuations,
+            "control_reverts": self.control_reverts,
+            "control_rebalanced": self.control_rebalanced,
             "metrics": json.loads(self.metrics_json),
         }
 
@@ -111,6 +123,7 @@ class ClusterSweepResult:
     horizon_s: float
     router: str
     driver: str
+    controlled: bool = False
     points: List[ClusterSweepPoint] = field(default_factory=list)
 
     def point(self, shards: int, multiplier: float) -> ClusterSweepPoint:
@@ -150,6 +163,7 @@ class ClusterSweepResult:
             "horizon_s": self.horizon_s,
             "router": self.router,
             "driver": self.driver,
+            "controlled": self.controlled,
             "base_rate_per_s": BASE_RATE_PER_S,
             "points": [p.as_dict() for p in self.points],
         }
@@ -219,27 +233,41 @@ def run_cluster_once(
     trace: bool = False,
     batched: bool = False,
     batch: Optional[BatchPolicy] = None,
+    controlled: bool = False,
+    control_policy: Optional[ControlPolicy] = None,
 ) -> ClusterSweepPoint:
     """Replay one seeded trace through a ``shard_count``-shard sim cluster.
 
     Fresh testbeds, simulator and cluster per call: repeated calls with
     identical arguments produce byte-identical metrics JSON (and, with
     ``trace=True``, byte-identical span NDJSON under a ``run.cluster_sweep``
-    root) — batched or not.
+    root) — batched or not, controlled or not. With ``controlled=True`` a
+    :class:`~repro.control.controller.QoSController` ticks on the same
+    simulator for the arrival horizon, so proactive degradation, router
+    steering and queue rebalancing are logical-time events inside the
+    replay.
     """
     if shard_count < 1:
         raise ValueError("need at least one shard")
     if multiplier <= 0:
         raise ValueError("load multiplier must be positive")
     simulator = Simulator()
+    sim_clock = SimulatedServerDriver.clock(simulator)
+    registry = MetricsRegistry(clock=sim_clock if controlled else None)
     cluster, testbeds = build_cluster(
         shard_count,
         router=router,
         queue_capacity=queue_capacity,
-        clock=SimulatedServerDriver.clock(simulator),
+        clock=sim_clock,
+        registry=registry,
         batched=batched,
         batch=batch,
     )
+    controller = None
+    if controlled:
+        controller = cluster.attach_controller(
+            SimScheduler(simulator), policy=control_policy
+        )
     driver = ClusterSimulatedDriver(
         cluster, simulator, workers=workers, min_service_s=min_service_s
     )
@@ -281,8 +309,12 @@ def run_cluster_once(
                     horizon_s=horizon_s,
                 )
             )
+        if controller is not None:
+            controller.start(horizon_s=horizon_s)
         driver.schedule_trace(arrivals, to_request)
         driver.run()
+        if controller is not None:
+            controller.stop()
         problems = cluster.audit()
         if problems:
             raise AssertionError(
@@ -300,6 +332,7 @@ def run_cluster_once(
             "offered_rate_per_s": round(offered, 6),
             "seed": seed,
             "horizon_s": horizon_s,
+            "controlled": controlled,
         }
     )
     submitted = whole["submitted"]
@@ -321,6 +354,11 @@ def run_cluster_once(
         p99_total_ms=whole["latency"]["total_ms"].get("p99", 0.0),
         metrics_json=metrics_json,
         trace_ndjson=tracer.export_ndjson() if tracer is not None else "",
+        controlled=controlled,
+        control_forecasts=registry.counter("control.forecasts").value,
+        control_actuations=registry.counter("control.actuations").value,
+        control_reverts=registry.counter("control.reverts").value,
+        control_rebalanced=registry.counter("control.rebalanced").value,
     )
 
 
@@ -383,6 +421,8 @@ def run_cluster_sweep(
     trace: bool = False,
     batched: bool = False,
     batch: Optional[BatchPolicy] = None,
+    controlled: bool = False,
+    control_policy: Optional[ControlPolicy] = None,
     **kwargs,
 ) -> ClusterSweepResult:
     """Run :func:`run_cluster_once` across shard counts × multipliers."""
@@ -391,6 +431,7 @@ def run_cluster_sweep(
         horizon_s=horizon_s,
         router=router,
         driver="sim-batched" if batched else "sim",
+        controlled=controlled,
     )
     for shard_count in shard_counts:
         for multiplier in multipliers:
@@ -404,6 +445,8 @@ def run_cluster_sweep(
                     trace=trace,
                     batched=batched,
                     batch=batch,
+                    controlled=controlled,
+                    control_policy=control_policy,
                     **kwargs,
                 )
             )

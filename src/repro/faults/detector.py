@@ -22,7 +22,7 @@ its verdicts through heartbeats alone.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.domain.domain import DomainServer
 from repro.events.types import Event, Topics
@@ -42,6 +42,7 @@ class FailureDetector:
         drop_probability: float = 0.0,
         seed: int = 0,
         metrics: Optional[RecoveryMetrics] = None,
+        history_limit: int = 256,
     ) -> None:
         if heartbeat_interval_s <= 0:
             raise ValueError("heartbeat interval must be positive")
@@ -49,6 +50,8 @@ class FailureDetector:
             raise ValueError("suspicion threshold must exceed 1 interval")
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError("drop probability must be in [0, 1)")
+        if history_limit < 1:
+            raise ValueError("history limit must be at least 1")
         self.server = server
         self.scheduler = scheduler
         self.heartbeat_interval_s = heartbeat_interval_s
@@ -56,9 +59,11 @@ class FailureDetector:
         self.drop_probability = drop_probability
         self.metrics = metrics or RecoveryMetrics()
         self._rng = random.Random(seed)
+        self.history_limit = history_limit
         self._muted: Set[str] = set()
         self._last_seen: Dict[str, float] = {}
         self._suspected: Dict[str, float] = {}
+        self._phi_history: Dict[str, List[Tuple[float, float]]] = {}
         self._running = False
         self._deadline: Optional[float] = None
         self._tick_handle: Optional[object] = None
@@ -117,6 +122,19 @@ class FailureDetector:
             return 0.0
         return (self.scheduler.now - last) / self.heartbeat_interval_s
 
+    def suspicion_series(self, device_id: str) -> Tuple[Tuple[float, float], ...]:
+        """The device's recorded ``(time, φ)`` history, oldest first.
+
+        One point per monitoring tick since the device was first heard,
+        bounded to the trailing ``history_limit`` points. A device that
+        never heartbeated (cold start) has an empty series — suspicion is
+        earned through observed silence, never presumed. The control
+        plane's estimator reads this to see *trends* (a φ that is rising
+        toward the threshold) rather than the single instantaneous value
+        :meth:`phi` gives.
+        """
+        return tuple(self._phi_history.get(device_id, ()))
+
     def suspected_devices(self) -> List[str]:
         """Devices currently under suspicion, sorted."""
         return sorted(self._suspected)
@@ -155,6 +173,10 @@ class FailureDetector:
         for device_id in sorted(self._last_seen):
             silence_s = now - self._last_seen[device_id]
             phi = silence_s / self.heartbeat_interval_s
+            history = self._phi_history.setdefault(device_id, [])
+            history.append((now, phi))
+            if len(history) > self.history_limit:
+                del history[: len(history) - self.history_limit]
             if device_id in self._suspected:
                 if phi < self.suspicion_threshold:
                     self._clear(device_id, now)
@@ -194,3 +216,4 @@ class FailureDetector:
             return
         self._last_seen.pop(device_id, None)
         self._suspected.pop(device_id, None)
+        self._phi_history.pop(device_id, None)

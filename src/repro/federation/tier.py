@@ -180,6 +180,7 @@ class FederationTier:
         headroom_floor: float = 0.15,
         digest_cadence: int = 1,
         escalation: bool = True,
+        controller: Optional[object] = None,
     ) -> None:
         if not members:
             raise ValueError("federation needs at least one member cluster")
@@ -200,6 +201,11 @@ class FederationTier:
         self.headroom_floor = headroom_floor
         self.digest_cadence = digest_cadence
         self.escalation = escalation
+        #: The control-plane policy (a :class:`repro.control.ControlPolicy`)
+        #: this tier was configured with; :meth:`attach_controller` turns
+        #: it into a live, ticking FederationController.
+        self.control_policy = controller
+        self.controller: Optional[object] = None
         self._lock = threading.Lock()
         self._placement: Dict[str, str] = {}
         self._submitted = self.registry.counter("federation.submitted")
@@ -231,6 +237,32 @@ class FederationTier:
     def member(self, name: str) -> FederationMember:
         """The member with the given name (KeyError when unknown)."""
         return self._by_name[name]
+
+    def attach_controller(
+        self,
+        scheduler: object,
+        policy: Optional[object] = None,
+        migrator: Optional[object] = None,
+    ) -> object:
+        """Build the closed-loop QoS controller over this federation.
+
+        Wraps one per-member cluster loop each plus a cross-cluster
+        actuator that hands heavy sessions to siblings through
+        ``migrator`` (a :class:`~repro.federation.migration.SessionMigrator`)
+        when a member's forecast turns hot. Uses the ``controller=``
+        policy the tier was constructed with unless ``policy`` overrides
+        it; the caller owns start/stop. Imported lazily so the federation
+        layer has no hard dependency on :mod:`repro.control`.
+        """
+        from repro.control.controller import FederationController
+
+        self.controller = FederationController(
+            scheduler,  # type: ignore[arg-type]
+            self,
+            policy=policy if policy is not None else self.control_policy,  # type: ignore[arg-type]
+            migrator=migrator,  # type: ignore[arg-type]
+        )
+        return self.controller
 
     # -- the digest protocol -------------------------------------------------------
 

@@ -14,10 +14,11 @@ sim driver's tests assert.
 
 from __future__ import annotations
 
+import bisect
 import json
 import math
 import threading
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 
 def stable_round(value: float) -> float:
@@ -71,20 +72,37 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time numeric reading (last write wins)."""
+    """A point-in-time numeric reading (last write wins).
 
-    __slots__ = ("name", "_value")
+    With a ``clock`` attached the gauge also remembers *when* it was last
+    written (``updated_at_s``), so control-plane readers can distinguish a
+    fresh reading from a stale one — the staleness fix for what used to be
+    a write-only instrument.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "_value", "_clock", "_updated_at")
+
+    def __init__(
+        self, name: str, clock: Optional[Callable[[], float]] = None
+    ) -> None:
         self.name = name
         self._value = 0.0
+        self._clock = clock
+        self._updated_at: Optional[float] = None
 
     def set(self, value: float) -> None:
         self._value = value
+        if self._clock is not None:
+            self._updated_at = self._clock()
 
     @property
     def value(self) -> float:
         return self._value
+
+    @property
+    def updated_at_s(self) -> Optional[float]:
+        """Clock time of the last write (None when clockless or unwritten)."""
+        return self._updated_at
 
 
 class Histogram:
@@ -95,18 +113,61 @@ class Histogram:
     successor — ``LatencyRecorder`` is now an alias).
     """
 
-    __slots__ = ("name", "_samples")
+    __slots__ = ("name", "_samples", "_times", "_clock", "_max_samples", "_dropped")
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(
+        self,
+        name: str = "",
+        clock: Optional[Callable[[], float]] = None,
+        max_samples: Optional[int] = None,
+    ) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be at least 1")
         self.name = name
         self._samples: List[float] = []
+        self._clock = clock
+        #: Parallel record timestamps, kept only when a clock is attached
+        #: (the windowed-view key); None keeps the clockless hot path free
+        #: of per-record clock reads.
+        self._times: Optional[List[float]] = [] if clock is not None else None
+        self._max_samples = max_samples
+        self._dropped = 0
 
     def record(self, value: float) -> None:
         self._samples.append(value)
+        if self._times is not None:
+            self._times.append(self._clock())  # type: ignore[misc]
+        if self._max_samples is not None and len(self._samples) > self._max_samples:
+            overflow = len(self._samples) - self._max_samples
+            del self._samples[:overflow]
+            if self._times is not None:
+                del self._times[:overflow]
+            self._dropped += overflow
 
     def samples(self) -> List[float]:
         """A copy of the raw samples (safe to mutate)."""
         return list(self._samples)
+
+    def samples_since(self, cutoff_s: float) -> List[float]:
+        """Samples recorded at or after ``cutoff_s`` (clock-stamped only).
+
+        Timestamps are appended in record order and every injected clock
+        is monotonic, so a bisect finds the window start in O(log n).
+        Raises when the histogram has no clock — a clockless histogram
+        cannot answer windowed queries honestly.
+        """
+        if self._times is None:
+            raise ValueError(
+                f"histogram {self.name!r} has no clock; "
+                "windowed views need a clock-attached registry"
+            )
+        start = bisect.bisect_left(self._times, cutoff_s)
+        return self._samples[start:]
+
+    @property
+    def dropped(self) -> int:
+        """Samples evicted by the memory guard (0 when unbounded)."""
+        return self._dropped
 
     def iter_samples(self) -> Iterator[float]:
         """Read-only iteration over the raw samples, no copy.
@@ -144,11 +205,28 @@ class MetricsRegistry:
     cheap and the hot paths touch them a handful of times per request.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_histogram_samples: Optional[int] = None,
+    ) -> None:
+        """``clock`` enables windowed views (:meth:`windowed`) by stamping
+        every histogram record and gauge write; ``max_histogram_samples``
+        is the opt-in memory guard capping each histogram's retained
+        samples (oldest evicted first) for long wall-clock runs. Both
+        default off, so existing golden JSON stays byte-identical.
+        """
         self._lock = threading.Lock()
+        self._clock = clock
+        self._max_histogram_samples = max_histogram_samples
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+
+    @property
+    def clock(self) -> Optional[Callable[[], float]]:
+        """The injected clock (None when the registry is clockless)."""
+        return self._clock
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -161,15 +239,38 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._gauges.get(name)
             if instrument is None:
-                instrument = self._gauges[name] = Gauge(name)
+                instrument = self._gauges[name] = Gauge(name, clock=self._clock)
             return instrument
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
-                instrument = self._histograms[name] = Histogram(name)
+                instrument = self._histograms[name] = Histogram(
+                    name,
+                    clock=self._clock,
+                    max_samples=self._max_histogram_samples,
+                )
             return instrument
+
+    def windowed(self, name: str, horizon_s: float) -> List[float]:
+        """Histogram samples recorded in the trailing ``horizon_s`` seconds.
+
+        The rolling-window view the control plane's signal layer reads:
+        clock-bounded, so a burst of latency samples ages out of the
+        window instead of polluting forecasts forever. Requires the
+        registry to have been built with a clock; an unknown name returns
+        an empty (freshly created) window rather than raising, matching
+        the registry's get-or-create access pattern.
+        """
+        if self._clock is None:
+            raise ValueError(
+                "windowed views need a clock-attached registry "
+                "(pass clock= to MetricsRegistry)"
+            )
+        if horizon_s < 0:
+            raise ValueError("window horizon cannot be negative")
+        return self.histogram(name).samples_since(self._clock() - horizon_s)
 
     def names(self) -> List[str]:
         """Every registered instrument name, sorted."""

@@ -50,6 +50,13 @@ class OverloadPolicy:
     #: otherwise tell clients behind a deep queue to go away for minutes,
     #: long after the congestion that shed them has drained.
     retry_after_max_s: float = 5.0
+    #: Forecast-aware floor, set by the QoS controller while an overload
+    #: forecast is standing and cleared on revert. The linear depth term
+    #: only knows about *current* congestion; a standing forecast says the
+    #: congestion will persist for at least its horizon, so the hint never
+    #: tells a client to come back sooner than that — even past
+    #: ``retry_after_max_s``, which caps stale-depth guesses, not forecasts.
+    forecast_horizon_s: Optional[float] = None
 
     def should_shed(
         self, queue_depth: int, queue_capacity: int, utilization: float
@@ -63,11 +70,14 @@ class OverloadPolicy:
         )
 
     def retry_after_s(self, queue_depth: int) -> float:
-        return min(
+        hint = min(
             self.retry_after_base_s
             + self.retry_after_per_queued_s * queue_depth,
             self.retry_after_max_s,
         )
+        if self.forecast_horizon_s is not None:
+            hint = max(hint, self.forecast_horizon_s)
+        return hint
 
 
 @dataclass
@@ -78,6 +88,9 @@ class AdmissionResult:
     admitted_level: Optional[str]
     attempts: List[ConfigurationRecord] = field(default_factory=list)
     conflict_retries: int = 0
+    #: Ladder rungs skipped before the first attempt (proactive
+    #: degradation by the control plane; 0 for a normal top-down walk).
+    entry_offset: int = 0
 
     @property
     def success(self) -> bool:
@@ -85,11 +98,19 @@ class AdmissionResult:
 
     @property
     def degraded(self) -> bool:
-        """Admitted below the ladder's top level."""
+        """Admitted below the ladder's top level.
+
+        True either because the walk descended, or because a control-plane
+        entry offset made it *start* below the top (the first attempt is
+        already a degraded rung, even when it succeeds immediately).
+        """
         return (
             self.success
             and bool(self.attempts)
-            and self.attempts[0].label != self.attempts[-1].label
+            and (
+                self.entry_offset > 0
+                or self.attempts[0].label != self.attempts[-1].label
+            )
         )
 
     def service_time_s(self) -> float:
@@ -118,12 +139,53 @@ class AdmissionController:
         self.ladder = ladder
         self.max_conflict_retries = max_conflict_retries
         self.skip_downloads = skip_downloads
+        self._entry_offset = 0
+        self._entry_max_priority = 0
+
+    # -- proactive degradation (control-plane actuator) ----------------------------
+
+    def set_entry_offset(self, offset: int, max_priority: int = 0) -> None:
+        """Pre-emptively lower the ladder entry point for low-priority work.
+
+        While set, requests with ``priority <= max_priority`` start their
+        ladder walk ``offset`` rungs down instead of at the top — they can
+        still be admitted, just degraded — leaving the skipped headroom
+        for higher-priority classes during a forecast overload. The offset
+        is clamped so at least one rung always remains. A no-op without a
+        ladder. The QoS controller sets this on an overload forecast and
+        calls :meth:`clear_entry_offset` when the forecast clears.
+        """
+        if offset < 0:
+            raise ValueError("entry offset cannot be negative")
+        self._entry_offset = offset
+        self._entry_max_priority = max_priority
+
+    def clear_entry_offset(self) -> None:
+        """Restore the full ladder for every priority class (idempotent)."""
+        self._entry_offset = 0
+        self._entry_max_priority = 0
+
+    @property
+    def entry_offset(self) -> int:
+        """The currently configured offset (0 when inactive)."""
+        return self._entry_offset
+
+    def entry_offset_for(self, priority: int) -> int:
+        """Where this priority class starts its walk (0 = top of ladder)."""
+        if (
+            self._entry_offset <= 0
+            or self.ladder is None
+            or priority > self._entry_max_priority
+        ):
+            return 0
+        return min(self._entry_offset, len(self.ladder.levels) - 1)
 
     def admit(
         self,
         request: CompositionRequest,
         user_id: Optional[str] = None,
         session_id: Optional[str] = None,
+        priority: int = 0,
     ) -> AdmissionResult:
         """Walk the ladder (or try once, ladder-less) until admission."""
         session = self.configurator.create_session(
@@ -132,16 +194,23 @@ class AdmissionController:
         with get_tracer().span(
             "admission.admit", session_id=session.session_id
         ) as span:
-            result = self._walk(session)
+            result = self._walk(session, priority=priority)
             span.set("admitted", result.success)
             span.set("level", result.admitted_level or "")
             span.set("attempts", len(result.attempts))
             span.set("conflict_retries", result.conflict_retries)
             return result
 
-    def _walk(self, session: ApplicationSession) -> AdmissionResult:
-        result = AdmissionResult(session=session, admitted_level=None)
+    def _walk(
+        self, session: ApplicationSession, priority: int = 0
+    ) -> AdmissionResult:
+        offset = self.entry_offset_for(priority)
+        result = AdmissionResult(
+            session=session, admitted_level=None, entry_offset=offset
+        )
         levels = self.ladder.levels if self.ladder is not None else (None,)
+        if offset:
+            levels = levels[offset:]
         for level in levels:
             if level is not None:
                 session.request = dataclasses.replace(

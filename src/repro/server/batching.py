@@ -175,15 +175,22 @@ class BatchingDomainService(DomainConfigurationService):
                     user_id=request.user_id,
                     session_id=f"{request.request_id}/session",
                 )
+                # Mirror the unbatched walk's proactive-degradation entry
+                # point: a control-plane offset starts low-priority items
+                # further down the ladder.
+                entry_offset = self.admission.entry_offset_for(request.priority)
                 items.append(
                     _BatchItem(
                         queued=entry,
                         request=request,
                         wait_s=wait_s,
                         result=AdmissionResult(
-                            session=session, admitted_level=None
+                            session=session,
+                            admitted_level=None,
+                            entry_offset=entry_offset,
                         ),
                         retries_left=self.admission.max_conflict_retries,
+                        level_index=entry_offset,
                     )
                 )
             self._admit_batch(items)

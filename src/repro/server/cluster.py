@@ -131,7 +131,40 @@ class LeastLoadedRouter(ShardRouter):
     lower index). Using key-derived probes instead of an RNG keeps the
     sim driver's byte-identical-replay guarantee intact while preserving
     the load-balancing behaviour of classic power-of-two-choices.
+
+    Per-shard **weights** multiply the load a probe sees: the control
+    plane sets a weight above 1.0 on a shard with a standing overload
+    forecast so probes steer away from it *before* its measured load
+    catches up, and resets the weight when the forecast clears. Weight
+    1.0 (the default) is neutral.
     """
+
+    def __init__(self) -> None:
+        self._weights: Dict[int, float] = {}
+
+    def set_weight(self, shard_index: int, weight: float) -> None:
+        """Penalize (>1.0) or favor (<1.0) one shard in probe comparisons."""
+        if weight <= 0:
+            raise ValueError("shard weight must be positive")
+        if shard_index < 0:
+            raise ValueError("shard index cannot be negative")
+        if weight == 1.0:
+            self._weights.pop(shard_index, None)
+        else:
+            self._weights[shard_index] = weight
+
+    def weight(self, shard_index: int) -> float:
+        """The shard's current probe weight (1.0 when unset)."""
+        return self._weights.get(shard_index, 1.0)
+
+    def clear_weights(self) -> None:
+        """Restore every shard to the neutral weight (idempotent)."""
+        self._weights.clear()
+
+    def weighted_load(
+        self, shards: Sequence[DomainConfigurationService], index: int
+    ) -> float:
+        return shard_load(shards[index]) * self.weight(index)
 
     def route(
         self, request: ServerRequest, shards: Sequence[DomainConfigurationService]
@@ -142,7 +175,10 @@ class LeastLoadedRouter(ShardRouter):
         if first == second:
             return first
         candidates = sorted((first, second))
-        return min(candidates, key=lambda index: (shard_load(shards[index]), index))
+        return min(
+            candidates,
+            key=lambda index: (self.weighted_load(shards, index), index),
+        )
 
 
 @dataclass
@@ -173,12 +209,22 @@ class DomainCluster:
         shards: Sequence[DomainConfigurationService],
         router: Optional[ShardRouter] = None,
         registry: Optional[MetricsRegistry] = None,
+        controller: Optional[object] = None,
     ) -> None:
         if not shards:
             raise ValueError("cluster needs at least one shard")
         self.shards: List[DomainConfigurationService] = list(shards)
         self.router = router or ConsistentHashRouter(len(self.shards))
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: The control-plane policy (a :class:`repro.control.ControlPolicy`)
+        #: this cluster was configured with; :meth:`attach_controller`
+        #: turns it into a live, ticking QoSController.
+        self.control_policy = controller
+        self.controller: Optional[object] = None
+        #: Rebalance wake-up seam: the sim driver registers a callback so
+        #: a shard that receives adopted work mid-run gets dispatched
+        #: (thread drivers wake via the queue condition instead).
+        self.on_requeue: Optional[Callable[[int], None]] = None
         self._lock = threading.Lock()
         self._placement: Dict[str, int] = {}
         self._submitted = self.registry.counter("cluster.submitted")
@@ -199,6 +245,7 @@ class DomainCluster:
         registry: Optional[MetricsRegistry] = None,
         batched: bool = False,
         batch: Optional[object] = None,
+        controller: Optional[object] = None,
         **service_kwargs: object,
     ) -> "DomainCluster":
         """Construct one service per configurator, wired into one registry.
@@ -229,11 +276,70 @@ class DomainCluster:
             )
             for index, configurator in enumerate(configurators)
         ]
-        return cls(shards, router=router, registry=registry)
+        return cls(
+            shards, router=router, registry=registry, controller=controller
+        )
 
     @property
     def shard_count(self) -> int:
         return len(self.shards)
+
+    # -- the control plane ---------------------------------------------------------
+
+    def attach_controller(
+        self, scheduler: object, policy: Optional[object] = None
+    ) -> object:
+        """Build the closed-loop QoS controller over this cluster.
+
+        Uses the ``controller=`` policy the cluster was constructed with
+        (or ``policy``, which overrides it); the caller owns the
+        lifecycle — ``controller.start(horizon_s=...)`` /
+        ``controller.stop()`` — because only the harness knows the run's
+        horizon. Imported lazily so the serving layer has no hard
+        dependency on :mod:`repro.control`.
+        """
+        from repro.control.controller import QoSController
+
+        self.controller = QoSController(
+            scheduler,  # type: ignore[arg-type]
+            policy=policy if policy is not None else self.control_policy,  # type: ignore[arg-type]
+            cluster=self,
+        )
+        return self.controller
+
+    def rebalance_queued(
+        self, from_shard: int, to_shard: int, max_items: int
+    ) -> int:
+        """Move queued requests from the back of one shard's queue to a sibling.
+
+        The control plane's pre-emptive cross-shard redistribution: items
+        that would wait longest on a forecast-overloaded shard move to a
+        sibling with headroom *before* the origin saturates, preserving
+        their enqueue times and deadlines (one shared clock per cluster).
+        A move is capacity-checked at the destination; on rejection the
+        item is force-restored to its origin (never lost). Returns the
+        number of items actually re-homed.
+        """
+        if from_shard == to_shard:
+            raise ValueError("cannot rebalance a shard onto itself")
+        origin = self.shards[from_shard]
+        target = self.shards[to_shard]
+        moved = 0
+        for item in origin.queue.steal(max_items):
+            if target.queue.adopt(item) is not None:
+                moved += 1
+                request = item.request
+                request_id = getattr(request, "request_id", None)
+                if request_id is not None:
+                    with self._lock:
+                        self._placement[request_id] = to_shard
+            else:
+                # Destination filled between the load check and the move:
+                # the origin must take it back unconditionally.
+                origin.queue.adopt(item, enforce_capacity=False)
+        if moved and self.on_requeue is not None:
+            self.on_requeue(to_shard)
+        return moved
 
     # -- the front door ------------------------------------------------------------
 
@@ -464,6 +570,9 @@ class ClusterSimulatedDriver:
             for shard in cluster.shards
         ]
         self.placements: List[ClusterOutcome] = []
+        # Control-plane rebalances insert work into an idle shard's queue
+        # without a submit event; wake that shard's dispatch loop.
+        cluster.on_requeue = lambda index: self.drivers[index]._dispatch()
 
     def schedule_trace(
         self,

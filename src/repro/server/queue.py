@@ -11,6 +11,7 @@ under both.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import heapq
 import itertools
@@ -167,6 +168,56 @@ class BoundedRequestQueue:
             if count:
                 self._version += 1
             return [heapq.heappop(self._heap)[1] for _ in range(count)]
+
+    def steal(self, max_items: int) -> List[QueuedRequest]:
+        """Remove up to ``max_items`` from the BACK of the queue (rebalance).
+
+        The back — the items the policy would serve *last* — is where
+        pre-emptive cross-shard rebalancing takes from: those items face
+        the longest residual wait on this queue, so they gain the most
+        from moving to an idle sibling, and the front of the line is
+        undisturbed. Returns the stolen items worst-positioned first.
+        Callers must re-home every stolen item (via a sibling's
+        :meth:`adopt`) — a stolen request has no disposition yet.
+        """
+        if max_items <= 0:
+            return []
+        with self._lock:
+            count = min(max_items, len(self._heap))
+            if not count:
+                return []
+            # Capacity is small (tens); sort the heap's keyed entries and
+            # slice the tail rather than maintaining a second structure.
+            ordered = sorted(self._heap, key=lambda pair: pair[0])
+            stolen = [item for _, item in reversed(ordered[-count:])]
+            keep = ordered[:-count]
+            heapq.heapify(keep)
+            self._heap = keep
+            self._version += 1
+            return stolen
+
+    def adopt(
+        self, item: QueuedRequest, enforce_capacity: bool = True
+    ) -> Optional[QueuedRequest]:
+        """Insert a previously stolen item, preserving its bookkeeping.
+
+        Keeps ``enqueued_at`` and ``deadline_at`` (queues share one
+        injected clock inside a cluster, so waits and deadlines stay
+        honest across the move) but assigns a fresh local sequence number
+        — the adopted item joins the back of its priority class here.
+        With ``enforce_capacity=False`` the insert always succeeds (the
+        rebalancer's rollback path: returning a stolen item to its origin
+        must never lose it, even if the origin refilled meanwhile).
+        Returns the adopted item, or None when full and enforcing.
+        """
+        with self._lock:
+            if enforce_capacity and len(self._heap) >= self.capacity:
+                return None
+            adopted = dataclasses.replace(item, seq=next(self._seq))
+            heapq.heappush(self._heap, (self._key(adopted), adopted))
+            self._version += 1
+            self._not_empty.notify()
+            return adopted
 
     def get(self, timeout: Optional[float] = None) -> Optional[QueuedRequest]:
         """Blocking dequeue for thread drivers; None on timeout.

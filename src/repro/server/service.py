@@ -241,6 +241,7 @@ class DomainConfigurationService:
                 request.composition,
                 user_id=request.user_id,
                 session_id=f"{request.request_id}/session",
+                priority=request.priority,
             )
             outcome = self._outcome_from(request, wait_s, result)
             span.set("status", outcome.status.value)

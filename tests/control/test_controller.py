@@ -1,0 +1,526 @@
+"""QoSController: actuation, revert, non-interference, evacuation."""
+
+import pytest
+
+from repro.control.controller import ControlPolicy, QoSController
+from repro.control.estimator import OverloadForecast
+from repro.events.bus import EventBus
+from repro.events.types import Event, Topics
+from repro.observability.metrics import MetricsRegistry
+from repro.runtime.clock import SimScheduler
+from repro.runtime.session import SessionState
+from repro.server.cluster import LeastLoadedRouter
+from repro.sim.kernel import Simulator
+
+
+# -- stub serving stack --------------------------------------------------------------
+
+
+class FakeAdmission:
+    def __init__(self):
+        self.offset = 0
+        self.max_priority = 0
+
+    def set_entry_offset(self, offset, max_priority=0):
+        self.offset = offset
+        self.max_priority = max_priority
+
+    def clear_entry_offset(self):
+        self.offset = 0
+        self.max_priority = 0
+
+
+class FakeOverload:
+    def __init__(self):
+        self.forecast_horizon_s = None
+
+
+class FakeQueue:
+    def __init__(self, capacity=10):
+        self.capacity = capacity
+        self.depth = 0
+
+
+class FakeLedger:
+    def __init__(self):
+        self.value = 0.0
+
+    def utilization(self):
+        return self.value
+
+
+class FakeShardMetrics:
+    def __init__(self):
+        self.counts = {}
+
+    def count(self, name):
+        return self.counts.get(name, 0)
+
+
+class FakeConfigurator:
+    def __init__(self):
+        self.quarantined = set()
+        self.sessions = {}
+        self.bus = EventBus()
+
+    def quarantine(self, device_id):
+        self.quarantined.add(device_id)
+
+    def unquarantine(self, device_id):
+        self.quarantined.discard(device_id)
+
+    def quarantined_devices(self):
+        return frozenset(self.quarantined)
+
+
+class FakeShard:
+    def __init__(self):
+        self.queue = FakeQueue()
+        self.ledger = FakeLedger()
+        self.metrics = FakeShardMetrics()
+        self.admission = FakeAdmission()
+        self.overload = FakeOverload()
+        self.configurator = FakeConfigurator()
+
+
+class FakeCluster:
+    def __init__(self, shard_count=2):
+        self.shards = [FakeShard() for _ in range(shard_count)]
+        self.router = LeastLoadedRouter()
+        self.registry = MetricsRegistry()
+        self.rebalance_calls = []
+        self.rebalance_result = 0
+
+    @property
+    def shard_count(self):
+        return len(self.shards)
+
+    def least_loaded(self, exclude=frozenset()):
+        candidates = [
+            index for index in range(self.shard_count) if index not in exclude
+        ]
+        return min(
+            candidates,
+            key=lambda index: (
+                self.shards[index].queue.depth, self.shards[index].ledger.value
+            ),
+        )
+
+    def rebalance_queued(self, from_shard, to_shard, max_items):
+        self.rebalance_calls.append((from_shard, to_shard, max_items))
+        return self.rebalance_result
+
+
+class ForcingEstimator:
+    """Forecasts exactly when a shard's occupancy crosses a trip level."""
+
+    def __init__(self, trip=0.8, horizon_s=8.0):
+        self.trip = trip
+        self.horizon_s = horizon_s
+        self.observed = []
+
+    def observe(self, view, overloaded):
+        self.observed.append((view.shard, overloaded))
+
+    def forecast(self, view, now, scope, target):
+        if max(view.occupancy, view.utilization) < self.trip:
+            return None
+        return OverloadForecast(
+            scope=scope,
+            target=target,
+            issued_at_s=now,
+            horizon_s=self.horizon_s,
+            predicted_occupancy=1.0,
+            confidence=0.9,
+        )
+
+
+def make_controller(cluster, **policy_kwargs):
+    simulator = Simulator()
+    scheduler = SimScheduler(simulator)
+    policy = ControlPolicy(**policy_kwargs)
+    controller = QoSController(
+        scheduler,
+        policy=policy,
+        cluster=cluster,
+        estimator=ForcingEstimator(),
+    )
+    return simulator, controller
+
+
+class TestValidation:
+    def test_needs_a_cluster_or_detector(self):
+        scheduler = SimScheduler(Simulator())
+        with pytest.raises(ValueError):
+            QoSController(scheduler)
+
+    def test_detector_requires_configurator(self):
+        scheduler = SimScheduler(Simulator())
+        with pytest.raises(ValueError):
+            QoSController(scheduler, detector=object())
+
+    def test_policy_validation(self):
+        for bad in (
+            {"tick_interval_s": 0.0},
+            {"clear_ticks": 0},
+            {"entry_offset": -1},
+            {"router_penalty": 0.0},
+            {"rebalance_batch": -1},
+            {"evacuation_phi": 0.0},
+        ):
+            with pytest.raises(ValueError):
+                ControlPolicy(**bad)
+
+
+class TestActuation:
+    def test_forecast_actuates_all_three_levers(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        cluster.shards[0].queue.depth = 9  # occupancy 0.9 > trip
+        controller.start(horizon_s=3.0)
+        simulator.run_until(1.5)
+        hot = cluster.shards[0]
+        assert controller.hot_shards() == [0]
+        assert hot.admission.offset == controller.policy.entry_offset
+        assert hot.overload.forecast_horizon_s == pytest.approx(8.0)
+        assert cluster.router.weight(0) == pytest.approx(
+            controller.policy.router_penalty
+        )
+        assert cluster.registry.counter("control.actuations").value == 1
+        forecast = controller.forecast_for(0)
+        assert forecast is not None and forecast.target == "shard0"
+        # Repeat forecasts refresh, they do not double-count actuations.
+        simulator.run_until(2.5)
+        assert cluster.registry.counter("control.actuations").value == 1
+        assert cluster.registry.counter("control.forecasts").value >= 2
+
+    def test_revert_after_clear_ticks(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster, clear_ticks=2)
+        cluster.shards[0].queue.depth = 9
+        controller.start(horizon_s=10.0)
+        simulator.run_until(0.5)
+        assert controller.hot_shards() == [0]
+        cluster.shards[0].queue.depth = 0  # pressure passes
+        simulator.run_until(4.0)
+        assert controller.hot_shards() == []
+        assert cluster.shards[0].admission.offset == 0
+        assert cluster.shards[0].overload.forecast_horizon_s is None
+        assert cluster.router.weight(0) == 1.0
+        assert cluster.registry.counter("control.reverts").value == 1
+
+    def test_rebalances_toward_an_idle_sibling(self):
+        cluster = FakeCluster()
+        cluster.rebalance_result = 2
+        simulator, controller = make_controller(cluster, rebalance_batch=2)
+        cluster.shards[0].queue.depth = 9
+        controller.start(horizon_s=1.0)
+        simulator.run_until(0.5)
+        assert cluster.rebalance_calls
+        assert cluster.rebalance_calls[0] == (0, 1, 2)
+        assert cluster.registry.counter("control.rebalanced").value >= 2
+
+    def test_no_rebalance_when_sibling_ledger_is_pinned(self):
+        # At global saturation moving queue depth around only pushes the
+        # sibling over the front door's occupancy gate.
+        cluster = FakeCluster()
+        cluster.rebalance_result = 2
+        simulator, controller = make_controller(cluster)
+        cluster.shards[0].queue.depth = 9
+        cluster.shards[1].ledger.value = 0.99
+        controller.start(horizon_s=1.0)
+        simulator.run_until(0.5)
+        assert cluster.rebalance_calls == []
+
+    def test_estimator_trains_on_observed_shed_outcomes(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        controller.start(horizon_s=2.5)
+        simulator.run_until(1.5)
+        cluster.shards[0].metrics.counts["shed_overload"] = 3
+        simulator.run_until(2.6)
+        observed = controller.estimator.observed
+        assert (0, True) in observed
+        assert (1, False) in observed
+
+
+class TestNonInterference:
+    def test_never_actuates_against_a_quarantined_shard(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        cluster.shards[0].queue.depth = 9
+        cluster.shards[0].configurator.quarantine("desktop2")
+        controller.start(horizon_s=3.0)
+        simulator.run_until(3.5)
+        assert controller.hot_shards() == []
+        assert cluster.shards[0].admission.offset == 0
+        assert cluster.router.weight(0) == 1.0
+        assert cluster.rebalance_calls == []
+        assert cluster.registry.counter("control.actuations").value == 0
+        assert (
+            cluster.registry.counter("control.skipped_quarantined").value > 0
+        )
+
+    def test_quarantine_mid_flight_backs_out_standing_actuation(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        cluster.shards[0].queue.depth = 9
+        controller.start(horizon_s=5.0)
+        simulator.run_until(0.5)
+        assert controller.hot_shards() == [0]
+        cluster.shards[0].configurator.quarantine("desktop2")
+        simulator.run_until(2.0)
+        assert controller.hot_shards() == []
+        assert cluster.shards[0].admission.offset == 0
+        assert cluster.router.weight(0) == 1.0
+
+
+class TestLifecycle:
+    def test_start_twice_raises(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        controller.start(horizon_s=1.0)
+        with pytest.raises(RuntimeError):
+            controller.start(horizon_s=1.0)
+
+    def test_deadline_lets_the_sim_drain(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        controller.start(horizon_s=2.0)
+        simulator.run()  # must terminate: no open-ended rescheduling
+        assert not controller.running
+        assert cluster.registry.counter("control.ticks").value >= 2
+
+    def test_stop_keeps_standing_actuations(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        cluster.shards[0].queue.depth = 9
+        controller.start(horizon_s=5.0)
+        simulator.run_until(0.5)
+        controller.stop()
+        assert cluster.shards[0].admission.offset > 0  # deliberate
+        controller.stop()  # idempotent
+
+
+# -- device pass ---------------------------------------------------------------------
+
+
+class FakeDevice:
+    def __init__(self, device_id):
+        self.device_id = device_id
+
+
+class FakeDomain:
+    def __init__(self, device_ids):
+        self._devices = [FakeDevice(device_id) for device_id in device_ids]
+
+    def devices(self, online_only=True):
+        return list(self._devices)
+
+
+class FakeServer:
+    def __init__(self, device_ids):
+        self.domain = FakeDomain(device_ids)
+
+
+class FakeDetector:
+    def __init__(self, device_ids, suspicion_threshold=3.0):
+        self.server = FakeServer(device_ids)
+        self.suspicion_threshold = suspicion_threshold
+        self.series = {}
+        self.suspected = set()
+
+    def suspicion_series(self, device_id):
+        return tuple(self.series.get(device_id, ()))
+
+    def is_suspected(self, device_id):
+        return device_id in self.suspected
+
+    def phi(self, device_id):
+        history = self.series.get(device_id)
+        return history[-1][1] if history else 0.0
+
+
+class FakeTiming:
+    total_ms = 40.0
+
+
+class FakeRecord:
+    def __init__(self, success):
+        self.success = success
+        self.timing = FakeTiming()
+
+
+class FakeSession:
+    def __init__(self, devices, client_device, succeed=True):
+        self._devices = set(devices)
+        self.client_device = client_device
+        self.state = SessionState.RUNNING
+        self.succeed = succeed
+        self.redistributions = []
+
+    @property
+    def running(self):
+        return self.state == SessionState.RUNNING
+
+    def devices_in_use(self):
+        return set(self._devices)
+
+    def redistribute(self, label="", skip_downloads=False):
+        self.redistributions.append(label)
+        if not self.succeed:
+            self.state = SessionState.FAILED
+            return FakeRecord(False)
+        self._devices.discard("desktop2")
+        return FakeRecord(True)
+
+
+def make_device_controller(detector, configurator, **policy_kwargs):
+    simulator = Simulator()
+    scheduler = SimScheduler(simulator)
+    policy = ControlPolicy(**policy_kwargs)
+    controller = QoSController(
+        scheduler,
+        policy=policy,
+        detector=detector,
+        configurator=configurator,
+    )
+    return simulator, scheduler, controller
+
+
+def rising_series(now, phi):
+    """Two detector ticks trending up to ``phi`` at ``now``."""
+    return [(now - 1.0, phi - 0.5), (now, phi)]
+
+
+class TestEvacuation:
+    def test_rising_phi_evacuates_movable_sessions(self):
+        detector = FakeDetector(["desktop2", "desktop3"])
+        configurator = FakeConfigurator()
+        session = FakeSession({"desktop2", "desktop3"}, client_device="desktop3")
+        configurator.sessions["s1"] = session
+        simulator, scheduler, controller = make_device_controller(
+            detector, configurator
+        )
+        detector.series["desktop2"] = rising_series(1.0, 2.0)
+        controller.start(horizon_s=1.5)
+        simulator.run_until(1.2)
+        assert "desktop2" in configurator.quarantined
+        assert session.redistributions == ["evacuate:desktop2"]
+        assert controller.evacuated_devices() == ["desktop2"]
+        registry = controller.registry
+        assert registry.counter("control.evacuations").value == 1
+        assert registry.counter("control.sessions_moved").value == 1
+
+    def test_portal_device_sessions_stay_put(self):
+        detector = FakeDetector(["desktop2"])
+        configurator = FakeConfigurator()
+        session = FakeSession({"desktop2"}, client_device="desktop2")
+        configurator.sessions["s1"] = session
+        simulator, scheduler, controller = make_device_controller(
+            detector, configurator
+        )
+        detector.series["desktop2"] = rising_series(1.0, 2.0)
+        controller.start(horizon_s=1.5)
+        simulator.run_until(1.2)
+        assert session.redistributions == []  # no pre-emptive portal move
+        assert "desktop2" in configurator.quarantined
+
+    def test_suspected_devices_belong_to_the_recovery_layer(self):
+        detector = FakeDetector(["desktop2"])
+        detector.suspected.add("desktop2")
+        detector.series["desktop2"] = rising_series(1.0, 2.0)
+        configurator = FakeConfigurator()
+        simulator, scheduler, controller = make_device_controller(
+            detector, configurator
+        )
+        controller.start(horizon_s=1.5)
+        simulator.run_until(1.2)
+        assert configurator.quarantined == set()
+        assert controller.evacuated_devices() == []
+
+    def test_cold_start_device_is_never_evacuated(self):
+        detector = FakeDetector(["ghost"])
+        configurator = FakeConfigurator()
+        simulator, scheduler, controller = make_device_controller(
+            detector, configurator
+        )
+        controller.start(horizon_s=1.5)
+        simulator.run_until(1.2)
+        assert configurator.quarantined == set()
+
+    def test_phi_at_detector_threshold_is_left_to_detection(self):
+        detector = FakeDetector(["desktop2"], suspicion_threshold=3.0)
+        configurator = FakeConfigurator()
+        simulator, scheduler, controller = make_device_controller(
+            detector, configurator
+        )
+        detector.series["desktop2"] = rising_series(1.0, 3.2)
+        controller.start(horizon_s=1.5)
+        simulator.run_until(1.2)
+        assert configurator.quarantined == set()
+
+    def test_false_alarm_releases_the_quarantine(self):
+        detector = FakeDetector(["desktop2"])
+        configurator = FakeConfigurator()
+        simulator, scheduler, controller = make_device_controller(
+            detector, configurator
+        )
+        detector.series["desktop2"] = rising_series(1.0, 2.0)
+        controller.start(horizon_s=4.0)
+        simulator.run_until(1.2)
+        assert "desktop2" in configurator.quarantined
+        # The device heartbeats again: φ collapses below 1.0.
+        detector.series["desktop2"] = [(2.0, 0.2)]
+        simulator.run_until(3.0)
+        assert configurator.quarantined == set()
+        assert controller.evacuated_devices() == []
+        assert (
+            controller.registry.counter("control.evacuation_reverted").value
+            == 1
+        )
+
+    def test_failed_redistribute_restores_running_state(self):
+        detector = FakeDetector(["desktop2", "desktop3"])
+        configurator = FakeConfigurator()
+        session = FakeSession(
+            {"desktop2", "desktop3"}, client_device="desktop3", succeed=False
+        )
+        configurator.sessions["s1"] = session
+        simulator, scheduler, controller = make_device_controller(
+            detector, configurator
+        )
+        detector.series["desktop2"] = rising_series(1.0, 2.0)
+        controller.start(horizon_s=1.5)
+        simulator.run_until(1.2)
+        # The old deployment is still live: a FAILED state would strand
+        # the session outside the recovery layer's running filter.
+        assert session.state == SessionState.RUNNING
+        assert (
+            controller.registry.counter("control.evacuation_failed").value == 1
+        )
+
+    def test_repair_time_measured_from_injection(self):
+        detector = FakeDetector(["desktop2", "desktop3"])
+        configurator = FakeConfigurator()
+        session = FakeSession({"desktop2", "desktop3"}, client_device="desktop3")
+        configurator.sessions["s1"] = session
+        simulator, scheduler, controller = make_device_controller(
+            detector, configurator
+        )
+        configurator.bus.publish(
+            Event(
+                topic=Topics.FAULT_INJECTED,
+                timestamp=0.0,
+                payload={"kind": "device_crash", "target": "desktop2"},
+            )
+        )
+        controller.start(horizon_s=1.5)
+        simulator.run_until(0.5)  # tick 0: no suspicion yet
+        detector.series["desktop2"] = rising_series(1.0, 2.0)
+        simulator.run_until(1.2)  # tick 1.0 evacuates
+        repair = controller.registry.histogram("control.time_to_repair_ms")
+        summary = repair.summary()
+        assert summary["count"] == 1
+        # (tick at 1.0s - injection at 0.0s) * 1000 + 40ms interruption.
+        assert summary["mean"] == pytest.approx(1040.0)

@@ -1,0 +1,185 @@
+"""Estimator layer: trend extrapolation, naive Bayes, seeded determinism."""
+
+import pytest
+
+from repro.control.estimator import (
+    LinearTrendEstimator,
+    NaiveBayesEstimator,
+    OverloadEstimator,
+    features_of,
+)
+from repro.control.signals import ShardSignals
+
+
+def view(
+    occupancy=0.0,
+    utilization=0.0,
+    occupancy_slope=0.0,
+    utilization_slope=0.0,
+    samples=5,
+):
+    return ShardSignals(
+        shard=0,
+        occupancy=occupancy,
+        utilization=utilization,
+        load=occupancy + utilization,
+        occupancy_slope=occupancy_slope,
+        utilization_slope=utilization_slope,
+        arrival_rate_per_s=0.0,
+        samples=samples,
+    )
+
+
+class TestFeatures:
+    def test_buckets_cover_the_space(self):
+        assert features_of(view(occupancy=0.1, utilization=0.2)) == (0, 1, 0)
+        assert features_of(
+            view(occupancy=0.5, utilization=0.7, occupancy_slope=0.1)
+        ) == (1, 2, 1)
+        assert features_of(
+            view(occupancy=0.9, utilization=0.95, occupancy_slope=-0.1)
+        ) == (2, 0, 2)
+
+
+class TestLinearTrend:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearTrendEstimator(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            LinearTrendEstimator(occupancy_limit=1.5)
+
+    def test_current_breach_fires_immediately(self):
+        trend = LinearTrendEstimator(occupancy_limit=0.85)
+        assert trend.breach(view(occupancy=0.9, samples=1))
+        # Utilization saturating alone is also an overload (the
+        # admission policy's shed_overload gate is utilization-driven).
+        assert trend.breach(view(utilization=0.9, samples=1))
+
+    def test_rising_trajectory_forecasts_breach(self):
+        trend = LinearTrendEstimator(horizon_s=8.0, occupancy_limit=0.85)
+        rising = view(occupancy=0.5, occupancy_slope=0.05)
+        assert trend.predicted_occupancy(rising) == pytest.approx(0.9)
+        assert trend.breach(rising)
+
+    def test_falling_trajectory_never_fires(self):
+        trend = LinearTrendEstimator()
+        assert not trend.breach(
+            view(occupancy=0.8, occupancy_slope=-0.01, utilization_slope=-0.01)
+        )
+
+    def test_min_samples_gates_trend_forecasts(self):
+        trend = LinearTrendEstimator(min_samples=3)
+        thin = view(occupancy=0.5, occupancy_slope=0.1, samples=2)
+        assert not trend.breach(thin)
+
+    def test_prediction_takes_the_worse_trajectory(self):
+        trend = LinearTrendEstimator(horizon_s=10.0)
+        both = view(
+            occupancy=0.2,
+            occupancy_slope=0.01,
+            utilization=0.5,
+            utilization_slope=0.04,
+        )
+        assert trend.predicted_occupancy(both) == pytest.approx(0.9)
+
+
+class TestNaiveBayes:
+    def test_same_seed_same_posterior(self):
+        a, b = NaiveBayesEstimator(seed=3), NaiveBayesEstimator(seed=3)
+        features = (2, 2, 2)
+        assert a.posterior(features) == b.posterior(features)
+        a.observe(features, True)
+        b.observe(features, True)
+        assert a.posterior(features) == b.posterior(features)
+
+    def test_informative_priors_lean_with_the_buckets(self):
+        bayes = NaiveBayesEstimator(seed=0)
+        assert bayes.posterior((2, 2, 2)) > 0.5
+        assert bayes.posterior((0, 0, 0)) < 0.5
+
+    def test_observations_sharpen_the_posterior(self):
+        bayes = NaiveBayesEstimator(seed=0)
+        features = (1, 1, 1)
+        before = bayes.posterior(features)
+        for _ in range(20):
+            bayes.observe(features, True)
+        assert bayes.posterior(features) > before
+        assert bayes.observations == 20
+
+    def test_label_priors_stay_symmetric(self):
+        # Shed ticks are rare: a learned base rate would veto every
+        # forecast. Feeding many quiet ticks with *different* features
+        # must not drag down the posterior of the overload-looking one.
+        bayes = NaiveBayesEstimator(seed=0)
+        hot = (2, 2, 2)
+        before = bayes.posterior(hot)
+        for _ in range(200):
+            bayes.observe((0, 1, 0), False)
+        assert bayes.posterior(hot) >= before - 0.05
+
+
+class TestOverloadEstimator:
+    def test_forecast_carries_horizon_and_confidence(self):
+        estimator = OverloadEstimator(seed=0, horizon_s=8.0)
+        forecast = estimator.forecast(
+            view(occupancy=0.95, utilization=0.9),
+            now=12.0,
+            scope="shard",
+            target="shard0",
+        )
+        assert forecast is not None
+        assert forecast.horizon_s == 8.0
+        assert forecast.issued_at_s == 12.0
+        assert forecast.scope == "shard"
+        assert 0.0 <= forecast.confidence <= 1.0
+        payload = forecast.as_dict()
+        assert payload["target"] == "shard0"
+        assert payload["predicted_occupancy"] >= 0.85
+
+    def test_clear_outlook_returns_none(self):
+        estimator = OverloadEstimator(seed=0)
+        assert (
+            estimator.forecast(
+                view(occupancy=0.1), now=0.0, scope="shard", target="shard0"
+            )
+            is None
+        )
+
+    def test_confidence_floor_vetoes_unconvincing_breaches(self):
+        estimator = OverloadEstimator(seed=0, confidence_floor=1.0)
+        assert (
+            estimator.forecast(
+                view(occupancy=0.95, utilization=0.9),
+                now=0.0,
+                scope="shard",
+                target="shard0",
+            )
+            is None
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverloadEstimator(confidence_floor=1.5)
+
+    def test_seeded_determinism_with_training(self):
+        def run(seed):
+            estimator = OverloadEstimator(seed=seed)
+            outcomes = []
+            for tick in range(30):
+                sample = view(
+                    occupancy=min(1.0, 0.03 * tick),
+                    utilization=min(1.0, 0.04 * tick),
+                    occupancy_slope=0.03,
+                    utilization_slope=0.04,
+                )
+                estimator.observe(sample, overloaded=tick % 7 == 0)
+                forecast = estimator.forecast(
+                    sample, now=float(tick), scope="shard", target="shard0"
+                )
+                outcomes.append(
+                    None if forecast is None else forecast.as_dict()
+                )
+            return outcomes
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)  # the jittered pseudo-counts differ

@@ -1,0 +1,186 @@
+"""Signal layer: trend windows, shard views, suspicion trends."""
+
+import pytest
+
+from repro.control.signals import (
+    ClusterSignals,
+    SuspicionSignals,
+    TrendWindow,
+    suspicion_view,
+    trend_slope,
+)
+
+
+class TestTrendSlope:
+    def test_linear_series_recovers_slope(self):
+        points = [(0.0, 1.0), (1.0, 1.5), (2.0, 2.0), (3.0, 2.5)]
+        assert trend_slope(points) == pytest.approx(0.5)
+
+    def test_flat_series_is_zero(self):
+        assert trend_slope([(0.0, 3.0), (1.0, 3.0), (2.0, 3.0)]) == 0.0
+
+    def test_degenerate_inputs_are_zero(self):
+        assert trend_slope([]) == 0.0
+        assert trend_slope([(1.0, 5.0)]) == 0.0
+        # Zero-variance time axis must not divide by zero.
+        assert trend_slope([(2.0, 1.0), (2.0, 9.0)]) == 0.0
+
+
+class TestTrendWindow:
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            TrendWindow(0.0)
+
+    def test_old_points_age_out(self):
+        window = TrendWindow(5.0)
+        for t in range(10):
+            window.append(float(t), float(t))
+        assert window.count == 6  # t in [4, 9]
+        assert window.points()[0] == (4.0, 4.0)
+        assert window.last() == (9.0, 9.0)
+
+    def test_slope_and_delta_rate(self):
+        window = TrendWindow(30.0)
+        for t in range(5):
+            window.append(float(t), 2.0 * t)
+        assert window.slope() == pytest.approx(2.0)
+        assert window.delta_rate() == pytest.approx(2.0)
+
+    def test_empty_window_views(self):
+        window = TrendWindow(10.0)
+        assert window.last() is None
+        assert window.slope() == 0.0
+        assert window.delta_rate() == 0.0
+
+
+class _FakeLedger:
+    def __init__(self):
+        self.value = 0.0
+
+    def utilization(self):
+        return self.value
+
+
+class _FakeQueue:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.depth = 0
+
+
+class _FakeMetrics:
+    def __init__(self):
+        self.counts = {}
+
+    def count(self, name):
+        return self.counts.get(name, 0)
+
+
+class _FakeShard:
+    def __init__(self, capacity=10):
+        self.queue = _FakeQueue(capacity)
+        self.ledger = _FakeLedger()
+        self.metrics = _FakeMetrics()
+
+
+class _FakeCluster:
+    def __init__(self, shard_count=2):
+        self.shards = [_FakeShard() for _ in range(shard_count)]
+
+    @property
+    def shard_count(self):
+        return len(self.shards)
+
+
+class TestClusterSignals:
+    def test_shard_view_tracks_trajectory(self):
+        cluster = _FakeCluster(shard_count=1)
+        signals = ClusterSignals(cluster, window_s=30.0)
+        shard = cluster.shards[0]
+        for tick in range(4):
+            shard.queue.depth = 2 * tick
+            shard.ledger.value = 0.1 * tick
+            shard.metrics.counts["submitted"] = 3 * tick
+            signals.sample(float(tick))
+        view = signals.shard_view(0)
+        assert view.occupancy == pytest.approx(0.6)
+        assert view.utilization == pytest.approx(0.3)
+        assert view.occupancy_slope == pytest.approx(0.2)
+        assert view.utilization_slope == pytest.approx(0.1)
+        assert view.arrival_rate_per_s == pytest.approx(3.0)
+        assert view.samples == 4
+        assert view.load == pytest.approx(0.9)
+
+    def test_shed_since_last_sample_is_a_delta(self):
+        cluster = _FakeCluster(shard_count=1)
+        signals = ClusterSignals(cluster, window_s=30.0)
+        shard = cluster.shards[0]
+        signals.sample(0.0)
+        shard.metrics.counts["shed_overload"] = 2
+        shard.metrics.counts["shed_deadline"] = 1
+        signals.sample(1.0)
+        assert signals.shed_since_last_sample(0) == 3
+        signals.sample(2.0)
+        assert signals.shed_since_last_sample(0) == 0
+
+    def test_cluster_view_aggregates_shards(self):
+        cluster = _FakeCluster(shard_count=2)
+        signals = ClusterSignals(cluster, window_s=30.0)
+        cluster.shards[0].queue.depth = 10  # occupancy 1.0
+        cluster.shards[1].queue.depth = 0
+        signals.sample(0.0)
+        view = signals.cluster_view()
+        assert view.shard == -1
+        assert view.occupancy == pytest.approx(0.5)
+
+    def test_as_dict_round_trips_stable(self):
+        cluster = _FakeCluster(shard_count=1)
+        signals = ClusterSignals(cluster, window_s=30.0)
+        signals.sample(0.0)
+        payload = signals.shard_view(0).as_dict()
+        assert payload["shard"] == 0
+        assert set(payload) == {
+            "shard",
+            "occupancy",
+            "utilization",
+            "load",
+            "occupancy_slope",
+            "utilization_slope",
+            "arrival_rate_per_s",
+            "samples",
+        }
+
+
+class _FakeDetector:
+    def __init__(self, series):
+        self._series = series
+
+    def suspicion_series(self, device_id):
+        return tuple(self._series.get(device_id, ()))
+
+
+class TestSuspicionView:
+    def test_cold_start_is_the_zero_signal(self):
+        detector = _FakeDetector({})
+        view = suspicion_view(detector, "ghost", 10.0, now=100.0)
+        assert view == SuspicionSignals(
+            device_id="ghost", phi=0.0, slope=0.0, rising=False, samples=0
+        )
+
+    def test_rising_trend_detected(self):
+        detector = _FakeDetector(
+            {"d1": [(1.0, 0.5), (2.0, 1.0), (3.0, 1.5)]}
+        )
+        view = suspicion_view(detector, "d1", 10.0, now=3.0)
+        assert view.phi == pytest.approx(1.5)
+        assert view.rising
+        assert view.slope == pytest.approx(0.5)
+        assert view.samples == 3
+
+    def test_window_excludes_stale_points(self):
+        detector = _FakeDetector(
+            {"d1": [(0.0, 9.0), (50.0, 1.0), (51.0, 0.5)]}
+        )
+        view = suspicion_view(detector, "d1", 5.0, now=51.0)
+        assert view.samples == 2
+        assert view.phi == pytest.approx(0.5)
+        assert not view.rising

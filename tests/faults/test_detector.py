@@ -117,3 +117,82 @@ class TestForgetting:
         baseline = testbed.server.bus.subscriber_count()
         detector.stop()
         assert testbed.server.bus.subscriber_count() == baseline - 2
+
+
+class TestSuspicionSeries:
+    def test_cold_start_device_has_an_empty_series(self, harness):
+        # A device whose heartbeats never arrive is never *seen*, so no
+        # silence interval exists to measure: suspicion is earned through
+        # observed silence, never presumed from absence of history.
+        testbed, simulator, scheduler, detector = harness
+        detector.mute("desktop2")
+        detector.start(horizon_s=10.0)
+        simulator.run_until(10.5)
+        assert detector.suspicion_series("desktop2") == ()
+        assert detector.phi("desktop2") == 0.0
+        assert not detector.is_suspected("desktop2")
+
+    def test_unknown_device_has_an_empty_series(self, harness):
+        _, _, _, detector = harness
+        assert detector.suspicion_series("no-such-device") == ()
+
+    def test_series_records_one_point_per_tick(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=5.0)
+        simulator.run_until(5.5)
+        series = detector.suspicion_series("desktop2")
+        # Heard at tick 0, so evaluated on every tick after.
+        assert len(series) == 6
+        times = [t for t, _ in series]
+        assert times == sorted(times)
+        assert all(phi == 0.0 for _, phi in series)
+
+    def test_muted_device_rises_then_collapses_on_return(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=20.0)
+        simulator.run_until(1.5)
+        detector.mute("desktop3")
+        simulator.run_until(6.0)
+        rising = detector.suspicion_series("desktop3")
+        phis = [phi for _, phi in rising]
+        # Strictly rising silence while muted: exactly the trend the
+        # control plane's pre-emptive evacuation reads.
+        assert phis[-1] > phis[-2] > 0.0
+        assert phis == sorted(phis)
+        # The network heals: the very next heartbeat resets the trend.
+        detector.unmute("desktop3")
+        simulator.run_until(8.0)
+        series = detector.suspicion_series("desktop3")
+        assert series[-1][1] == 0.0
+        assert len(series) > len(rising)
+
+    def test_history_is_bounded_to_the_trailing_limit(self, harness):
+        testbed, simulator, scheduler, _ = harness
+        detector = FailureDetector(
+            testbed.server,
+            scheduler,
+            heartbeat_interval_s=1.0,
+            suspicion_threshold=3.0,
+            history_limit=4,
+        )
+        detector.start(horizon_s=12.0)
+        simulator.run_until(12.5)
+        series = detector.suspicion_series("desktop2")
+        assert len(series) == 4
+        # The *trailing* points survive, oldest evicted first.
+        assert series[-1][0] == 12.0
+        assert series[0][0] == 9.0
+
+    def test_departed_device_history_is_forgotten(self, harness):
+        testbed, simulator, scheduler, detector = harness
+        detector.start(horizon_s=10.0)
+        simulator.run_until(2.5)
+        assert detector.suspicion_series("desktop3")
+        testbed.server.leave("desktop3")
+        simulator.run_until(4.0)
+        assert detector.suspicion_series("desktop3") == ()
+
+    def test_history_limit_validated(self, harness):
+        testbed, _, scheduler, _ = harness
+        with pytest.raises(ValueError):
+            FailureDetector(testbed.server, scheduler, history_limit=0)

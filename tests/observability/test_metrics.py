@@ -216,3 +216,94 @@ class TestGoldenJsonCompatibility:
             '"p50":1234.5,"p90":2000.25,"p99":2000.25}}}'
         )
         assert metrics.to_json(extra={"fault_multiplier": 1.0}) == expected
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestWindowedViews:
+    def test_windowed_returns_only_the_trailing_horizon(self):
+        clock = _FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        histogram = registry.histogram("latency_ms")
+        for t, value in ((0.0, 10.0), (5.0, 20.0), (9.0, 30.0)):
+            clock.now = t
+            histogram.record(value)
+        clock.now = 10.0
+        assert registry.windowed("latency_ms", 5.0) == [20.0, 30.0]
+        assert registry.windowed("latency_ms", 100.0) == [10.0, 20.0, 30.0]
+        assert registry.windowed("latency_ms", 0.5) == []
+
+    def test_windowed_cutoff_is_inclusive(self):
+        clock = _FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        clock.now = 4.0
+        registry.histogram("h").record(1.0)
+        clock.now = 9.0
+        assert registry.windowed("h", 5.0) == [1.0]
+
+    def test_unknown_name_is_an_empty_window(self):
+        registry = MetricsRegistry(clock=_FakeClock())
+        assert registry.windowed("never.recorded", 10.0) == []
+
+    def test_clockless_registry_rejects_windowed_views(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").record(1.0)
+        with pytest.raises(ValueError):
+            registry.windowed("h", 10.0)
+        with pytest.raises(ValueError):
+            registry.histogram("h").samples_since(0.0)
+
+    def test_negative_horizon_rejected(self):
+        registry = MetricsRegistry(clock=_FakeClock())
+        with pytest.raises(ValueError):
+            registry.windowed("h", -1.0)
+
+    def test_gauge_records_write_time_when_clocked(self):
+        clock = _FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        gauge = registry.gauge("g")
+        assert gauge.updated_at_s is None
+        clock.now = 7.0
+        gauge.set(3.0)
+        assert gauge.updated_at_s == 7.0
+
+
+class TestHistogramMemoryGuard:
+    def test_oldest_samples_evicted_first(self):
+        histogram = Histogram("h", max_samples=3)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            histogram.record(value)
+        assert histogram.samples() == [3.0, 4.0, 5.0]
+        assert histogram.count == 3
+        assert histogram.dropped == 2
+
+    def test_unbounded_histogram_never_drops(self):
+        histogram = Histogram("h")
+        for value in range(100):
+            histogram.record(float(value))
+        assert histogram.dropped == 0
+        assert histogram.count == 100
+
+    def test_guard_keeps_the_time_axis_aligned(self):
+        clock = _FakeClock()
+        registry = MetricsRegistry(clock=clock, max_histogram_samples=2)
+        histogram = registry.histogram("h")
+        for t in range(5):
+            clock.now = float(t)
+            histogram.record(10.0 * t)
+        clock.now = 5.0
+        # Only the two newest samples survive, and the windowed view
+        # still maps each to its own record time.
+        assert registry.windowed("h", 10.0) == [30.0, 40.0]
+        assert registry.windowed("h", 1.5) == [40.0]
+        assert histogram.dropped == 3
+
+    def test_max_samples_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h", max_samples=0)

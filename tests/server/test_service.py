@@ -238,3 +238,95 @@ class TestPolicies:
         assert metrics.stage("distribution_ms").count == 3
         assert metrics.stage("total_ms").count == 3
         assert metrics.stage("total_ms").percentile(50) > 0.0
+
+
+class TestForecastAwareRetryAfter:
+    def test_standing_forecast_floors_the_hint(self):
+        policy = OverloadPolicy(forecast_horizon_s=8.0)
+        # Linear: 0.25 + 0.05 * 10 = 0.75s — but the controller says the
+        # congestion persists for the forecast horizon.
+        assert policy.retry_after_s(10) == pytest.approx(8.0)
+        assert policy.retry_after_s(0) == pytest.approx(8.0)
+
+    def test_forecast_floor_overrides_the_cap(self):
+        # retry_after_max_s caps stale-depth guesses, not forecasts: a
+        # horizon past the cap still wins.
+        policy = OverloadPolicy(retry_after_max_s=5.0, forecast_horizon_s=9.0)
+        assert policy.retry_after_s(1000) == pytest.approx(9.0)
+
+    def test_deeper_congestion_still_beats_a_short_forecast(self):
+        policy = OverloadPolicy(forecast_horizon_s=0.5)
+        # The floor is a floor: a worse linear hint is never shortened.
+        assert policy.retry_after_s(100) == pytest.approx(5.0)
+
+    def test_clearing_the_forecast_restores_the_linear_schedule(self):
+        policy = OverloadPolicy(forecast_horizon_s=8.0)
+        policy.forecast_horizon_s = None
+        assert policy.retry_after_s(10) == pytest.approx(0.75)
+
+    def test_shed_outcome_carries_the_forecast_floor(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed, queue_capacity=1)
+        service.overload.queue_high_water = 0.0
+        service.overload.utilization_threshold = 0.0
+        service.overload.forecast_horizon_s = 7.5
+        shed = service.submit(request(testbed, "r1"))
+        assert shed.status is RequestStatus.SHED
+        assert shed.retry_after_s == pytest.approx(7.5)
+
+
+class TestEntryOffset:
+    def test_offset_starts_low_priority_walks_one_rung_down(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        service.admission.set_entry_offset(1, max_priority=0)
+        service.submit(request(testbed, "r1", priority=0))
+        outcome = service.drain()[0]
+        # Plenty of capacity, yet the walk starts (and lands) at the
+        # second rung: proactively degraded, still admitted.
+        assert outcome.status is RequestStatus.DEGRADED
+        assert outcome.level == "admit@reduced"
+
+    def test_high_priority_classes_keep_the_full_ladder(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        service.admission.set_entry_offset(1, max_priority=0)
+        service.submit(request(testbed, "r1", priority=1))
+        outcome = service.drain()[0]
+        assert outcome.status is RequestStatus.ADMITTED
+        assert outcome.level == "admit@full"
+
+    def test_clear_restores_the_top_of_the_ladder(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        service.admission.set_entry_offset(1)
+        service.admission.clear_entry_offset()
+        service.submit(request(testbed, "r1", priority=0))
+        outcome = service.drain()[0]
+        assert outcome.status is RequestStatus.ADMITTED
+        assert outcome.level == "admit@full"
+
+    def test_offset_is_clamped_so_one_rung_remains(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        service.admission.set_entry_offset(99, max_priority=0)
+        assert service.admission.entry_offset_for(0) == 2  # of 3 rungs
+        service.submit(request(testbed, "r1", priority=0))
+        outcome = service.drain()[0]
+        assert outcome.status is RequestStatus.DEGRADED
+        assert outcome.level == "admit@economy"
+
+    def test_negative_offset_rejected(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed)
+        with pytest.raises(ValueError):
+            service.admission.set_entry_offset(-1)
+
+    def test_offset_without_a_ladder_is_a_no_op(self):
+        testbed = build_audio_testbed()
+        service = make_service(testbed, ladder=None)
+        service.admission.set_entry_offset(1, max_priority=0)
+        assert service.admission.entry_offset_for(0) == 0
+        service.submit(request(testbed, "r1", priority=0))
+        outcome = service.drain()[0]
+        assert outcome.status is RequestStatus.ADMITTED
