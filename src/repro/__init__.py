@@ -31,6 +31,11 @@ Public API tour (see README.md for the full quickstart):
   self-healing session recovery;
 - :mod:`repro.observability` — structured span tracing, the unified
   metrics registry, and the trace-report renderer;
+- :mod:`repro.store` — the pluggable durable record store (in-memory
+  default, sqlite for crash-restart recovery with session re-adoption);
+- :mod:`repro.scenarios` — the declarative scenario catalog: one
+  YAML/JSON document compiled into testbeds, traces, fault plans and
+  run end to end behind ``python -m repro scenario``;
 - :mod:`repro.apps`, :mod:`repro.workloads`, :mod:`repro.experiments` —
   the prototype applications and the drivers regenerating every table and
   figure of the paper's evaluation.
@@ -117,6 +122,23 @@ from repro.server import (
     ShardRouter,
 )
 from repro.sim import Simulator
+from repro.scenarios import (
+    CompiledScenario,
+    ScenarioRunResult,
+    ScenarioSpec,
+    ScenarioValidationError,
+    compile_scenario,
+    load_scenario,
+    run_crash_restart,
+    run_scenario,
+)
+from repro.store import (
+    InMemoryRecordStore,
+    RecordStore,
+    SessionRecord,
+    SqliteRecordStore,
+    readopt_sessions,
+)
 
 __version__ = "1.0.0"
 
@@ -191,5 +213,18 @@ __all__ = [
     "ServerRequest",
     "ShardRouter",
     "Simulator",
+    "CompiledScenario",
+    "ScenarioRunResult",
+    "ScenarioSpec",
+    "ScenarioValidationError",
+    "compile_scenario",
+    "load_scenario",
+    "run_crash_restart",
+    "run_scenario",
+    "InMemoryRecordStore",
+    "RecordStore",
+    "SessionRecord",
+    "SqliteRecordStore",
+    "readopt_sessions",
     "__version__",
 ]

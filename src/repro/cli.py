@@ -8,10 +8,11 @@ Usage::
     python -m repro figure5  [--requests N] [--horizon H]
     python -m repro ablations [--cases N]
     python -m repro server-sweep [--multipliers M ...] [--json PATH] [--trace PATH]
-    python -m repro cluster-sweep [--shards N ...] [--multipliers M ...] [--router hash|least-loaded] [--driver sim|thread] [--batched] [--batch-size B] [--linger S] [--controlled] [--json PATH] [--trace PATH]
+    python -m repro cluster-sweep [--shards N ...] [--multipliers M ...] [--router hash|least-loaded] [--driver sim|thread] [--batched] [--batch-size B] [--batch-linger S] [--controlled] [--json PATH] [--trace PATH]
     python -m repro chaos-sweep  [--multipliers M ...] [--driver sim|thread] [--controlled] [--json PATH] [--trace PATH]
     python -m repro federation-sweep [--clusters N ...] [--multipliers M ...] [--roam-rates R ...] [--driver sim|thread] [--json PATH] [--trace PATH]
     python -m repro control-sweep [--quick] [--json PATH]
+    python -m repro scenario [NAME|PATH] [--list] [--driver sim|thread] [--multiplier M] [--seed S] [--controlled] [--batched] [--store PATH] [--crash-restart] [--json PATH] [--trace PATH]
     python -m repro bench [--quick] [--baseline PATH] [--tolerance F]
     python -m repro trace-report PATH
     python -m repro all
@@ -21,7 +22,13 @@ paper reports) to stdout; ``figure4``/``figure5`` additionally render an
 ASCII chart. ``--trace`` writes the sweep's structured span trace as
 NDJSON (byte-identical per seed under the sim driver), which
 ``trace-report`` renders as a per-phase latency breakdown with
-critical-path summaries.
+critical-path summaries. ``scenario`` runs one declarative document from
+the built-in catalog (or any YAML/JSON spec path) through the unified
+spec → compile → run pipeline.
+
+The sweep flags above are declared once in
+:mod:`repro.experiments.runner`; renamed spellings (``--linger``) still
+parse but emit a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -54,11 +61,21 @@ from repro.experiments.federation_sweep import (
     run_federation_sweep,
     run_federation_thread_once,
 )
-from repro.server.batching import BatchPolicy
 from repro.experiments.figure3 import run_prototype_scenario
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.load_sweep import run_load_sweep
+from repro.experiments.runner import (
+    add_artifact_options,
+    add_batching_options,
+    add_controlled_option,
+    add_driver_option,
+    add_horizon_option,
+    add_multipliers_option,
+    add_seed_option,
+    batch_policy_from,
+    write_artifacts,
+)
 from repro.experiments.server_sweep import run_server_sweep
 from repro.experiments.table1 import run_table1
 from repro.observability.report import TraceReport
@@ -121,22 +138,11 @@ def _cmd_server_sweep(args: argparse.Namespace) -> None:
         trace=args.trace is not None,
     )
     print(result.format_table())
-    if args.json is not None:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(result.to_json() + "\n")
-        print(f"\nmetrics JSON written to {args.json}")
-    if args.trace is not None:
-        with open(args.trace, "w", encoding="utf-8") as handle:
-            handle.write(result.trace_ndjson())
-        print(f"span trace NDJSON written to {args.trace}")
+    write_artifacts(args, result, json_label="metrics")
 
 
 def _cmd_cluster_sweep(args: argparse.Namespace) -> None:
-    batch = (
-        BatchPolicy(max_batch_size=args.batch_size, max_linger_s=args.linger)
-        if args.batched
-        else None
-    )
+    batch = batch_policy_from(args)
     if args.driver == "thread":
         for shard_count in args.shards:
             report = run_cluster_thread_once(
@@ -168,14 +174,7 @@ def _cmd_cluster_sweep(args: argparse.Namespace) -> None:
         controlled=args.controlled,
     )
     print(result.format_table())
-    if args.json is not None:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(result.to_json() + "\n")
-        print(f"\ncluster metrics JSON written to {args.json}")
-    if args.trace is not None:
-        with open(args.trace, "w", encoding="utf-8") as handle:
-            handle.write(result.trace_ndjson())
-        print(f"span trace NDJSON written to {args.trace}")
+    write_artifacts(args, result, json_label="cluster metrics")
 
 
 def _cmd_chaos_sweep(args: argparse.Namespace) -> None:
@@ -188,14 +187,7 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> None:
         controlled=args.controlled,
     )
     print(result.format_table())
-    if args.json is not None:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(result.to_json() + "\n")
-        print(f"\nrecovery metrics JSON written to {args.json}")
-    if args.trace is not None:
-        with open(args.trace, "w", encoding="utf-8") as handle:
-            handle.write(result.trace_ndjson())
-        print(f"span trace NDJSON written to {args.trace}")
+    write_artifacts(args, result, json_label="recovery metrics")
 
 
 def _cmd_federation_sweep(args: argparse.Namespace) -> None:
@@ -225,14 +217,7 @@ def _cmd_federation_sweep(args: argparse.Namespace) -> None:
         trace=args.trace is not None,
     )
     print(result.format_table())
-    if args.json is not None:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(result.to_json() + "\n")
-        print(f"\nfederation metrics JSON written to {args.json}")
-    if args.trace is not None:
-        with open(args.trace, "w", encoding="utf-8") as handle:
-            handle.write(result.trace_ndjson())
-        print(f"span trace NDJSON written to {args.trace}")
+    write_artifacts(args, result, json_label="federation metrics")
 
 
 def _cmd_control_sweep(args: argparse.Namespace) -> None:
@@ -249,6 +234,77 @@ def _cmd_control_sweep(args: argparse.Namespace) -> None:
             print(f"  - {message}")
         raise SystemExit(1)
     print("\ncontrol gate passed (controlled beats reactive)")
+
+
+def _cmd_scenario(args: argparse.Namespace) -> None:
+    import dataclasses
+    from pathlib import Path
+
+    from repro.scenarios import (
+        catalog_scenarios,
+        load_catalog_scenario,
+        load_scenario,
+        run_crash_restart,
+        run_scenario,
+        scenario_path,
+    )
+    from repro.store import SqliteRecordStore
+
+    if args.list or args.name is None:
+        print("built-in scenarios:")
+        for name in catalog_scenarios():
+            spec = load_scenario(scenario_path(name))
+            summary = " ".join(spec.description.split()) or "(no description)"
+            print(f"  {name:<24} {summary}")
+        if args.name is None and not args.list:
+            print("\nrun one with: python -m repro scenario <name>")
+        return
+
+    if Path(args.name).is_file():
+        spec = load_scenario(Path(args.name))
+    else:
+        spec = load_catalog_scenario(args.name)
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+
+    if args.crash_restart:
+        result = run_crash_restart(
+            spec,
+            store_path=args.store,
+            crash_at_fraction=args.crash_at,
+            multiplier=args.multiplier,
+        )
+        report = result.report
+        print(
+            f"Scenario {result.scenario!r} crash-restart: "
+            f"crashed epoch {result.crashed_epoch} at t={result.crash_at_s:g}s "
+            f"({result.pre_crash_admitted} admitted, "
+            f"{result.active_at_crash} active), "
+            f"epoch {result.resumed_epoch} re-adopted {report.readopted}, "
+            f"tore down {report.torn_down}, "
+            f"reconciled {report.reconciled_txns} txn(s), "
+            f"ledger {'balanced' if result.balanced else 'UNBALANCED'}"
+        )
+        print()
+        print(result.resumed.format_table())
+        if args.trace is not None:
+            print("--trace is ignored with --crash-restart")
+            args.trace = None
+        if not result.balanced:
+            raise SystemExit(1)
+    else:
+        store = SqliteRecordStore(args.store) if args.store else None
+        result = run_scenario(
+            spec,
+            driver=args.driver,
+            multiplier=args.multiplier,
+            trace=args.trace is not None,
+            controlled=True if args.controlled else None,
+            batched=args.batched,
+            store=store,
+        )
+        print(result.format_table())
+    write_artifacts(args, result, json_label="scenario")
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:
@@ -368,19 +424,11 @@ def build_parser() -> argparse.ArgumentParser:
         "server-sweep",
         help="concurrent admission under load multipliers (extension)",
     )
-    server_sweep.add_argument(
-        "--multipliers",
-        type=float,
-        nargs="+",
-        default=[0.5, 1.0, 2.0, 3.0, 5.0],
-    )
-    server_sweep.add_argument("--seed", type=int, default=42)
-    server_sweep.add_argument("--horizon", type=float, default=300.0)
-    server_sweep.add_argument(
-        "--json", default=None, help="also write deterministic metrics JSON"
-    )
-    server_sweep.add_argument(
-        "--trace", default=None, help="also write the span trace as NDJSON"
+    add_multipliers_option(server_sweep, default=[0.5, 1.0, 2.0, 3.0, 5.0])
+    add_seed_option(server_sweep)
+    add_horizon_option(server_sweep)
+    add_artifact_options(
+        server_sweep, json_help="also write deterministic metrics JSON"
     )
     server_sweep.set_defaults(handler=_cmd_server_sweep)
 
@@ -391,11 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_sweep.add_argument(
         "--shards", type=int, nargs="+", default=[1, 2, 4]
     )
-    cluster_sweep.add_argument(
-        "--multipliers", type=float, nargs="+", default=[1.0, 2.0, 4.0]
-    )
-    cluster_sweep.add_argument("--seed", type=int, default=42)
-    cluster_sweep.add_argument("--horizon", type=float, default=300.0)
+    add_multipliers_option(cluster_sweep, default=[1.0, 2.0, 4.0])
+    add_seed_option(cluster_sweep)
+    add_horizon_option(cluster_sweep)
     cluster_sweep.add_argument(
         "--router",
         choices=ROUTERS,
@@ -403,12 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="hash: consistent hashing (session affinity); "
         "least-loaded: power-of-two-choices on queue depth + utilization",
     )
-    cluster_sweep.add_argument(
-        "--driver",
-        choices=("sim", "thread"),
-        default="sim",
-        help="sim: deterministic logical time; thread: one real worker "
-        "pool per shard, burst-submitted",
+    add_driver_option(
+        cluster_sweep,
+        thread_help="one real worker pool per shard, burst-submitted",
     )
     cluster_sweep.add_argument(
         "--requests",
@@ -416,34 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=120,
         help="burst size per shard count (thread driver only)",
     )
-    cluster_sweep.add_argument(
-        "--json", default=None, help="also write deterministic cluster metrics JSON"
+    add_artifact_options(
+        cluster_sweep,
+        json_help="also write deterministic cluster metrics JSON",
     )
-    cluster_sweep.add_argument(
-        "--trace", default=None, help="also write the span trace as NDJSON"
-    )
-    cluster_sweep.add_argument(
-        "--batched",
-        action="store_true",
-        help="serve each shard through the batched admission core "
-        "(grouped ledger prepare/commit rounds)",
-    )
-    cluster_sweep.add_argument(
-        "--batch-size",
-        type=int,
-        default=8,
-        help="max requests drained per batch (with --batched)",
-    )
-    cluster_sweep.add_argument(
-        "--linger",
-        type=float,
-        default=0.02,
-        help="seconds an under-full batch waits for company (with --batched)",
-    )
-    cluster_sweep.add_argument(
-        "--controlled",
-        action="store_true",
-        help="attach the predictive QoS controller (proactive degradation, "
+    add_batching_options(cluster_sweep)
+    add_controlled_option(
+        cluster_sweep,
+        "attach the predictive QoS controller (proactive degradation, "
         "router steering, queue rebalancing) to every run",
     )
     cluster_sweep.set_defaults(handler=_cmd_cluster_sweep)
@@ -452,28 +475,20 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos-sweep",
         help="recovery success rate and MTTR vs fault rate (extension)",
     )
-    chaos_sweep.add_argument(
-        "--multipliers", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0]
+    add_multipliers_option(chaos_sweep, default=[0.5, 1.0, 2.0, 4.0])
+    add_seed_option(chaos_sweep)
+    add_horizon_option(chaos_sweep)
+    add_driver_option(
+        chaos_sweep,
+        thread_help="wall-clock timers at a compressed timescale",
     )
-    chaos_sweep.add_argument("--seed", type=int, default=42)
-    chaos_sweep.add_argument("--horizon", type=float, default=300.0)
-    chaos_sweep.add_argument(
-        "--driver",
-        choices=("sim", "thread"),
-        default="sim",
-        help="sim: deterministic logical time; thread: wall-clock timers "
-        "at a compressed timescale",
+    add_artifact_options(
+        chaos_sweep,
+        json_help="also write deterministic recovery-metrics JSON",
     )
-    chaos_sweep.add_argument(
-        "--json", default=None, help="also write deterministic recovery-metrics JSON"
-    )
-    chaos_sweep.add_argument(
-        "--trace", default=None, help="also write the span trace as NDJSON"
-    )
-    chaos_sweep.add_argument(
-        "--controlled",
-        action="store_true",
-        help="attach the predictive QoS controller (pre-emptive evacuation "
+    add_controlled_option(
+        chaos_sweep,
+        "attach the predictive QoS controller (pre-emptive evacuation "
         "of silence-trending devices) alongside the reactive stack",
     )
     chaos_sweep.set_defaults(handler=_cmd_chaos_sweep)
@@ -485,26 +500,22 @@ def build_parser() -> argparse.ArgumentParser:
     federation_sweep.add_argument(
         "--clusters", type=int, nargs="+", default=[1, 3]
     )
-    federation_sweep.add_argument(
-        "--multipliers", type=float, nargs="+", default=[1.0, 2.0]
-    )
+    add_multipliers_option(federation_sweep, default=[1.0, 2.0])
     federation_sweep.add_argument(
         "--roam-rates", type=float, nargs="+", default=[0.0, 0.2]
     )
-    federation_sweep.add_argument("--seed", type=int, default=42)
-    federation_sweep.add_argument("--horizon", type=float, default=300.0)
+    add_seed_option(federation_sweep)
+    add_horizon_option(federation_sweep)
     federation_sweep.add_argument(
         "--queue-capacity",
         type=int,
         default=16,
         help="per-shard bounded queue capacity in every member cluster",
     )
-    federation_sweep.add_argument(
-        "--driver",
-        choices=("sim", "thread"),
-        default="sim",
-        help="sim: deterministic logical time; thread: one real worker "
-        "pool per shard per cluster, burst-submitted",
+    add_driver_option(
+        federation_sweep,
+        thread_help="one real worker pool per shard per cluster, "
+        "burst-submitted",
     )
     federation_sweep.add_argument(
         "--requests",
@@ -512,13 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=90,
         help="burst size per cluster count (thread driver only)",
     )
-    federation_sweep.add_argument(
-        "--json",
-        default=None,
-        help="also write deterministic federation metrics JSON",
-    )
-    federation_sweep.add_argument(
-        "--trace", default=None, help="also write the span trace as NDJSON"
+    add_artifact_options(
+        federation_sweep,
+        json_help="also write deterministic federation metrics JSON",
     )
     federation_sweep.set_defaults(handler=_cmd_federation_sweep)
 
@@ -526,7 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
         "control-sweep",
         help="predictive control plane: controlled vs reactive (extension)",
     )
-    control_sweep.add_argument("--seed", type=int, default=42)
+    add_seed_option(control_sweep)
     control_sweep.add_argument(
         "--quick",
         action="store_true",
@@ -539,6 +546,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the deterministic control bench artifact",
     )
     control_sweep.set_defaults(handler=_cmd_control_sweep)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run one declarative scenario document end to end (extension)",
+    )
+    scenario.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="built-in catalog name, or path to a YAML/JSON scenario spec",
+    )
+    scenario.add_argument(
+        "--list",
+        action="store_true",
+        help="list the built-in catalog and exit",
+    )
+    add_driver_option(
+        scenario,
+        thread_help="a real worker pool, burst-submitted "
+        "(faulted scenarios require sim)",
+    )
+    scenario.add_argument(
+        "--multiplier",
+        type=float,
+        default=1.0,
+        help="offered-load multiplier on the spec's arrival rate",
+    )
+    scenario.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the spec's seed (default: the one it declares)",
+    )
+    add_controlled_option(
+        scenario,
+        "force the predictive QoS controller on (default follows the "
+        "spec's control.enabled knob)",
+    )
+    scenario.add_argument(
+        "--batched",
+        action="store_true",
+        help="serve through the batched admission core",
+    )
+    scenario.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="sqlite file backing the durable session record store "
+        "(default: in-memory, byte-identical to storeless)",
+    )
+    scenario.add_argument(
+        "--crash-restart",
+        action="store_true",
+        help="crash mid-horizon and recover a successor epoch from the "
+        "store, asserting a balanced ledger",
+    )
+    scenario.add_argument(
+        "--crash-at",
+        type=float,
+        default=0.5,
+        help="horizon fraction at which the crash happens "
+        "(with --crash-restart)",
+    )
+    add_artifact_options(
+        scenario,
+        json_help="also write the deterministic scenario result JSON",
+    )
+    scenario.set_defaults(handler=_cmd_scenario)
 
     bench = subparsers.add_parser(
         "bench",

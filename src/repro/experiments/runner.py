@@ -1,0 +1,187 @@
+"""Shared CLI plumbing for the sweep subcommands.
+
+Every sweep exposes the same knobs — ``--seed``, ``--horizon``,
+``--multipliers``, a ``--driver`` choice, ``--json``/``--trace``
+artifact sinks, the ``--controlled`` toggle and the batching trio — and
+until now each subparser declared them independently, with drifting
+help strings and (in one case) a misnamed flag. This module is the one
+place those options are defined; :mod:`repro.cli` composes them per
+subcommand.
+
+Renamed flags keep their old spellings as deprecated aliases: passing
+``--linger`` still works but emits a :class:`DeprecationWarning`
+steering users to ``--batch-linger``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import warnings
+from typing import Optional, Sequence
+
+DEFAULT_SEED = 42
+DEFAULT_HORIZON_S = 300.0
+
+
+class DeprecatedAlias(argparse.Action):
+    """Store into the preferred flag's ``dest``, warning on use."""
+
+    def __init__(self, option_strings, dest, preferred: str, **kwargs):
+        self.preferred = preferred
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated; use {self.preferred}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def add_seed_option(
+    parser: argparse.ArgumentParser, default: int = DEFAULT_SEED
+) -> None:
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=default,
+        help="master seed for every derived stream",
+    )
+
+
+def add_horizon_option(
+    parser: argparse.ArgumentParser, default: float = DEFAULT_HORIZON_S
+) -> None:
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=default,
+        help="arrival horizon in (logical) seconds",
+    )
+
+
+def add_multipliers_option(
+    parser: argparse.ArgumentParser, default: Sequence[float]
+) -> None:
+    parser.add_argument(
+        "--multipliers",
+        type=float,
+        nargs="+",
+        default=list(default),
+        help="offered-load multipliers to sweep",
+    )
+
+
+def add_driver_option(
+    parser: argparse.ArgumentParser, thread_help: str
+) -> None:
+    parser.add_argument(
+        "--driver",
+        choices=("sim", "thread"),
+        default="sim",
+        help=f"sim: deterministic logical time; thread: {thread_help}",
+    )
+
+
+def add_artifact_options(
+    parser: argparse.ArgumentParser,
+    json_help: str = "also write deterministic metrics JSON",
+    trace: bool = True,
+) -> None:
+    parser.add_argument("--json", default=None, help=json_help)
+    if trace:
+        parser.add_argument(
+            "--trace",
+            default=None,
+            help="also write the span trace as NDJSON",
+        )
+
+
+def add_controlled_option(
+    parser: argparse.ArgumentParser, help_text: str
+) -> None:
+    parser.add_argument("--controlled", action="store_true", help=help_text)
+
+
+def add_batching_options(parser: argparse.ArgumentParser) -> None:
+    """``--batched``, ``--batch-size`` and ``--batch-linger``.
+
+    ``--linger`` is the deprecated pre-rename spelling of
+    ``--batch-linger``; it still parses (into the same destination) but
+    warns.
+    """
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="serve through the batched admission core "
+        "(grouped ledger prepare/commit rounds)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="max requests drained per batch (with --batched)",
+    )
+    parser.add_argument(
+        "--batch-linger",
+        type=float,
+        default=0.02,
+        help="seconds an under-full batch waits for company "
+        "(with --batched)",
+    )
+    parser.add_argument(
+        "--linger",
+        type=float,
+        dest="batch_linger",
+        action=DeprecatedAlias,
+        preferred="--batch-linger",
+        help=argparse.SUPPRESS,
+    )
+
+
+def batch_policy_from(args: argparse.Namespace):
+    """The :class:`BatchPolicy` the parsed flags ask for (or ``None``)."""
+    if not getattr(args, "batched", False):
+        return None
+    from repro.server.batching import BatchPolicy
+
+    return BatchPolicy(
+        max_batch_size=args.batch_size, max_linger_s=args.batch_linger
+    )
+
+
+def write_artifacts(
+    args: argparse.Namespace, result, json_label: str = "metrics"
+) -> None:
+    """Honour ``--json``/``--trace`` for any result with the sweep duck
+    type (``to_json`` and, when traced, ``trace_ndjson``)."""
+    json_path: Optional[str] = getattr(args, "json", None)
+    if json_path is not None:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"\n{json_label} JSON written to {json_path}")
+    trace_path: Optional[str] = getattr(args, "trace", None)
+    if trace_path is not None:
+        trace_payload = result.trace_ndjson
+        if callable(trace_payload):
+            trace_payload = trace_payload()
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            handle.write(trace_payload)
+        print(f"span trace NDJSON written to {trace_path}")
+
+
+__all__ = [
+    "DEFAULT_HORIZON_S",
+    "DEFAULT_SEED",
+    "DeprecatedAlias",
+    "add_artifact_options",
+    "add_batching_options",
+    "add_controlled_option",
+    "add_driver_option",
+    "add_horizon_option",
+    "add_multipliers_option",
+    "add_seed_option",
+    "batch_policy_from",
+    "write_artifacts",
+]

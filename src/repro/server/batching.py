@@ -111,6 +111,8 @@ class BatchingDomainService(DomainConfigurationService):
         max_conflict_retries: int = 2,
         metrics: Optional[ServerMetrics] = None,
         batch: Optional[BatchPolicy] = None,
+        store=None,
+        scenario: Optional[str] = None,
     ) -> None:
         super().__init__(
             configurator,
@@ -122,6 +124,8 @@ class BatchingDomainService(DomainConfigurationService):
             skip_downloads=skip_downloads,
             max_conflict_retries=max_conflict_retries,
             metrics=metrics,
+            store=store,
+            scenario=scenario,
         )
         self.batch = batch or BatchPolicy()
         self._batch_sizes = self.metrics.registry.histogram(

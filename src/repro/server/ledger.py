@@ -32,7 +32,7 @@ import enum
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.distribution.fit import CandidateDevice, DistributionEnvironment
 from repro.domain.device import ResourceAllocation
@@ -42,6 +42,7 @@ from repro.graph.service_graph import ServiceGraph
 from repro.network.topology import BandwidthReservation
 from repro.observability.tracing import get_tracer
 from repro.resources.vectors import ResourceVector
+from repro.store.records import LedgerEvent, LedgerEventKind
 
 
 def _pair(a: str, b: str) -> Tuple[str, str]:
@@ -102,11 +103,67 @@ class ReservationLedger:
         # Aggregated holds of PREPARED (not yet committed) transactions.
         self._pending_device: Dict[str, ResourceVector] = {}
         self._pending_link: Dict[Tuple[str, str], float] = {}
+        # Optional durable audit trail (see attach_store): None = silent.
+        self._store = None
+        self._store_epoch = 0
+        self._store_clock: Callable[[], float] = lambda: 0.0
 
     @property
     def version(self) -> int:
         """Change counter; equal versions imply identical ledger state."""
         return self._version
+
+    def attach_store(
+        self,
+        store,
+        epoch: int,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Mirror every state transition into a durable audit trail.
+
+        ``store`` is a :class:`~repro.store.base.RecordStore`; ``epoch``
+        tags the events with the owning service's boot epoch so a
+        restarted process can tell its predecessor's open holds from its
+        own. Detached (the default) the ledger writes nothing — the
+        in-memory fast path is byte-for-byte unchanged.
+        """
+        with self._lock:
+            self._store = store
+            self._store_epoch = epoch
+            self._store_clock = clock or (lambda: 0.0)
+
+    def _record_event(
+        self,
+        txn: ReservationTransaction,
+        kind: str,
+        with_holds: bool = False,
+    ) -> None:
+        """Append one audit event to the attached store (no-op detached).
+
+        Called under the ledger lock at each transition point, so event
+        order in the store matches the serialization order of the ledger.
+        """
+        if self._store is None:
+            return
+        self._store.append_ledger_event(
+            LedgerEvent(
+                epoch=self._store_epoch,
+                txn_id=txn.txn_id,
+                kind=kind,
+                at_s=self._store_clock(),
+                owner=txn.owner,
+                device_holds=(
+                    LedgerEvent.pack_devices(txn.device_holds)
+                    if with_holds
+                    else ()
+                ),
+                link_holds=(
+                    LedgerEvent.pack_links(txn.link_holds)
+                    if with_holds
+                    else ()
+                ),
+            )
+        )
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -229,6 +286,7 @@ class ReservationLedger:
             )
         txn.state = TransactionState.PREPARED
         self._version += 1
+        self._record_event(txn, LedgerEventKind.PREPARED, with_holds=True)
 
     def commit(
         self, txn: ReservationTransaction
@@ -314,6 +372,7 @@ class ReservationLedger:
             self._drop_pending(txn)
             txn.state = TransactionState.ABORTED
             self._version += 1
+            self._record_event(txn, LedgerEventKind.ABORTED)
             raise LedgerConflictError(
                 f"transaction {txn.txn_id} failed to commit: {exc}"
             ) from exc
@@ -322,6 +381,7 @@ class ReservationLedger:
         txn.reservations = reservations
         txn.state = TransactionState.COMMITTED
         self._version += 1
+        self._record_event(txn, LedgerEventKind.COMMITTED, with_holds=True)
         return list(allocations), list(reservations)
 
     def abort(self, txn: ReservationTransaction) -> None:
@@ -333,6 +393,7 @@ class ReservationLedger:
                 if txn.state in (TransactionState.PENDING, TransactionState.PREPARED):
                     txn.state = TransactionState.ABORTED
                     self._version += 1
+                    self._record_event(txn, LedgerEventKind.ABORTED)
 
     def release(self, txn: ReservationTransaction) -> None:
         """Retire a committed transaction, freeing every resource it holds."""
@@ -353,6 +414,7 @@ class ReservationLedger:
                 txn.reservations = []
                 txn.state = TransactionState.RELEASED
                 self._version += 1
+                self._record_event(txn, LedgerEventKind.RELEASED)
 
     # -- planning snapshots --------------------------------------------------------
 

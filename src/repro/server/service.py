@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.composition.composer import CompositionRequest
+from repro.events.types import Topics
 from repro.observability.tracing import get_tracer
 from repro.runtime.configurator import ServiceConfigurator
 from repro.runtime.degradation import DegradationLadder
@@ -34,6 +35,12 @@ from repro.server.admission import (
 from repro.server.ledger import ReservationLedger
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import BoundedRequestQueue, QueuedRequest, QueuePolicy
+from repro.store import (
+    InMemoryRecordStore,
+    RecordStore,
+    SessionRecord,
+    SessionStatus,
+)
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,10 @@ class ServerRequest:
     deadline_s: Optional[float] = None
     duration_s: Optional[float] = None
     user_id: Optional[str] = None
+    #: Scenario workload this request was generated from, when any — the
+    #: durable store persists it so crash-restart recovery can rebuild
+    #: the composition request from the scenario spec alone.
+    workload: Optional[str] = None
 
 
 class RequestStatus(enum.Enum):
@@ -90,12 +101,24 @@ class DomainConfigurationService:
         skip_downloads: bool = False,
         max_conflict_retries: int = 2,
         metrics: Optional[ServerMetrics] = None,
+        store: Optional[RecordStore] = None,
+        scenario: Optional[str] = None,
     ) -> None:
         if configurator.ledger is None:
             configurator.ledger = ReservationLedger(configurator.server)
         self.configurator = configurator
         self.ledger: ReservationLedger = configurator.ledger
         self._clock = clock or time.monotonic
+        # Durable substrate: each service boot opens a fresh epoch, so a
+        # successor sharing a persistent store can tell its predecessor's
+        # sessions (and dangling ledger holds) from its own.
+        self.store: RecordStore = store if store is not None else InMemoryRecordStore()
+        self.scenario = scenario
+        self.epoch = self.store.open_epoch()
+        self.ledger.attach_store(self.store, self.epoch, clock=self._clock)
+        self._stop_subscription = configurator.bus.subscribe(
+            Topics.APPLICATION_STOPPED, self._on_session_stopped
+        )
         self.queue = BoundedRequestQueue(
             queue_capacity, policy=queue_policy, clock=self._clock
         )
@@ -111,6 +134,10 @@ class DomainConfigurationService:
         self._outcomes: Dict[str, RequestOutcome] = {}
         # Memoized routing-load score: (token, score). See load_score().
         self._load_cache: Optional[tuple] = None
+
+    def now(self) -> float:
+        """The service's notion of time (sim or wall clock)."""
+        return self._clock()
 
     # -- the front door ------------------------------------------------------------
 
@@ -278,6 +305,8 @@ class DomainConfigurationService:
         else:
             status = RequestStatus.FAILED
             self.metrics.incr("failed")
+        if result.success:
+            self._persist_session(request, result)
         return RequestOutcome(
             request_id=request.request_id,
             status=status,
@@ -288,6 +317,41 @@ class DomainConfigurationService:
             service_time_s=result.service_time_s(),
             duration_s=request.duration_s,
         )
+
+    def _persist_session(
+        self, request: ServerRequest, result: AdmissionResult
+    ) -> None:
+        """Write the admitted session's durable record."""
+        now = self._clock()
+        txn = None
+        if result.session.deployment is not None:
+            txn = result.session.deployment.ledger_txn
+        self.store.put_session(
+            SessionRecord(
+                session_id=result.session.session_id,
+                request_id=request.request_id,
+                epoch=self.epoch,
+                user_id=request.user_id,
+                scenario=self.scenario,
+                workload=request.workload,
+                client_device=request.composition.client_device_id,
+                level=result.admitted_level,
+                priority=request.priority,
+                status=SessionStatus.ACTIVE,
+                txn_id=txn.txn_id if txn is not None else None,
+                created_s=now,
+                updated_s=now,
+            )
+        )
+
+    def _on_session_stopped(self, event) -> None:
+        """Mark the stopped session's record released (any stop path —
+        client departure, recovery teardown, migration — emits the event)."""
+        session_id = event.payload.get("session_id")
+        if session_id:
+            self.store.mark_session(
+                str(session_id), SessionStatus.RELEASED, self._clock()
+            )
 
     def _finish(self, outcome: RequestOutcome) -> RequestOutcome:
         with self._lock:

@@ -1,0 +1,59 @@
+"""Shared fixtures for the scenario tests."""
+
+import copy
+
+import pytest
+
+from repro.scenarios import ScenarioSpec
+
+
+def minimal_spec_dict():
+    """Smallest valid scenario document, as plain data."""
+    return {
+        "name": "mini",
+        "seed": 5,
+        "components": {
+            "src": {
+                "service_type": "media_server",
+                "qos_output": {"format": "MPEG", "frame_rate": 30.0},
+                "resources": {"memory": 16.0, "cpu": 0.1},
+            },
+            "sink": {
+                "service_type": "media_player",
+                "qos_input": {"format": "MPEG", "frame_rate": [10.0, 40.0]},
+                "qos_output": {"frame_rate": 30.0},
+                "resources": {"memory": 8.0, "cpu": 0.1},
+            },
+        },
+        "endpoints": {
+            "src@hub": {"component": "src", "hosted_on": "hub"},
+            "sink/any": {"component": "sink", "platforms": ["pc"]},
+        },
+        "devices": {
+            "hub": {"class": "pc", "capacity": {"memory": 128.0, "cpu": 2.0}},
+            "kiosk": {"class": "pc", "capacity": {"memory": 64.0, "cpu": 1.0}},
+        },
+        "links": [["hub", "kiosk", "fast-ethernet"]],
+        "workloads": {
+            "watch": {
+                "nodes": {
+                    "a": {"service_type": "media_server"},
+                    "b": {"service_type": "media_player", "pin": "client"},
+                },
+                "relations": [["a", "b", 1.0]],
+                "user_qos": {"frame_rate": [10.0, 40.0]},
+                "clients": ["kiosk"],
+            }
+        },
+        "arrivals": {"rate_per_s": 0.1, "horizon_s": 60.0},
+    }
+
+
+@pytest.fixture
+def spec_dict():
+    return minimal_spec_dict()
+
+
+@pytest.fixture
+def spec(spec_dict):
+    return ScenarioSpec.from_dict(copy.deepcopy(spec_dict))

@@ -1,0 +1,93 @@
+"""Lowering: seeds, testbeds, traces, fault schedules, factories."""
+
+import pytest
+
+from repro.scenarios import (
+    catalog_scenarios,
+    compile_scenario,
+    derive_seed,
+    load_catalog_scenario,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "arrivals") == derive_seed(42, "arrivals")
+
+    def test_labels_split_streams(self):
+        labels = ["arrivals", "faults", "shard0/arrivals", "shard1/arrivals"]
+        derived = {derive_seed(42, label) for label in labels}
+        assert len(derived) == len(labels)
+
+    def test_seed_matters(self):
+        assert derive_seed(1, "arrivals") != derive_seed(2, "arrivals")
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= derive_seed(42, "arrivals") < 2**63
+
+
+class TestCompileMinimal:
+    def test_testbed_has_declared_devices(self, spec):
+        compiled = compile_scenario(spec)
+        testbed = compiled.build_testbed()
+        assert sorted(testbed.devices) == ["hub", "kiosk"]
+        assert testbed.configurator is not None
+
+    def test_single_seed_threads_both_streams(self, spec):
+        compiled = compile_scenario(spec)
+        first = compiled.arrival_trace()
+        second = compile_scenario(spec).arrival_trace()
+        assert [e.arrival_s for e in first] == [e.arrival_s for e in second]
+        assert [e.duration_s for e in first] == [e.duration_s for e in second]
+
+    def test_multiplier_scales_offered_load(self, spec):
+        compiled = compile_scenario(spec)
+        base = len(list(compiled.arrival_trace()))
+        heavy = len(list(compiled.arrival_trace(multiplier=4.0)))
+        assert heavy > base
+
+    def test_request_factory_builds_requests(self, spec):
+        compiled = compile_scenario(spec)
+        testbed = compiled.build_testbed()
+        to_request = compiled.request_factory(testbed)
+        events = list(compiled.arrival_trace())
+        assert events
+        request = to_request(events[0])
+        assert request.request_id == f"req-{events[0].request_id}"
+        assert request.workload == "watch"
+        assert request.composition.client_device_id == "kiosk"
+
+    def test_no_faults_means_no_schedule(self, spec):
+        assert compile_scenario(spec).fault_schedule() is None
+
+
+class TestCompileCatalog:
+    @pytest.mark.parametrize("name", catalog_scenarios())
+    def test_compiles_and_traces(self, name):
+        compiled = compile_scenario(load_catalog_scenario(name))
+        testbed = compiled.build_testbed()
+        assert testbed.devices
+        assert list(compiled.arrival_trace())
+
+    def test_fault_schedule_is_deterministic(self):
+        spec = load_catalog_scenario("vehicular_corridor")
+        first = compile_scenario(spec).fault_schedule()
+        second = compile_scenario(spec).fault_schedule()
+        assert first is not None
+        assert [
+            (f.kind, f.at_s, f.target) for f in first.specs
+        ] == [(f.kind, f.at_s, f.target) for f in second.specs]
+
+    def test_fault_targets_expand_replicas(self):
+        spec = load_catalog_scenario("vehicular_corridor")
+        schedule = compile_scenario(spec).fault_schedule()
+        targets = {f.target for f in schedule.specs}
+        concrete = set(spec.device_ids()) | set(spec.hubs)
+        assert targets <= concrete
+
+    def test_mix_weights_shape_the_workload_cycle(self):
+        spec = load_catalog_scenario("smart_home_evening")
+        compiled = compile_scenario(spec)
+        cycle = compiled.workload_cycle
+        assert cycle.count("watch_tv") == 2
+        assert cycle.count("stream_music") == 3

@@ -1,0 +1,106 @@
+"""End-to-end scenario runs: determinism, drivers, error handling."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    catalog_scenarios,
+    load_catalog_scenario,
+    run_scenario,
+)
+from repro.store import InMemoryRecordStore, SqliteRecordStore
+
+
+class TestGoldenDeterminism:
+    @pytest.mark.parametrize("name", catalog_scenarios())
+    def test_sim_replay_is_byte_identical(self, name):
+        spec = load_catalog_scenario(name)
+        first = run_scenario(spec, driver="sim")
+        second = run_scenario(spec, driver="sim")
+        assert first.to_json() == second.to_json()
+
+    def test_result_shape(self, spec):
+        result = run_scenario(spec, driver="sim")
+        payload = json.loads(result.to_json())
+        assert payload["scenario"] == "mini"
+        assert payload["seed"] == 5
+        assert payload["driver"] == "sim"
+        assert payload["submitted"] == result.submitted > 0
+        assert result.admitted + result.failed + result.shed <= result.submitted
+        assert "metrics" in payload
+
+    def test_store_choice_keeps_bytes(self, spec, tmp_path):
+        bare = run_scenario(spec, driver="sim")
+        in_memory = run_scenario(spec, driver="sim", store=InMemoryRecordStore())
+        sqlite = run_scenario(
+            spec,
+            driver="sim",
+            store=SqliteRecordStore(str(tmp_path / "run.sqlite")),
+        )
+        assert bare.to_json() == in_memory.to_json() == sqlite.to_json()
+
+
+class TestDrivers:
+    def test_thread_driver_audits_clean(self, spec):
+        result = run_scenario(spec, driver="thread")
+        assert result.driver == "thread"
+        assert result.submitted > 0
+        assert result.admitted + result.failed + result.shed == result.submitted
+
+    def test_batched_sim(self, spec):
+        result = run_scenario(spec, driver="sim", batched=True)
+        assert result.driver == "sim-batched"
+        assert result.batched
+        assert result.submitted > 0
+
+    def test_controlled_follows_spec_knob(self):
+        spec = load_catalog_scenario("smart_home_evening")
+        assert run_scenario(spec).controlled
+        assert not run_scenario(spec, controlled=False).controlled
+
+    def test_cluster_scenario_reports_shards(self):
+        spec = load_catalog_scenario("stadium_surge")
+        result = run_scenario(spec)
+        assert result.shards == 2
+        assert result.router == "least-loaded"
+        assert result.submitted > 0
+
+    def test_faulted_scenario_injects(self):
+        result = run_scenario(load_catalog_scenario("vehicular_corridor"))
+        assert result.faulted
+        assert result.faults_injected > 0
+
+
+class TestErrors:
+    def test_unknown_driver(self, spec):
+        with pytest.raises(ValueError, match="unknown driver"):
+            run_scenario(spec, driver="quantum")
+
+    def test_nonpositive_multiplier(self, spec):
+        with pytest.raises(ValueError, match="multiplier"):
+            run_scenario(spec, multiplier=0.0)
+
+    def test_faults_require_sim(self):
+        spec = load_catalog_scenario("vehicular_corridor")
+        with pytest.raises(ValueError, match="sim driver"):
+            run_scenario(spec, driver="thread")
+
+    def test_cluster_rejects_store(self):
+        spec = load_catalog_scenario("stadium_surge")
+        with pytest.raises(ValueError, match="single-shard"):
+            run_scenario(spec, store=InMemoryRecordStore())
+
+
+class TestTracing:
+    def test_trace_exports_spans(self, spec):
+        result = run_scenario(spec, driver="sim", trace=True)
+        assert result.trace_ndjson
+        lines = result.trace_ndjson.strip().splitlines()
+        names = {json.loads(line)["name"] for line in lines}
+        assert "run.scenario" in names
+
+    def test_trace_does_not_change_artifact(self, spec):
+        traced = run_scenario(spec, driver="sim", trace=True)
+        untraced = run_scenario(spec, driver="sim")
+        assert traced.to_json() == untraced.to_json()

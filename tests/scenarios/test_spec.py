@@ -1,0 +1,185 @@
+"""Spec grammar: parse, strict validation, exact round-trips."""
+
+import copy
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    ScenarioValidationError,
+    catalog_scenarios,
+    load_catalog_scenario,
+    load_scenario,
+    loads_scenario_text,
+    scenario_path,
+)
+
+from .conftest import minimal_spec_dict
+
+
+class TestParse:
+    def test_minimal_document(self, spec):
+        assert spec.name == "mini"
+        assert spec.seed == 5
+        assert spec.device_ids() == ["hub", "kiosk"]
+        assert spec.cluster.shards == 1
+        assert not spec.control.enabled
+        assert spec.faults is None
+
+    def test_list_form_links(self, spec):
+        (link,) = spec.links
+        assert (link.first, link.second) == ("hub", "kiosk")
+        assert link.link_class == "fast-ethernet"
+
+    def test_replica_expansion(self, spec_dict):
+        spec_dict["devices"]["kiosk"]["count"] = 3
+        spec = ScenarioSpec.from_dict(spec_dict)
+        assert spec.expand_device("kiosk") == ["kiosk-1", "kiosk-2", "kiosk-3"]
+        assert "kiosk-2" in spec.device_ids()
+
+    def test_seed_must_be_integer(self, spec_dict):
+        spec_dict["seed"] = "42"
+        with pytest.raises(ScenarioValidationError, match="seed"):
+            ScenarioSpec.from_dict(spec_dict)
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self, spec_dict):
+        spec_dict["wrokloads"] = {}
+        with pytest.raises(ScenarioValidationError, match="unknown key"):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_unknown_component(self, spec_dict):
+        spec_dict["endpoints"]["src@hub"]["component"] = "nope"
+        with pytest.raises(
+            ScenarioValidationError, match="unknown component 'nope'"
+        ) as excinfo:
+            ScenarioSpec.from_dict(spec_dict)
+        assert "endpoints.src@hub.component" in str(excinfo.value)
+
+    def test_unknown_endpoint_service_type(self, spec_dict):
+        spec_dict["workloads"]["watch"]["nodes"]["b"][
+            "service_type"
+        ] = "hologram_player"
+        with pytest.raises(
+            ScenarioValidationError,
+            match="no endpoint provides 'hologram_player'",
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_unknown_device_class(self, spec_dict):
+        spec_dict["devices"]["hub"]["class"] = "mainframe"
+        with pytest.raises(
+            ScenarioValidationError, match="unknown device class"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_unknown_link_class(self, spec_dict):
+        spec_dict["links"] = [["hub", "kiosk", "carrier-pigeon"]]
+        with pytest.raises(
+            ScenarioValidationError, match="unknown link class"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_link_to_undeclared_device(self, spec_dict):
+        spec_dict["links"] = [["hub", "ghost"]]
+        with pytest.raises(
+            ScenarioValidationError, match="unknown endpoint 'ghost'"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_unknown_client_device(self, spec_dict):
+        spec_dict["workloads"]["watch"]["clients"] = ["ghost"]
+        with pytest.raises(
+            ScenarioValidationError, match="unknown device 'ghost'"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_unknown_mix_workload(self, spec_dict):
+        spec_dict["arrivals"]["mix"] = {"listen": 1}
+        with pytest.raises(
+            ScenarioValidationError, match="unknown workload 'listen'"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_unknown_fault_target(self, spec_dict):
+        spec_dict["faults"] = {
+            "random": {"crash_targets": ["ghost"], "crash_rate_per_min": 1.0}
+        }
+        with pytest.raises(
+            ScenarioValidationError, match="unknown fault target 'ghost'"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_faults_require_single_shard(self, spec_dict):
+        spec_dict["faults"] = {
+            "random": {"crash_targets": ["kiosk"], "crash_rate_per_min": 1.0}
+        }
+        spec_dict["cluster"] = {"shards": 2}
+        with pytest.raises(
+            ScenarioValidationError, match="single-shard"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_duplicate_ladder_labels(self, spec_dict):
+        level = {"user_qos": {"frame_rate": [10.0, 40.0]}, "demand_scale": 1.0}
+        spec_dict["ladder"] = [
+            dict(level, label="full"),
+            dict(level, label="full", demand_scale=0.5),
+        ]
+        with pytest.raises(
+            ScenarioValidationError, match="duplicate level labels"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+    def test_replicated_pools_cannot_link_directly(self, spec_dict):
+        spec_dict["devices"]["hub"]["count"] = 2
+        spec_dict["devices"]["kiosk"]["count"] = 2
+        with pytest.raises(
+            ScenarioValidationError, match="replicated device pools"
+        ):
+            ScenarioSpec.from_dict(spec_dict)
+
+
+class TestRoundTrip:
+    def test_minimal_round_trip(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self, spec):
+        assert ScenarioSpec.from_dict(json.loads(spec.to_json())) == spec
+
+    @pytest.mark.parametrize("name", catalog_scenarios())
+    def test_catalog_round_trip(self, name):
+        spec = load_catalog_scenario(name)
+        assert spec.name == name
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_is_stable(self, spec):
+        once = spec.to_dict()
+        twice = ScenarioSpec.from_dict(copy.deepcopy(once)).to_dict()
+        assert once == twice
+
+
+class TestLoading:
+    def test_catalog_has_the_four_scenarios(self):
+        assert catalog_scenarios() == [
+            "conference_mesh",
+            "smart_home_evening",
+            "stadium_surge",
+            "vehicular_corridor",
+        ]
+
+    def test_unknown_catalog_name(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_path("atlantis")
+
+    def test_load_json_file(self, tmp_path, spec):
+        path = tmp_path / "mini.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        assert load_scenario(path) == spec
+
+    def test_loads_yaml_text(self, spec):
+        yaml = pytest.importorskip("yaml")
+        text = yaml.safe_dump(minimal_spec_dict())
+        assert loads_scenario_text(text) == spec

@@ -1,5 +1,7 @@
 """Unit tests for the CLI (reduced workloads)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -191,3 +193,101 @@ class TestCommands:
         )
         capsys.readouterr()
         assert "run.server_sweep" in trace_path.read_text()
+
+
+class TestSharedSweepOptions:
+    def test_batch_linger_flag(self):
+        args = build_parser().parse_args(
+            ["cluster-sweep", "--batched", "--batch-linger", "0.5"]
+        )
+        assert args.batch_linger == 0.5
+
+    def test_linger_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="--batch-linger"):
+            args = build_parser().parse_args(
+                ["cluster-sweep", "--batched", "--linger", "0.5"]
+            )
+        assert args.batch_linger == 0.5
+
+    def test_sweeps_share_defaults(self):
+        for command in (
+            "server-sweep",
+            "cluster-sweep",
+            "chaos-sweep",
+            "federation-sweep",
+        ):
+            args = build_parser().parse_args([command])
+            assert args.seed == 42
+            assert args.horizon == 300.0
+            assert args.json is None
+            assert args.trace is None
+
+
+class TestScenarioCommand:
+    def test_list(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "built-in scenarios:" in out
+        for name in (
+            "conference_mesh",
+            "smart_home_evening",
+            "stadium_surge",
+            "vehicular_corridor",
+        ):
+            assert name in out
+
+    def test_no_name_lists_catalog(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "built-in scenarios:" in out
+        assert "python -m repro scenario <name>" in out
+
+    def test_run_catalog_scenario_with_json(self, capsys, tmp_path):
+        json_path = tmp_path / "scenario.json"
+        assert (
+            main(["scenario", "conference_mesh", "--json", str(json_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Scenario 'conference_mesh'" in out
+        assert f"scenario JSON written to {json_path}" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["scenario"] == "conference_mesh"
+        assert payload["submitted"] > 0
+
+    def test_run_spec_file_with_seed_override(self, capsys, tmp_path):
+        from repro.scenarios import load_catalog_scenario
+
+        spec = load_catalog_scenario("conference_mesh")
+        path = tmp_path / "copy.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        assert main(["scenario", str(path), "--seed", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 99" in out
+
+    def test_crash_restart(self, capsys, tmp_path):
+        store_path = tmp_path / "sessions.sqlite"
+        json_path = tmp_path / "crash.json"
+        assert (
+            main(
+                [
+                    "scenario",
+                    "conference_mesh",
+                    "--crash-restart",
+                    "--store",
+                    str(store_path),
+                    "--json",
+                    str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "crash-restart" in out
+        assert "ledger balanced" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["balanced"] is True
+
+    def test_unknown_scenario_errors(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["scenario", "atlantis"])
