@@ -44,6 +44,13 @@ from repro.experiments.bench_control import (
     verify as verify_control,
     verify_payload as verify_control_payload,
 )
+from repro.experiments.bench_pareto import (
+    compare_to_baseline as compare_pareto_baseline,
+    load_baseline as load_pareto_baseline,
+    run_pareto_bench,
+    verify as verify_pareto,
+    verify_payload as verify_pareto_payload,
+)
 from repro.experiments.bench_serving import (
     compare_to_baseline,
     load_baseline,
@@ -350,6 +357,32 @@ def _cmd_bench(args: argparse.Namespace) -> None:
                 print(f"  - {message}")
             raise SystemExit(1)
         print("control gate passed (controlled beats reactive)")
+    if not args.no_pareto:
+        print()
+        pareto = run_pareto_bench(quick=args.quick)
+        print(pareto.format_table())
+        with open(args.pareto_json, "w", encoding="utf-8") as handle:
+            handle.write(pareto.to_json())
+        print(f"\npareto bench JSON written to {args.pareto_json}")
+        problems = verify_pareto(pareto)
+        if args.pareto_baseline is not None:
+            committed = load_pareto_baseline(args.pareto_baseline)
+            if committed is None:
+                print(f"no pareto baseline at {args.pareto_baseline}")
+            else:
+                problems += [
+                    f"committed {args.pareto_baseline}: {message}"
+                    for message in verify_pareto_payload(committed)
+                ]
+                problems += compare_pareto_baseline(
+                    pareto, committed, tolerance=args.tolerance
+                )
+        if problems:
+            print("\nPARETO FRONT CACHE STOPPED HELPING:")
+            for message in problems:
+                print(f"  - {message}")
+            raise SystemExit(1)
+        print("pareto gate passed (cached beats uncached, replay identical)")
     if args.baseline is not None:
         baseline = load_baseline(args.baseline)
         if baseline is None:
@@ -663,6 +696,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--control-baseline",
         default=None,
         help="committed BENCH_control.json whose claims must still hold",
+    )
+    bench.add_argument(
+        "--pareto-json",
+        default="BENCH_pareto.json",
+        help="where to write the Pareto front-cache bench artifact",
+    )
+    bench.add_argument(
+        "--no-pareto",
+        action="store_true",
+        help="skip the cached-vs-uncached Pareto front bench",
+    )
+    bench.add_argument(
+        "--pareto-baseline",
+        default=None,
+        help="committed BENCH_pareto.json whose claims must still hold",
     )
     bench.add_argument(
         "--baseline",

@@ -6,16 +6,23 @@ uses) that reads the signal layer, asks the estimator for
 :class:`~repro.control.estimator.OverloadForecast`\\ s, and actuates
 *before* overload arrives:
 
-- **proactive degradation** — a forecast-hot shard's admission ladder is
-  entered one rung down for low-priority classes
+- **proactive degradation** — a forecast-hot shard's admission walk is
+  entered one position down for low-priority classes
   (:meth:`~repro.server.admission.AdmissionController.set_entry_offset`),
-  trading fidelity for headroom ahead of the crunch;
+  trading fidelity for headroom ahead of the crunch. The offset shifts
+  the request's *preference order* — the utility-profile Pareto ordering
+  when the request names one, the fidelity ladder otherwise — and it is
+  utilization-aware: while the reservation ledger (not queue depth) is
+  the binding signal the offset is withdrawn, because skipping rungs
+  over a pinned ledger only converts would-be admits into denials;
 - **honest backpressure** — the shard's
   :class:`~repro.server.admission.OverloadPolicy` retry-after hints are
   floored at the forecast horizon, so shed clients are not invited back
   into a congestion window the controller already predicted;
 - **shard rebalancing** — the router is weighted away from the hot shard
-  and queued-but-unserved requests move from the *back* of its queue to a
+  (queue-bound regimes only: with every ledger pinned, steering just
+  piles depth onto a sibling that cannot admit either) and
+  queued-but-unserved requests move from the *back* of its queue to a
   sibling with headroom (:meth:`~repro.server.cluster.DomainCluster.rebalance_queued`);
 - **pre-emptive evacuation** — with a failure detector attached, devices
   whose φ-accrual suspicion is rising but still below the detector's own
@@ -74,6 +81,19 @@ class ControlPolicy:
     clear_ticks: int = 3  #: consecutive clear forecasts before revert
     entry_offset: int = 1  #: ladder rungs skipped for low-priority admits
     entry_max_priority: int = 0  #: highest priority class that is degraded
+    #: Margin by which windowed mean ledger utilization must exceed
+    #: windowed mean queue occupancy
+    #: (:meth:`~repro.control.signals.ClusterSignals.binding_balance`)
+    #: for a hot shard to count as *ledger-bound*: the reservation
+    #: ledger, not the queue, is the binding signal, so degraded ladder
+    #: entry cannot free reservations that do not exist (it just converts
+    #: would-be full-walk admits into denials) and router steering just
+    #: piles queue depth onto siblings whose ledgers are equally pinned.
+    #: Both levers stand down while the balance stays above the margin.
+    #: Slightly negative by default: near the boundary the harm of
+    #: degrading entries over a pinned ledger outweighs the benefit of
+    #: early degradation, so ties lean ledger-bound.
+    ledger_bound_margin: float = -0.1
     router_penalty: float = 1.6  #: load multiplier steering probes off hot shards
     rebalance_batch: int = 2  #: max queued requests re-homed per tick
     rebalance_headroom: float = 0.5  #: sibling occupancy ceiling to accept moves
@@ -90,6 +110,8 @@ class ControlPolicy:
             raise ValueError("clear_ticks must be at least 1")
         if self.entry_offset < 0:
             raise ValueError("entry offset cannot be negative")
+        if not -1.0 <= self.ledger_bound_margin <= 1.0:
+            raise ValueError("ledger-bound margin must be in [-1, 1]")
         if self.router_penalty <= 0:
             raise ValueError("router penalty must be positive")
         if self.rebalance_batch < 0:
@@ -284,7 +306,7 @@ class QoSController:
             )
             if forecast is not None:
                 self._clear_streak[index] = 0
-                self._actuate(index, forecast, now)
+                self._actuate(index, forecast, now, view)
             elif index in self._hot:
                 streak = self._clear_streak.get(index, 0) + 1
                 self._clear_streak[index] = streak
@@ -292,7 +314,11 @@ class QoSController:
                     self._revert(index, now, reason="forecast_cleared")
 
     def _actuate(
-        self, index: int, forecast: OverloadForecast, now: float
+        self,
+        index: int,
+        forecast: OverloadForecast,
+        now: float,
+        view: ShardSignals,
     ) -> None:
         shard = self.cluster.shards[index]
         fresh = index not in self._hot
@@ -308,17 +334,45 @@ class QoSController:
                 stable_round(forecast.predicted_occupancy),
             )
             span.set("confidence", stable_round(forecast.confidence))
-            # (a) enter the ladder lower for low-priority classes;
-            shard.admission.set_entry_offset(
-                self.policy.entry_offset,
-                max_priority=self.policy.entry_max_priority,
-            )
+            # Which signal binds? The windowed balance (mean ledger
+            # utilization minus mean queue occupancy) classifies the
+            # regime: both signals make transient excursions into each
+            # other's territory every few ticks, so the instantaneous
+            # view cannot be trusted, but the windowed means separate
+            # cleanly.
+            balance = self.signals.binding_balance(index)
+            ledger_bound = balance > self.policy.ledger_bound_margin
+            span.set("binding_balance", stable_round(balance))
+            span.set("ledger_bound", ledger_bound)
+            # (a) enter the ladder lower for low-priority classes — the
+            # offset shifts where the admission controller starts in its
+            # *preference order* (the utility-profile ordering when the
+            # request carries one, the fidelity ladder otherwise), so the
+            # lever composes with Pareto-front selection. Degraded entry
+            # only helps while the queue is the binding signal: once the
+            # ledger itself is pinned, skipping rungs cannot free
+            # reservations that do not exist and just converts would-be
+            # full-walk admits into denials, so the offset is withdrawn
+            # for the duration of the crunch.
+            if ledger_bound:
+                shard.admission.clear_entry_offset()
+            else:
+                shard.admission.set_entry_offset(
+                    self.policy.entry_offset,
+                    max_priority=self.policy.entry_max_priority,
+                )
             # (b) retry-after hints never undercut the forecast horizon;
             shard.overload.forecast_horizon_s = forecast.horizon_s
-            # (c) steer router probes away from the hot shard;
+            # (c) steer router probes away from the hot shard — but only
+            # while the queue binds. In the ledger-bound regime every
+            # sibling's reservations are just as pinned, so steering only
+            # piles queue depth onto a shard that cannot admit either.
             router = self.cluster.router
             if hasattr(router, "set_weight"):
-                router.set_weight(index, self.policy.router_penalty)
+                router.set_weight(
+                    index,
+                    1.0 if ledger_bound else self.policy.router_penalty,
+                )
             # (d) re-home the worst-positioned queued work to a sibling
             # that has real headroom right now.
             moved = 0

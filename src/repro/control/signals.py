@@ -75,6 +75,12 @@ class TrendWindow:
     def last(self) -> Optional[Tuple[float, float]]:
         return self._points[-1] if self._points else None
 
+    def mean(self) -> float:
+        """Arithmetic mean of the windowed values (0.0 when empty)."""
+        if not self._points:
+            return 0.0
+        return sum(value for _, value in self._points) / len(self._points)
+
     def slope(self) -> float:
         """Least-squares trend of the windowed values, per second."""
         return trend_slope(self._points)
@@ -177,6 +183,22 @@ class ClusterSignals:
             utilization_slope=utilization.slope(),
             arrival_rate_per_s=self._submitted[index].delta_rate(),
             samples=occupancy.count,
+        )
+
+    def binding_balance(self, index: int) -> float:
+        """Windowed mean utilization minus windowed mean occupancy.
+
+        The controller's regime classifier: positive means the
+        reservation ledger, not the queue, has been the binding pressure
+        signal over the window. The window (not the instantaneous view)
+        matters because both signals make transient excursions into the
+        other regime's territory — utilization dips as sessions retire
+        even while the ledger is effectively pinned, and a pinned ledger
+        backs the queue up in bursts — while the windowed means separate
+        cleanly.
+        """
+        return (
+            self._utilization[index].mean() - self._occupancy[index].mean()
         )
 
     def cluster_view(self) -> ShardSignals:

@@ -31,6 +31,16 @@ from repro.distribution.distributor import (
     DistributionStrategy,
     ServiceDistributor,
 )
+from repro.distribution.pareto import (
+    ParetoFront,
+    ParetoPoint,
+    UtilityProfile,
+    UTILITY_PROFILES,
+    assignment_objectives,
+    dominates,
+    profile_names,
+    utility_profile,
+)
 
 __all__ = [
     "CandidateDevice",
@@ -51,4 +61,12 @@ __all__ = [
     "DistributionResult",
     "DistributionStrategy",
     "ServiceDistributor",
+    "ParetoFront",
+    "ParetoPoint",
+    "UtilityProfile",
+    "UTILITY_PROFILES",
+    "assignment_objectives",
+    "dominates",
+    "profile_names",
+    "utility_profile",
 ]

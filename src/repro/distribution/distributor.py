@@ -13,6 +13,11 @@ from repro.distribution.fit import (
     FitViolation,
     fit_violations,
 )
+from repro.distribution.pareto import (
+    ParetoPoint,
+    assignment_objectives,
+    evaluator_objectives,
+)
 from repro.graph.cuts import Assignment
 from repro.graph.service_graph import ServiceGraph
 from repro.observability.tracing import get_tracer
@@ -29,6 +34,13 @@ class DistributionResult:
     search-effort metric reported by the benchmark harness.
     ``budget_exhausted`` is set by bounded searches (currently only the
     optimal distributor) when they stopped before proving optimality.
+
+    ``objectives`` is the returned assignment's position on the four
+    multi-objective axes (None when infeasible), and ``front`` the
+    Pareto-non-dominated set of configurations the search visited —
+    a singleton for single-trajectory strategies, richer for the local
+    search, always deterministically ordered (see
+    :mod:`repro.distribution.pareto`).
     """
 
     strategy: str
@@ -38,6 +50,8 @@ class DistributionResult:
     evaluations: int = 0
     violations: Tuple[FitViolation, ...] = ()
     budget_exhausted: bool = False
+    objectives: Optional[ParetoPoint] = None
+    front: Tuple[ParetoPoint, ...] = ()
 
     def __post_init__(self) -> None:
         if self.feasible and self.assignment is None:
@@ -70,6 +84,7 @@ class DistributionStrategy(ABC):
         weights: CostWeights,
         evaluations: int,
         evaluator=None,
+        front: Optional[Tuple[ParetoPoint, ...]] = None,
     ) -> DistributionResult:
         """Package a placement dict into a checked result.
 
@@ -78,6 +93,10 @@ class DistributionStrategy(ABC):
         is used directly, skipping the O(V+E) final re-walk. Any reported
         violation falls back to the full path so the result carries the
         canonical ``fit_violations`` diagnostics.
+
+        A feasible result is scored on the multi-objective axes; ``front``
+        overrides the default singleton front (the local search passes
+        the non-dominated set it visited).
         """
         if placements is None or len(placements) != len(graph):
             return DistributionResult(
@@ -94,6 +113,7 @@ class DistributionStrategy(ABC):
             and evaluator.placements == placements
             and not evaluator.has_violations()
         ):
+            objectives = evaluator_objectives(evaluator, weights)
             return DistributionResult(
                 strategy=self.name,
                 assignment=assignment,
@@ -101,9 +121,16 @@ class DistributionStrategy(ABC):
                 cost=evaluator.cost,
                 evaluations=evaluations,
                 violations=(),
+                objectives=objectives,
+                front=front if front is not None else (objectives,),
             )
         violations = tuple(fit_violations(graph, assignment, environment))
         cost = cost_aggregation(graph, assignment, environment, weights)
+        objectives = (
+            assignment_objectives(graph, assignment, environment, weights)
+            if not violations
+            else None
+        )
         return DistributionResult(
             strategy=self.name,
             assignment=assignment,
@@ -111,6 +138,12 @@ class DistributionStrategy(ABC):
             cost=cost,
             evaluations=evaluations,
             violations=violations,
+            objectives=objectives,
+            front=(
+                front
+                if front is not None
+                else ((objectives,) if objectives is not None else ())
+            ),
         )
 
 

@@ -25,8 +25,13 @@ from repro.distribution.distributor import DistributionResult, DistributionStrat
 from repro.distribution.fit import DistributionEnvironment
 from repro.distribution.heuristic import HeuristicDistributor
 from repro.distribution.incremental import DeltaEvaluator
+from repro.distribution.pareto import ParetoFront, evaluator_objectives
 from repro.graph.service_graph import ServiceGraph
 from repro.observability.tracing import get_tracer
+
+#: Strict-improvement threshold for accepting a move; differences within
+#: this band are treated as ties and resolved on stable ids.
+MOVE_TOLERANCE = 1e-12
 
 
 class LocalSearchDistributor(DistributionStrategy):
@@ -92,6 +97,12 @@ class LocalSearchDistributor(DistributionStrategy):
         movable = [
             c.component_id for c in graph if c.pinned_to is None
         ]
+        # Every configuration the climb passes through is a candidate
+        # front member: one dominance pass per committed move, keys
+        # stable per seed so the front replays byte-identically.
+        front = ParetoFront()
+        front.insert(evaluator_objectives(evaluator, weights, key=("seed",)))
+        move_id = 0
 
         with tracer.span("distribution.local_search") as search_span:
             rounds = 0
@@ -107,6 +118,18 @@ class LocalSearchDistributor(DistributionStrategy):
                         evaluator.commit({component_id: best_move})
                         cost = best_cost
                         improved = True
+                        move_id += 1
+                        front.insert(
+                            evaluator_objectives(
+                                evaluator,
+                                weights,
+                                key=(
+                                    f"move{move_id:03d}",
+                                    component_id,
+                                    best_move,
+                                ),
+                            )
+                        )
                 if self.use_swaps:
                     swap, swap_cost, tried = self._best_swap(
                         evaluator, movable, cost
@@ -122,12 +145,21 @@ class LocalSearchDistributor(DistributionStrategy):
                         )
                         cost = swap_cost
                         improved = True
+                        move_id += 1
+                        front.insert(
+                            evaluator_objectives(
+                                evaluator,
+                                weights,
+                                key=(f"move{move_id:03d}", first, second),
+                            )
+                        )
                 if not improved:
                     break
             search_span.set("rounds", rounds)
             search_span.set("previews", evaluator.previews)
             search_span.set("preview_hits", evaluator.preview_hits)
             search_span.set("preview_misses", evaluator.preview_misses)
+            search_span.set("front_size", len(front))
 
         return self._finalize(
             graph,
@@ -136,6 +168,7 @@ class LocalSearchDistributor(DistributionStrategy):
             weights,
             evaluations,
             evaluator=evaluator,
+            front=front.points(),
         )
 
     def _best_relocation(
@@ -154,8 +187,19 @@ class LocalSearchDistributor(DistributionStrategy):
                 continue
             tried += 1
             candidate = evaluator.preview({component_id: device_id})
-            if candidate is not None and candidate < best_cost - 1e-12:
+            if candidate is None:
+                continue
+            if candidate < best_cost - MOVE_TOLERANCE:
                 best_cost = candidate
+                best_device = device_id
+            elif (
+                best_device is not None
+                and candidate <= best_cost + MOVE_TOLERANCE
+                and device_id < best_device
+            ):
+                # Cost tie within float noise: the smaller device id wins,
+                # so the chosen move never depends on iteration order.
+                best_cost = min(best_cost, candidate)
                 best_device = device_id
         return best_device, best_cost, tried
 
@@ -177,8 +221,19 @@ class LocalSearchDistributor(DistributionStrategy):
                 candidate = evaluator.preview(
                     {first: placements[second], second: placements[first]}
                 )
-                if candidate is not None and candidate < best_cost - 1e-12:
+                if candidate is None:
+                    continue
+                if candidate < best_cost - MOVE_TOLERANCE:
                     best_cost = candidate
+                    best_pair = (first, second)
+                elif (
+                    best_pair is not None
+                    and candidate <= best_cost + MOVE_TOLERANCE
+                    and (first, second) < best_pair
+                ):
+                    # Tie on cost: the lexicographically smaller component
+                    # pair wins, independent of enumeration order.
+                    best_cost = min(best_cost, candidate)
                     best_pair = (first, second)
         return best_pair, best_cost, tried
 

@@ -21,6 +21,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.composition.composer import CompositionRequest
+from repro.distribution.pareto import (
+    ParetoPoint,
+    UtilityProfile,
+    level_prior,
+)
 from repro.qos.vectors import QoSVector
 from repro.runtime.configurator import ServiceConfigurator
 from repro.runtime.session import ApplicationSession, ConfigurationRecord
@@ -84,6 +89,52 @@ class DegradationLadder:
     def __len__(self) -> int:
         return len(self.levels)
 
+    def prior_points(self) -> Tuple[ParetoPoint, ...]:
+        """Each level's a-priori objective point, in ladder order.
+
+        The estimate a utility profile can rank before any level has been
+        planned (see :func:`repro.distribution.pareto.level_prior`);
+        measured points from actual plans refine these per domain.
+        """
+        return tuple(
+            level_prior(level.demand_scale, level.label, position=index)
+            for index, level in enumerate(self.levels)
+        )
+
+    def order_for(
+        self,
+        profile: Optional[UtilityProfile],
+        points: Optional[Sequence[Optional[ParetoPoint]]] = None,
+    ) -> List[int]:
+        """Level indices in the order a request class should try them.
+
+        Without a profile this is the classic best-fidelity-first walk
+        (``[0, 1, ...]`` — byte-compatible with the fixed ladder). With a
+        profile, levels are ranked by the profile's utility over their
+        objective points — measured ``points`` where available (None
+        entries fall back to the level's prior) — with the ladder
+        position as the deterministic tie-break.
+        """
+        indices = list(range(len(self.levels)))
+        if profile is None:
+            return indices
+        priors = self.prior_points()
+        candidates: List[ParetoPoint] = []
+        for index in indices:
+            point = points[index] if points is not None else None
+            if point is None:
+                point = priors[index]
+            else:
+                # Pin the measured point's fidelity axis to the level's
+                # definitional loss so mixed measured/prior rankings stay
+                # on one scale.
+                point = dataclasses.replace(
+                    point,
+                    fidelity_loss=1.0 - self.levels[index].demand_scale,
+                )
+            candidates.append(point)
+        return profile.order(candidates)
+
 
 def scale_graph_demand(graph, factor: float):
     """Scale every component's R vector and edge throughput by ``factor``.
@@ -144,8 +195,16 @@ class DegradingConfigurator:
         request: CompositionRequest,
         user_id: Optional[str] = None,
         skip_downloads: bool = False,
+        utility_profile: Optional[UtilityProfile] = None,
     ) -> DegradedOutcome:
-        """Try each ladder level; return after the first admission.
+        """Try ladder levels in preference order; stop at first admission.
+
+        Without a ``utility_profile`` the walk is the classic best-first
+        descent. With one, levels are tried in the profile's utility
+        order over their prior objective points (a battery-saver profile
+        tries the cheapest level first and *ascends* in its preference
+        order), so the front point a class values most is attempted
+        before less-preferred trade-offs.
 
         The returned outcome's session is RUNNING at the admitted level, or
         FAILED (having tried every level). Each attempt appears in the
@@ -153,7 +212,9 @@ class DegradingConfigurator:
         """
         session = self.configurator.create_session(request, user_id=user_id)
         outcome = DegradedOutcome(session=session, admitted_level=None)
-        for level in self.ladder.levels:
+        order = self.ladder.order_for(utility_profile)
+        for index in order:
+            level = self.ladder.levels[index]
             session.request = dataclasses.replace(
                 session.request, user_qos=level.user_qos
             )

@@ -419,6 +419,7 @@ class CompiledScenario:
                 duration_s=event.duration_s,
                 user_id=f"user-{event.request_id}",
                 workload=workload_name,
+                utility_profile=workload.utility_profile,
             )
 
         return to_request

@@ -400,6 +400,10 @@ class WorkloadSpec:
     user_qos: Dict[str, object] = field(default_factory=dict)
     clients: List[str] = field(default_factory=list)
     priority: int = 0
+    #: Named utility profile ordering this class's degradation walk
+    #: (see ``repro.distribution.pareto.UTILITY_PROFILES``); None keeps
+    #: the ladder's best-fidelity-first order.
+    utility_profile: Optional[str] = None
 
     @classmethod
     def from_dict(cls, data: object, path: str) -> "WorkloadSpec":
@@ -412,6 +416,7 @@ class WorkloadSpec:
                 "user_qos": {},
                 "clients": _REQUIRED,
                 "priority": 0,
+                "utility_profile": None,
             },
         )
         nodes_raw = _require_mapping(
@@ -455,16 +460,32 @@ class WorkloadSpec:
             raise ScenarioValidationError(
                 f"{path}.clients", "expected a non-empty list of device names"
             )
+        profile_raw = raw["utility_profile"]
+        if profile_raw is not None:
+            from repro.distribution.pareto import UTILITY_PROFILES
+
+            if not isinstance(profile_raw, str):
+                raise ScenarioValidationError(
+                    f"{path}.utility_profile",
+                    f"expected a profile name, got {profile_raw!r}",
+                )
+            if profile_raw not in UTILITY_PROFILES:
+                raise ScenarioValidationError(
+                    f"{path}.utility_profile",
+                    f"unknown utility profile {profile_raw!r} "
+                    f"(known: {', '.join(sorted(UTILITY_PROFILES))})",
+                )
         return cls(
             nodes=nodes,
             relations=relations,
             user_qos=_qos_dict(raw["user_qos"], f"{path}.user_qos"),
             clients=[str(c) for c in clients],
             priority=int(raw["priority"]),
+            utility_profile=profile_raw,
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "nodes": {
                 node_id: node.to_dict() for node_id, node in self.nodes.items()
             },
@@ -473,6 +494,9 @@ class WorkloadSpec:
             "clients": list(self.clients),
             "priority": self.priority,
         }
+        if self.utility_profile is not None:
+            data["utility_profile"] = self.utility_profile
+        return data
 
 
 @dataclass

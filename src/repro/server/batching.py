@@ -79,12 +79,18 @@ class BatchPolicy:
 
 @dataclass
 class _BatchItem:
-    """One request's progress through the grouped ladder walk."""
+    """One request's progress through the grouped ladder walk.
+
+    ``order`` is the item's walk order over ladder-level indices (the
+    utility-profile preference order, entry offset already applied);
+    ``level_index`` is the current *position* within it.
+    """
 
     queued: QueuedRequest
     request: ServerRequest
     wait_s: float
     result: AdmissionResult
+    order: tuple = (0,)
     level_index: int = 0
     retries_left: int = 0
     outcome: Optional[RequestOutcome] = None
@@ -113,6 +119,7 @@ class BatchingDomainService(DomainConfigurationService):
         batch: Optional[BatchPolicy] = None,
         store=None,
         scenario: Optional[str] = None,
+        front_cache: bool = True,
     ) -> None:
         super().__init__(
             configurator,
@@ -126,6 +133,7 @@ class BatchingDomainService(DomainConfigurationService):
             metrics=metrics,
             store=store,
             scenario=scenario,
+            front_cache=front_cache,
         )
         self.batch = batch or BatchPolicy()
         self._batch_sizes = self.metrics.registry.histogram(
@@ -179,10 +187,16 @@ class BatchingDomainService(DomainConfigurationService):
                     user_id=request.user_id,
                     session_id=f"{request.request_id}/session",
                 )
-                # Mirror the unbatched walk's proactive-degradation entry
-                # point: a control-plane offset starts low-priority items
-                # further down the ladder.
+                # Mirror the unbatched walk's preference order: the
+                # utility profile (when any) ranks the levels, and a
+                # control-plane entry offset shifts the starting point
+                # within that order.
                 entry_offset = self.admission.entry_offset_for(request.priority)
+                order = self.admission.level_order(
+                    request.composition,
+                    priority=request.priority,
+                    profile=request.utility_profile,
+                )
                 items.append(
                     _BatchItem(
                         queued=entry,
@@ -192,9 +206,10 @@ class BatchingDomainService(DomainConfigurationService):
                             session=session,
                             admitted_level=None,
                             entry_offset=entry_offset,
+                            profile=request.utility_profile,
                         ),
+                        order=order,
                         retries_left=self.admission.max_conflict_retries,
-                        level_index=entry_offset,
                     )
                 )
             self._admit_batch(items)
@@ -238,7 +253,7 @@ class BatchingDomainService(DomainConfigurationService):
         session = item.result.session
         if session.state is SessionState.FAILED:
             session.state = SessionState.NEW
-        level = levels[item.level_index]
+        level = levels[item.order[item.level_index]]
         if level is not None:
             session.request = dataclasses.replace(
                 session.request, user_qos=level.user_qos
@@ -323,8 +338,8 @@ class BatchingDomainService(DomainConfigurationService):
         self._descend_or_finish(item, levels, next_round)
 
     def _descend_or_finish(self, item: _BatchItem, levels, next_round) -> None:
-        """Move an item one ladder level down, or finalize it as FAILED."""
-        if item.level_index + 1 < len(levels):
+        """Advance an item through its walk order, or finalize it as FAILED."""
+        if item.level_index + 1 < len(item.order):
             item.level_index += 1
             item.retries_left = self.admission.max_conflict_retries
             next_round.append(item)

@@ -57,6 +57,10 @@ class ServerRequest:
     #: durable store persists it so crash-restart recovery can rebuild
     #: the composition request from the scenario spec alone.
     workload: Optional[str] = None
+    #: Named utility profile ordering this request's ladder walk (see
+    #: :data:`repro.distribution.pareto.UTILITY_PROFILES`); None keeps
+    #: the classic best-fidelity-first descent.
+    utility_profile: Optional[str] = None
 
 
 class RequestStatus(enum.Enum):
@@ -103,6 +107,7 @@ class DomainConfigurationService:
         metrics: Optional[ServerMetrics] = None,
         store: Optional[RecordStore] = None,
         scenario: Optional[str] = None,
+        front_cache: bool = True,
     ) -> None:
         if configurator.ledger is None:
             configurator.ledger = ReservationLedger(configurator.server)
@@ -128,6 +133,7 @@ class DomainConfigurationService:
             ladder=ladder,
             max_conflict_retries=max_conflict_retries,
             skip_downloads=skip_downloads,
+            front_cache=front_cache,
         )
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self._lock = threading.Lock()
@@ -269,6 +275,7 @@ class DomainConfigurationService:
                 user_id=request.user_id,
                 session_id=f"{request.request_id}/session",
                 priority=request.priority,
+                utility_profile=request.utility_profile,
             )
             outcome = self._outcome_from(request, wait_s, result)
             span.set("status", outcome.status.value)

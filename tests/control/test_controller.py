@@ -167,6 +167,8 @@ class TestValidation:
             {"router_penalty": 0.0},
             {"rebalance_batch": -1},
             {"evacuation_phi": 0.0},
+            {"ledger_bound_margin": 1.5},
+            {"ledger_bound_margin": -1.5},
         ):
             with pytest.raises(ValueError):
                 ControlPolicy(**bad)
@@ -231,6 +233,41 @@ class TestActuation:
         controller.start(horizon_s=1.0)
         simulator.run_until(0.5)
         assert cluster.rebalance_calls == []
+
+    def test_ledger_bound_overload_stands_the_shaping_levers_down(self):
+        # The shard is hot because the *ledger* is pinned, not the queue:
+        # degrading entries or steering the router cannot free reserved
+        # capacity, so levers (a) and (c) must not fire. The retry-after
+        # horizon (lever b) stays unconditional.
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        cluster.shards[0].ledger.value = 0.95  # utilization 0.95 > trip
+        controller.start(horizon_s=3.0)
+        simulator.run_until(1.5)
+        hot = cluster.shards[0]
+        assert controller.hot_shards() == [0]
+        assert hot.admission.offset == 0
+        assert cluster.router.weight(0) == 1.0
+        assert hot.overload.forecast_horizon_s == pytest.approx(8.0)
+
+    def test_levers_reengage_when_the_queue_takes_over(self):
+        cluster = FakeCluster()
+        simulator, controller = make_controller(cluster)
+        cluster.shards[0].ledger.value = 0.95
+        controller.start(horizon_s=30.0)
+        simulator.run_until(1.5)
+        assert cluster.shards[0].admission.offset == 0
+        # The regime flips: sessions retire (ledger drains) while the
+        # queue backs up. Enough ticks for the windowed means to cross.
+        cluster.shards[0].ledger.value = 0.0
+        cluster.shards[0].queue.depth = 9
+        simulator.run_until(25.0)
+        hot = cluster.shards[0]
+        assert controller.hot_shards() == [0]
+        assert hot.admission.offset == controller.policy.entry_offset
+        assert cluster.router.weight(0) == pytest.approx(
+            controller.policy.router_penalty
+        )
 
     def test_estimator_trains_on_observed_shed_outcomes(self):
         cluster = FakeCluster()

@@ -51,6 +51,15 @@ class TestTrendWindow:
         assert window.last() is None
         assert window.slope() == 0.0
         assert window.delta_rate() == 0.0
+        assert window.mean() == 0.0
+
+    def test_mean_covers_only_the_window(self):
+        window = TrendWindow(5.0)
+        for t in range(4):
+            window.append(float(t), float(t + 1))
+        assert window.mean() == pytest.approx(2.5)  # (1+2+3+4)/4
+        window.append(10.0, 6.0)  # ages out everything earlier
+        assert window.mean() == pytest.approx(6.0)
 
 
 class _FakeLedger:
@@ -121,6 +130,34 @@ class TestClusterSignals:
         assert signals.shed_since_last_sample(0) == 3
         signals.sample(2.0)
         assert signals.shed_since_last_sample(0) == 0
+
+    def test_binding_balance_classifies_the_regime(self):
+        cluster = _FakeCluster(shard_count=1)
+        signals = ClusterSignals(cluster, window_s=30.0)
+        shard = cluster.shards[0]
+        # Ledger-bound history: utilization pinned, queue shallow.
+        for tick in range(4):
+            shard.ledger.value = 0.9
+            shard.queue.depth = 1
+            signals.sample(float(tick))
+        assert signals.binding_balance(0) == pytest.approx(0.8)
+
+    def test_binding_balance_is_windowed_not_instantaneous(self):
+        cluster = _FakeCluster(shard_count=1)
+        signals = ClusterSignals(cluster, window_s=30.0)
+        shard = cluster.shards[0]
+        # Three queue-bound samples, then one transient excursion the
+        # other way: the windowed mean keeps the balance negative.
+        for tick in range(3):
+            shard.queue.depth = 9
+            shard.ledger.value = 0.0
+            signals.sample(float(tick))
+        shard.queue.depth = 0
+        shard.ledger.value = 0.9
+        signals.sample(3.0)
+        assert signals.binding_balance(0) == pytest.approx(
+            0.9 / 4 - 2.7 / 4
+        )
 
     def test_cluster_view_aggregates_shards(self):
         cluster = _FakeCluster(shard_count=2)

@@ -1,0 +1,239 @@
+"""The multi-objective Pareto layer: dominance, fronts, utility profiles.
+
+Three invariant families ride on this module (ISSUE 10 satellite 4):
+no front member may dominate another, front construction and ordering
+must be deterministic under replay, and weighted-sum selection over a
+fixed candidate set must be monotone in the profile weights.
+"""
+
+import random
+
+import pytest
+
+from repro.distribution.pareto import (
+    EPSILON,
+    OBJECTIVE_NAMES,
+    ParetoFront,
+    ParetoPoint,
+    UTILITY_PROFILES,
+    UtilityProfile,
+    dominates,
+    level_prior,
+    profile_names,
+    utility_profile,
+)
+
+
+def point(latency, fidelity_loss, resource, energy, key=()):
+    return ParetoPoint(
+        latency=latency,
+        fidelity_loss=fidelity_loss,
+        resource_cost=resource,
+        energy=energy,
+        key=key,
+    )
+
+
+def random_points(seed, count=40):
+    rng = random.Random(seed)
+    return [
+        point(
+            rng.uniform(0.0, 4.0),
+            rng.uniform(0.0, 1.0),
+            rng.uniform(0.0, 6.0),
+            rng.uniform(1.0, 5.0),
+            key=(f"p{index:03d}",),
+        )
+        for index in range(count)
+    ]
+
+
+class TestDominance:
+    def test_strictly_better_everywhere_dominates(self):
+        assert dominates(point(1, 0.1, 1, 1), point(2, 0.2, 2, 2))
+
+    def test_incomparable_points_do_not_dominate(self):
+        a = point(1, 0.5, 1, 1)
+        b = point(2, 0.1, 1, 1)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = point(1, 0.1, 1, 1)
+        assert not dominates(a, a)
+
+    def test_noise_sized_advantage_is_not_dominance(self):
+        # Better on one axis by less than epsilon, equal elsewhere: the
+        # advantage is float noise, not dominance.
+        a = point(1.0 - EPSILON / 2, 0.1, 1, 1)
+        b = point(1.0, 0.1, 1, 1)
+        assert not dominates(a, b)
+
+    def test_noise_sized_deficit_does_not_block_dominance(self):
+        # Clearly better on one axis, worse by sub-epsilon noise on
+        # another: still dominates.
+        a = point(0.5, 0.1 + EPSILON / 2, 1, 1)
+        b = point(1.0, 0.1, 1, 1)
+        assert dominates(a, b)
+
+    def test_dominance_is_asymmetric_on_random_pairs(self):
+        points = random_points(7, count=30)
+        for a in points:
+            for b in points:
+                assert not (dominates(a, b) and dominates(b, a))
+
+
+class TestParetoFront:
+    def test_dominated_candidate_is_rejected(self):
+        front = ParetoFront([point(1, 0.1, 1, 1, key=("a",))])
+        assert not front.insert(point(2, 0.2, 2, 2, key=("b",)))
+        assert len(front) == 1
+
+    def test_dominating_candidate_evicts_members(self):
+        front = ParetoFront(
+            [point(2, 0.2, 2, 2, key=("a",)), point(3, 0.1, 3, 3, key=("b",))]
+        )
+        assert front.insert(point(1, 0.05, 1, 1, key=("c",)))
+        assert [p.key for p in front.points()] == [("c",)]
+
+    def test_exact_duplicate_is_rejected(self):
+        front = ParetoFront()
+        candidate = point(1, 0.1, 1, 1, key=("a",))
+        assert front.insert(candidate)
+        assert not front.insert(point(1, 0.1, 1, 1, key=("a",)))
+        assert len(front) == 1
+
+    def test_same_objectives_distinct_keys_coexist(self):
+        front = ParetoFront()
+        assert front.insert(point(1, 0.1, 1, 1, key=("a",)))
+        assert front.insert(point(1, 0.1, 1, 1, key=("b",)))
+        assert [p.key for p in front.points()] == [("a",), ("b",)]
+
+    def test_no_member_dominates_another(self):
+        # The structural invariant, checked over a seeded random history.
+        front = ParetoFront()
+        for candidate in random_points(11, count=60):
+            front.insert(candidate)
+        members = front.points()
+        assert members
+        for a in members:
+            for b in members:
+                if a is not b:
+                    assert not dominates(a, b, front.epsilon)
+
+    def test_order_is_insertion_order_independent(self):
+        points = random_points(13, count=30)
+        forward = ParetoFront(points)
+        backward = ParetoFront(reversed(points))
+        assert [p.sort_key() for p in forward.points()] == [
+            p.sort_key() for p in backward.points()
+        ]
+
+    def test_replay_is_byte_identical(self):
+        import json
+
+        runs = []
+        for _ in range(2):
+            front = ParetoFront()
+            for candidate in random_points(17, count=50):
+                front.insert(candidate)
+            runs.append(
+                json.dumps([p.as_dict() for p in front.points()], sort_keys=True)
+            )
+        assert runs[0] == runs[1]
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoFront(epsilon=-1e-9)
+
+
+class TestUtilityProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UtilityProfile("bad", latency=-0.1)
+        with pytest.raises(ValueError):
+            UtilityProfile("bad", latency=0, fidelity=0, resource=0, energy=0)
+
+    def test_weights_normalise_to_one(self):
+        profile = UtilityProfile("p", latency=2, fidelity=1, resource=1, energy=0)
+        assert sum(profile.weights()) == pytest.approx(1.0)
+        assert profile.weights()[0] == pytest.approx(0.5)
+
+    def test_select_prefers_the_weighted_axis(self):
+        fast = point(0.1, 0.9, 5, 5, key=("fast",))
+        sharp = point(5.0, 0.0, 5, 5, key=("sharp",))
+        latency_first = utility_profile("latency_first")
+        fidelity_first = utility_profile("fidelity_first")
+        assert latency_first.select([fast, sharp]).key == ("fast",)
+        assert fidelity_first.select([fast, sharp]).key == ("sharp",)
+
+    def test_order_ties_break_on_input_index(self):
+        # Identical points score identically; the earlier index (the
+        # ladder's natural best-first position) wins.
+        twin = point(1, 0.1, 1, 1)
+        profile = utility_profile("balanced")
+        assert profile.order([twin, twin, twin]) == [0, 1, 2]
+
+    def test_constant_column_contributes_nothing(self):
+        # All candidates share one axis value: that axis cannot reorder.
+        a = point(1.0, 0.5, 3.0, 2.0)
+        b = point(2.0, 0.5, 1.0, 2.0)
+        profile = UtilityProfile(
+            "p", latency=0.5, fidelity=0.0, resource=0.5, energy=0.0
+        )
+        scores = profile.scores([a, b])
+        assert scores[0] == pytest.approx(0.5)
+        assert scores[1] == pytest.approx(0.5)
+
+    def test_select_empty_is_none(self):
+        assert utility_profile("balanced").select([]) is None
+
+    @pytest.mark.parametrize("axis", range(len(OBJECTIVE_NAMES)))
+    def test_selection_is_monotone_in_weights(self, axis):
+        """Raising one axis's weight never worsens the selection on it.
+
+        The satellite-4 monotonicity invariant: for a fixed candidate
+        set, sweep the weight on one axis upward (others fixed) and the
+        selected point's value on that axis must be non-increasing.
+        """
+        fields = ("latency", "fidelity", "resource", "energy")
+        for seed in (3, 19, 31):
+            points = random_points(seed, count=25)
+            previous = None
+            for step in range(0, 11):
+                kwargs = {name: 0.25 for name in fields}
+                kwargs[fields[axis]] = 0.25 + step
+                profile = UtilityProfile("sweep", **kwargs)
+                chosen = profile.select(points).objectives()[axis]
+                if previous is not None:
+                    assert chosen <= previous + EPSILON
+                previous = chosen
+
+
+class TestNamedProfiles:
+    def test_catalogued_names_resolve(self):
+        for name in profile_names():
+            assert utility_profile(name).name == name
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError) as err:
+            utility_profile("nope")
+        for name in UTILITY_PROFILES:
+            assert name in str(err.value)
+
+
+class TestLevelPrior:
+    def test_prior_tracks_demand_scale(self):
+        full = level_prior(1.0, "full", position=0)
+        economy = level_prior(0.45, "economy", position=2)
+        assert full.fidelity_loss == pytest.approx(0.0)
+        assert economy.fidelity_loss == pytest.approx(0.55)
+        assert economy.resource_cost < full.resource_cost
+        assert full.key == ("level0", "full")
+        assert economy.key == ("level2", "economy")
+
+    def test_scale_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            level_prior(0.0, "zero")
+        with pytest.raises(ValueError):
+            level_prior(1.5, "over")

@@ -65,8 +65,14 @@ class TestGate:
         assert verify_payload(payload()) == []
 
     def test_one_winning_multiplier_is_enough(self):
-        cells = [cluster_cell(reactive=0.3, controlled=0.4), cluster_cell()]
+        # A tie elsewhere is fine; a regression elsewhere is not (below).
+        cells = [cluster_cell(reactive=0.4, controlled=0.4), cluster_cell()]
         assert verify_payload(payload(cluster=cells)) == []
+
+    def test_a_regression_anywhere_fails_despite_a_win(self):
+        cells = [cluster_cell(reactive=0.3, controlled=0.4), cluster_cell()]
+        problems = verify_payload(payload(cluster=cells))
+        assert any("regresses reactive" in problem for problem in problems)
 
     def test_no_shed_win_anywhere_fails(self):
         cells = [cluster_cell(reactive=0.3, controlled=0.4)]
@@ -202,5 +208,5 @@ class TestQuickBench:
         assert "controlled vs reactive" in table
         payload = json.loads(result.to_json())
         assert payload["config"]["quick"] is True
-        assert payload["cluster"][0]["multiplier"] == 10.0
+        assert [cell["multiplier"] for cell in payload["cluster"]] == [8.0, 10.0]
         assert payload["chaos"][0]["fault_multiplier"] == 2.0

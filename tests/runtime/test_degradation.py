@@ -3,6 +3,7 @@
 import pytest
 
 from repro.apps.audio_on_demand import audio_request, build_audio_testbed
+from repro.distribution.pareto import ParetoPoint, utility_profile
 from repro.qos.vectors import QoSVector
 from repro.resources.vectors import ResourceVector
 from repro.runtime.degradation import (
@@ -32,6 +33,40 @@ class TestLadder:
             QoSLevel("x", QoSVector(), demand_scale=0.0)
         with pytest.raises(ValueError):
             QoSLevel("x", QoSVector(), demand_scale=1.5)
+
+
+class TestPreferenceOrder:
+    def ladder(self):
+        return DegradationLadder.rate_ladder("frame_rate", [40.0, 20.0, 10.0])
+
+    def test_no_profile_is_the_classic_best_first_walk(self):
+        assert self.ladder().order_for(None) == [0, 1, 2]
+
+    def test_prior_points_track_ladder_positions(self):
+        priors = self.ladder().prior_points()
+        assert [p.key[0] for p in priors] == ["level0", "level1", "level2"]
+        assert [p.fidelity_loss for p in priors] == pytest.approx(
+            [0.0, 0.5, 0.75]
+        )
+
+    def test_profile_reorders_over_the_priors(self):
+        ladder = self.ladder()
+        assert ladder.order_for(utility_profile("fidelity_first"))[0] == 0
+        assert ladder.order_for(utility_profile("resource_lean"))[0] == 2
+
+    def test_measured_points_override_the_priors(self):
+        # Measured reality inverts the prior estimate: the full level
+        # turned out *cheaper* than economy on every non-fidelity axis,
+        # so even a resource-lean profile prefers it.
+        ladder = self.ladder()
+        measured = [
+            ParetoPoint(0.1, 0.0, 0.1, 0.1, key=("level0", "full")),
+            None,  # unplanned level falls back to its prior
+            ParetoPoint(0.9, 0.75, 0.9, 2.0, key=("level2", "economy")),
+        ]
+        order = ladder.order_for(utility_profile("resource_lean"), measured)
+        assert order[0] == 0
+        assert sorted(order) == [0, 1, 2]
 
 
 class TestScaleGraphDemand:

@@ -162,9 +162,10 @@ class TestRoundTrip:
 
 
 class TestLoading:
-    def test_catalog_has_the_four_scenarios(self):
+    def test_catalog_has_the_five_scenarios(self):
         assert catalog_scenarios() == [
             "conference_mesh",
+            "gallery_profiles",
             "smart_home_evening",
             "stadium_surge",
             "vehicular_corridor",
